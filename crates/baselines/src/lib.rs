@@ -1,0 +1,21 @@
+//! # reflex-baselines — comparison systems from the paper's evaluation
+//!
+//! * [`LocalRig`] — direct local NVMe access via SPDK (the "Local" rows
+//!   and curves; best case).
+//! * [`BaselineServer`] with [`BaselineConfig::iscsi`] — the Linux iSCSI
+//!   target (~70K IOPS/core, heavy protocol latency).
+//! * [`BaselineServer`] with [`BaselineConfig::libaio`] — the lightweight
+//!   libaio+libevent server (~75K IOPS/core).
+//!
+//! The remote baselines implement [`reflex_core::ServerHarness`], so every
+//! comparison uses identical clients, fabric and Flash device — only the
+//! server changes.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod local;
+mod remote;
+
+pub use local::{LocalReport, LocalRig, SPDK_PER_REQ_CPU};
+pub use remote::{BaselineConfig, BaselineServer};

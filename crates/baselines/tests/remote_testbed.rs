@@ -1,0 +1,178 @@
+//! Baseline servers under the shared testbed: unloaded latency (Table 2)
+//! and per-core throughput ceilings (§5.3).
+
+use reflex_baselines::{BaselineConfig, BaselineServer};
+use reflex_core::{LoadPattern, Testbed, TestbedBuilder, WorkloadSpec};
+use reflex_net::StackProfile;
+use reflex_qos::{TenantClass, TenantId};
+use reflex_sim::SimDuration;
+
+fn baseline_testbed(
+    config: BaselineConfig,
+    client: StackProfile,
+) -> Testbed<BaselineServer> {
+    TestbedBuilder::new()
+        .server_stack(StackProfile::linux_tcp())
+        .client_machines(vec![client])
+        .seed(99)
+        .build_with(move |fabric, device, machine| {
+            BaselineServer::new(machine, fabric, device, config, 17)
+        })
+}
+
+fn unloaded(config: BaselineConfig, client: StackProfile, read_pct: u8) -> (f64, f64) {
+    let mut tb = baseline_testbed(config, client);
+    let mut spec = WorkloadSpec::closed_loop("probe", TenantId(1), TenantClass::BestEffort, 1);
+    spec.read_pct = read_pct;
+    tb.add_workload(spec).expect("baseline accepts any tenant");
+    tb.run(SimDuration::from_millis(50));
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(400));
+    let report = tb.report();
+    let w = report.workload("probe");
+    assert_eq!(w.errors, 0, "probe must not error");
+    let hist = if read_pct == 100 { &w.read_latency } else { &w.write_latency };
+    (hist.mean().as_micros_f64(), hist.p95().as_micros_f64())
+}
+
+#[test]
+fn iscsi_unloaded_read_latency_matches_table2() {
+    // Paper: iSCSI 4KB read 211 avg / 251 p95 (Linux client).
+    let (avg, p95) = unloaded(BaselineConfig::iscsi(), StackProfile::linux_tcp(), 100);
+    assert!((190.0..235.0).contains(&avg), "iscsi read avg {avg}");
+    assert!((225.0..285.0).contains(&p95), "iscsi read p95 {p95}");
+}
+
+#[test]
+fn iscsi_unloaded_write_latency_matches_table2() {
+    // Paper: iSCSI 4KB write 155 avg / 215 p95.
+    let (avg, p95) = unloaded(BaselineConfig::iscsi(), StackProfile::linux_tcp(), 0);
+    assert!((130.0..180.0).contains(&avg), "iscsi write avg {avg}");
+    assert!((160.0..250.0).contains(&p95), "iscsi write p95 {p95}");
+}
+
+#[test]
+fn libaio_unloaded_read_latency_matches_table2() {
+    // Paper: libaio (Linux client) 183 avg / 205 p95; (IX client) 121/139.
+    // Paper reports 183 avg for the Linux client; our model lands lower
+    // (~150) because the interrupt-coalescing interplay between two Linux
+    // endpoints is not modelled — the ordering vs the IX client and vs
+    // ReFlex is what matters (recorded in EXPERIMENTS.md).
+    let (avg_linux, p95_linux) =
+        unloaded(BaselineConfig::libaio(), StackProfile::linux_tcp(), 100);
+    assert!((135.0..205.0).contains(&avg_linux), "libaio/linux read avg {avg_linux}");
+    assert!((150.0..240.0).contains(&p95_linux), "libaio/linux read p95 {p95_linux}");
+
+    let (avg_ix, p95_ix) = unloaded(BaselineConfig::libaio(), StackProfile::ix_tcp(), 100);
+    assert!((108.0..135.0).contains(&avg_ix), "libaio/ix read avg {avg_ix}");
+    assert!((125.0..160.0).contains(&p95_ix), "libaio/ix read p95 {p95_ix}");
+}
+
+#[test]
+fn libaio_throughput_caps_near_75k_per_core() {
+    let mut tb = baseline_testbed(BaselineConfig::libaio(), StackProfile::ix_tcp());
+    let mut spec = WorkloadSpec::open_loop(
+        "load",
+        TenantId(1),
+        TenantClass::BestEffort,
+        200_000.0, // far above a single worker's capacity
+    );
+    spec.io_size = 1024;
+    spec.conns = 32;
+    spec.client_threads = 8;
+    tb.add_workload(spec).expect("accepted");
+    tb.run(SimDuration::from_millis(100));
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(200));
+    let report = tb.report();
+    let w = report.workload("load");
+    assert!(
+        (55_000.0..90_000.0).contains(&w.iops),
+        "libaio 1-core IOPS {}",
+        w.iops
+    );
+}
+
+#[test]
+fn iscsi_throughput_caps_near_70k_per_core() {
+    let mut tb = baseline_testbed(BaselineConfig::iscsi(), StackProfile::ix_tcp());
+    let mut spec =
+        WorkloadSpec::open_loop("load", TenantId(1), TenantClass::BestEffort, 200_000.0);
+    spec.io_size = 1024;
+    spec.conns = 32;
+    spec.client_threads = 8;
+    tb.add_workload(spec).expect("accepted");
+    tb.run(SimDuration::from_millis(100));
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(200));
+    let report = tb.report();
+    let w = report.workload("load");
+    assert!(
+        (50_000.0..85_000.0).contains(&w.iops),
+        "iscsi 1-core IOPS {}",
+        w.iops
+    );
+}
+
+#[test]
+fn two_workers_double_libaio_throughput() {
+    let mut tb = baseline_testbed(
+        BaselineConfig::libaio().with_threads(2),
+        StackProfile::ix_tcp(),
+    );
+    // Two tenants land on different workers (round-robin placement).
+    for t in 0..2u32 {
+        let mut spec = WorkloadSpec::open_loop(
+            &format!("load{t}"),
+            TenantId(t + 1),
+            TenantClass::BestEffort,
+            120_000.0,
+        );
+        spec.io_size = 1024;
+        spec.conns = 16;
+        spec.client_threads = 8;
+        tb.add_workload(spec).expect("accepted");
+    }
+    tb.run(SimDuration::from_millis(100));
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(200));
+    let report = tb.report();
+    let total: f64 = report.workloads.iter().map(|w| w.iops).sum();
+    assert!(
+        (110_000.0..180_000.0).contains(&total),
+        "libaio 2-core total IOPS {total}"
+    );
+}
+
+#[test]
+fn baseline_latency_ordering_iscsi_worst() {
+    let (iscsi_avg, _) = unloaded(BaselineConfig::iscsi(), StackProfile::linux_tcp(), 100);
+    let (libaio_avg, _) = unloaded(BaselineConfig::libaio(), StackProfile::linux_tcp(), 100);
+    assert!(
+        iscsi_avg > libaio_avg + 10.0,
+        "iscsi ({iscsi_avg}) must be clearly slower than libaio ({libaio_avg})"
+    );
+}
+
+#[test]
+fn load_pattern_matches_closed_loop_semantics() {
+    // A QD1 probe issues one request at a time: issued ≈ completed.
+    let mut tb = baseline_testbed(BaselineConfig::libaio(), StackProfile::ix_tcp());
+    let spec = WorkloadSpec {
+        pattern: LoadPattern::ClosedLoop { queue_depth: 1 },
+        ..WorkloadSpec::open_loop("probe", TenantId(1), TenantClass::BestEffort, 1.0)
+    };
+    tb.add_workload(spec).expect("accepted");
+    tb.run(SimDuration::from_millis(20));
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(100));
+    let report = tb.report();
+    let w = report.workload("probe");
+    let completed = w.read_latency.count() + w.write_latency.count();
+    assert!(w.issued > 0);
+    assert!(
+        (w.issued as i64 - completed as i64).abs() <= 2,
+        "issued {} vs completed {completed}",
+        w.issued
+    );
+}

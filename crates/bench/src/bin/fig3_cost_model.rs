@@ -1,0 +1,95 @@
+//! Figure 3: request cost models for devices A, B and C.
+//!
+//! p95 read latency versus *weighted* IOPS (tokens/s) for workloads with
+//! various read ratios and request sizes. Under the per-device cost model
+//! the curves collapse onto each other — the property the QoS scheduler
+//! relies on. Also fits the linear model per device (paper §3.2.1) and
+//! prints the calibrated constants next to the published ones.
+//!
+//! Run: `cargo run --release -p reflex-bench --bin fig3_cost_model`
+
+use reflex_core::sweep_device_sized;
+use reflex_flash::{device_a, device_b, device_c, DeviceProfile};
+use reflex_qos::{fit_cost_model, max_iops_at_latency, CostModel, LoadMix, RatioCapacity};
+use reflex_sim::SimDuration;
+
+fn weighted(model: &CostModel, read_pct: u8, io_size: u32, iops: f64, read_only: bool) -> f64 {
+    let mix = if read_only { LoadMix::ReadOnly } else { LoadMix::Mixed };
+    let r = read_pct as f64 / 100.0;
+    let read_cost = model.read_cost(mix).as_tokens_f64();
+    let write_cost = model.write_cost().as_tokens_f64();
+    let pages = io_size.div_ceil(4096).max(1) as f64;
+    iops * pages * (r * read_cost + (1.0 - r) * write_cost)
+}
+
+fn run_device(profile: &DeviceProfile, published_write_cost: f64) {
+    let model = CostModel::for_profile(profile);
+    println!("# Device {} (published C(write) = {published_write_cost})", profile.name);
+    println!("curve\tweighted_ktokens\tp95_read_us");
+
+    // (read_pct, io_size) curves as in Figure 3.
+    let curves: [(u8, u32); 8] = [
+        (100, 1024),
+        (100, 32 * 1024),
+        (100, 4096),
+        (99, 4096),
+        (95, 4096),
+        (90, 4096),
+        (75, 4096),
+        (50, 4096),
+    ];
+    let mut observations = Vec::new();
+    for (read_pct, io_size) in curves {
+        let r = read_pct as f64 / 100.0;
+        let pages = io_size.div_ceil(4096).max(1) as f64;
+        let cost = pages * (r + (1.0 - r) * profile.write_cost_tokens());
+        let bonus = if read_pct == 100 { 1.5 } else { 1.0 };
+        let max_iops = profile.token_rate() / cost * bonus;
+        let offered: Vec<f64> = (1..=12).map(|i| max_iops * i as f64 / 10.0).collect();
+        let sweep = sweep_device_sized(
+            profile,
+            read_pct,
+            io_size,
+            &offered,
+            SimDuration::from_millis(300),
+            13,
+        );
+        let label = if io_size == 4096 {
+            format!("{read_pct}%rd(4KB)")
+        } else {
+            format!("{read_pct}%rd({}KB)", io_size / 1024)
+        };
+        for p in &sweep {
+            let tokens = weighted(&model, read_pct, io_size, p.iops, read_pct == 100);
+            println!("{label}\t{:.0}\t{:.0}", tokens / 1e3, p.p95_read_us);
+            if p.p95_read_us > 5_000.0 {
+                break;
+            }
+        }
+        // Collect knee observations for the fit (4KB mixed curves + RO).
+        if io_size == 4096 {
+            if let Some(iops) = max_iops_at_latency(&sweep, 1_000.0) {
+                observations.push(RatioCapacity { read_pct, max_iops: iops });
+            }
+        }
+    }
+    match fit_cost_model(&observations) {
+        Ok(fit) => println!(
+            "# fitted: C(write) = {:.1} tokens (published {published_write_cost}), \
+             capacity = {:.0} tokens/s, C(read,100%) = {:.2}, rms {:.1}%",
+            fit.write_cost,
+            fit.token_rate,
+            fit.read_only_cost,
+            fit.rms_rel_error * 100.0
+        ),
+        Err(e) => println!("# fit failed: {e}"),
+    }
+    println!();
+}
+
+fn main() {
+    println!("# Figure 3: latency vs weighted IOPS; curves should collapse per device");
+    run_device(&device_a(), 10.0);
+    run_device(&device_b(), 20.0);
+    run_device(&device_c(), 16.0);
+}

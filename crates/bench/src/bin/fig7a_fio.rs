@@ -1,0 +1,49 @@
+//! Figure 7a: FIO latency-throughput with the remote block device driver.
+//!
+//! 4KB random reads at increasing parallelism (threads × queue depth) on
+//! the local kernel NVMe path, the ReFlex block driver and iSCSI. ReFlex
+//! saturates the 10GbE link (~1.2GB/s) with ~4x iSCSI's throughput and
+//! half its latency; local Flash goes further on raw device bandwidth.
+//!
+//! Run: `cargo run --release -p reflex-bench --bin fig7a_fio`
+
+use reflex_flash::device_a;
+use reflex_workloads::{Backend, BackendProfile, FioJob};
+
+type Sweep = (&'static str, BackendProfile, Vec<(u32, u32)>);
+
+fn main() {
+    println!("# Figure 7a: FIO 4KB random read, p95 latency vs throughput");
+    println!("path\tthreads\tqd\tMB_s\tkiops\tp95_us");
+    let sweeps: [Sweep; 3] = [
+        (
+            "local",
+            BackendProfile::local_nvme(),
+            vec![(1, 4), (1, 16), (2, 16), (3, 24), (4, 32), (5, 32), (5, 64)],
+        ),
+        (
+            "reflex",
+            BackendProfile::reflex_remote(),
+            vec![(1, 4), (1, 16), (2, 16), (3, 24), (4, 32), (5, 48), (6, 64)],
+        ),
+        (
+            "iscsi",
+            BackendProfile::iscsi_remote(),
+            vec![(1, 4), (1, 16), (2, 16), (3, 24), (4, 32), (5, 48), (6, 64)],
+        ),
+    ];
+    for (name, profile, points) in sweeps {
+        for (threads, qd) in points {
+            let mut backend = Backend::new(profile.clone(), device_a(), threads, 81);
+            let rep = FioJob { threads, queue_depth: qd, ..FioJob::default() }
+                .run(&mut backend, 7);
+            println!(
+                "{name}\t{threads}\t{qd}\t{:.0}\t{:.0}\t{:.0}",
+                rep.mb_per_sec,
+                rep.iops / 1e3,
+                rep.latency.p95().as_micros_f64()
+            );
+        }
+        println!();
+    }
+}

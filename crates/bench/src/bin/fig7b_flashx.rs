@@ -1,0 +1,37 @@
+//! Figure 7b: FlashX graph analytics slowdown over remote Flash.
+//!
+//! WCC, PageRank, BFS and SCC on a SOC-LiveJournal1-sized graph (4.8M
+//! vertices, 68.9M edges), executed on the local NVMe path, the ReFlex
+//! block driver, and iSCSI. Reported as slowdown relative to local Flash
+//! (paper: ReFlex 1-3.8%, iSCSI 15-40%).
+//!
+//! Run: `cargo run --release -p reflex-bench --bin fig7b_flashx`
+
+use reflex_flash::device_a;
+use reflex_workloads::{run_flashx, Backend, BackendProfile, FlashXConfig, GraphAlgo};
+
+fn main() {
+    println!("# Figure 7b: FlashX end-to-end slowdown vs local Flash");
+    println!("algo\tlocal_s\treflex_s\tiscsi_s\treflex_slowdown\tiscsi_slowdown");
+    let config = FlashXConfig::default();
+    for algo in GraphAlgo::all() {
+        let mut runtimes = Vec::new();
+        for profile in [
+            BackendProfile::local_nvme(),
+            BackendProfile::reflex_remote(),
+            BackendProfile::iscsi_remote(),
+        ] {
+            let mut backend = Backend::new(profile, device_a(), 6, 91);
+            runtimes.push(run_flashx(algo, &config, &mut backend, 17).as_secs_f64());
+        }
+        println!(
+            "{}\t{:.1}\t{:.1}\t{:.1}\t{:.3}\t{:.3}",
+            algo.name(),
+            runtimes[0],
+            runtimes[1],
+            runtimes[2],
+            runtimes[1] / runtimes[0],
+            runtimes[2] / runtimes[0]
+        );
+    }
+}

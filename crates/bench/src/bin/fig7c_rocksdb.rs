@@ -1,0 +1,37 @@
+//! Figure 7c: RocksDB `db_bench` slowdown over remote Flash.
+//!
+//! bulkload (BL), randomread (RR) and readwhilewriting (RwW) on a 43GB
+//! database with a cgroup-limited page cache, on the local NVMe path, the
+//! ReFlex block driver, and iSCSI. Reported as slowdown vs local Flash
+//! (paper: BL ≈ equal everywhere; RR/RwW: iSCSI 32%/27%, ReFlex < 4%).
+//!
+//! Run: `cargo run --release -p reflex-bench --bin fig7c_rocksdb`
+
+use reflex_flash::device_a;
+use reflex_workloads::{run_db_bench, Backend, BackendProfile, DbBenchmark, LsmConfig};
+
+fn main() {
+    println!("# Figure 7c: RocksDB db_bench slowdown vs local Flash (43GB DB)");
+    println!("bench\tlocal_s\treflex_s\tiscsi_s\treflex_slowdown\tiscsi_slowdown");
+    let config = LsmConfig::default();
+    for bench in DbBenchmark::all() {
+        let mut runtimes = Vec::new();
+        for profile in [
+            BackendProfile::local_nvme(),
+            BackendProfile::reflex_remote(),
+            BackendProfile::iscsi_remote(),
+        ] {
+            let mut backend = Backend::new(profile, device_a(), 6, 101);
+            runtimes.push(run_db_bench(bench, &config, &mut backend, 19).as_secs_f64());
+        }
+        println!(
+            "{}\t{:.1}\t{:.1}\t{:.1}\t{:.3}\t{:.3}",
+            bench.name(),
+            runtimes[0],
+            runtimes[1],
+            runtimes[2],
+            runtimes[1] / runtimes[0],
+            runtimes[2] / runtimes[0]
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Where do the "+21µs over local Flash" go? (paper Figure 2 / Table 2)
+//!
+//! Decomposes the unloaded remote read path into its stages — client
+//! stack, wire, NIC batching wait, RX processing, QoS scheduling wait,
+//! device, completion+TX — from the dataplane's per-request trace,
+//! comparing low load against heavy load (where batching and queueing
+//! appear).
+//!
+//! Run: `cargo run --release -p reflex-bench --bin latency_breakdown`
+
+use reflex_core::{Testbed, WorkloadSpec};
+use reflex_qos::{SloSpec, TenantClass, TenantId};
+use reflex_sim::SimDuration;
+
+fn main() {
+    println!("# Server-side latency decomposition (Figure 2 stages)");
+    for (label, offered) in [("unloaded", 20_000.0f64), ("mid-load", 400_000.0), ("near-peak", 800_000.0)] {
+        let mut tb = Testbed::builder().seed(131).build();
+        let slo = SloSpec::new(450_000, 100, SimDuration::from_millis(2));
+        let mut spec = WorkloadSpec::open_loop(
+            "app",
+            TenantId(1),
+            TenantClass::LatencyCritical(slo),
+            offered,
+        );
+        spec.io_size = 1024;
+        spec.conns = 32;
+        spec.client_threads = 8;
+        tb.add_workload(spec).expect("admitted");
+        tb.run(SimDuration::from_millis(50));
+        tb.begin_measurement();
+        tb.run(SimDuration::from_millis(200));
+        let report = tb.report();
+        let w = report.workload("app");
+        let b = tb.world().server().threads()[0].latency_breakdown();
+        let (rx_wait, rx_proc, sched_wait, device, tx) = b.means_us();
+        let server_total = rx_wait + rx_proc + sched_wait + device + tx;
+        let client_and_wire = w.mean_read_us() - server_total;
+        println!("\n## {label} ({offered:.0} IOPS offered, {:.0} achieved)", w.iops);
+        println!("stage\tmean_us");
+        println!("client+wire\t{client_and_wire:.1}");
+        println!("nic_batch_wait\t{rx_wait:.1}");
+        println!("rx_processing\t{rx_proc:.1}");
+        println!("qos_sched_wait\t{sched_wait:.1}");
+        println!("flash_device\t{device:.1}");
+        println!("completion_tx\t{tx:.1}");
+        println!("end_to_end_mean\t{:.1}\tp95\t{:.1}", w.mean_read_us(), w.p95_read_us());
+    }
+}

@@ -1,0 +1,41 @@
+//! Runs every experiment harness in sequence (scaled-down where the full
+//! configuration is slow) and prints one combined report — convenient for
+//! capturing a complete paper-reproduction transcript in a single run.
+//!
+//! Run: `cargo run --release -p reflex-bench --bin run_all`
+
+use std::process::Command;
+
+fn main() {
+    let harnesses = [
+        "fig1_interference",
+        "fig3_cost_model",
+        "tab2_unloaded_latency",
+        "fig4_throughput",
+        "fig5_qos",
+        "fig6a_core_scaling",
+        "fig6b_tenant_scaling",
+        "fig6c_conn_scaling",
+        "fig7a_fio",
+        "fig7b_flashx",
+        "fig7c_rocksdb",
+        "latency_breakdown",
+        "ablations",
+        "ext_features",
+    ];
+    let exe = std::env::current_exe().expect("self path");
+    let bindir = exe.parent().expect("bin dir");
+    for h in harnesses {
+        println!("\n================================================================");
+        println!("== {h}");
+        println!("================================================================");
+        let status = Command::new(bindir.join(h))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {h}: {e}"));
+        if !status.success() {
+            eprintln!("{h} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll {} harnesses completed.", harnesses.len());
+}

@@ -1,0 +1,54 @@
+//! # reflex-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md's
+//! experiment index) plus Criterion microbenches. Every binary prints a
+//! self-describing TSV so results can be diffed against EXPERIMENTS.md.
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig1_interference` | Figure 1: p95 read latency vs total IOPS per read ratio |
+//! | `fig3_cost_model` | Figure 3: latency vs weighted IOPS for devices A/B/C |
+//! | `tab2_unloaded_latency` | Table 2: unloaded 4KB latency, six configurations |
+//! | `fig4_throughput` | Figure 4: latency vs 1KB IOPS, Local/ReFlex/libaio × 1-2 threads |
+//! | `fig5_qos` | Figure 5: four tenants, scheduler on/off, scenarios 1-2 |
+//! | `fig6a_core_scaling` | Figure 6a: LC/BE IOPS and token rate vs cores |
+//! | `fig6b_tenant_scaling` | Figure 6b: IOPS vs tenant count per core |
+//! | `fig6c_conn_scaling` | Figure 6c: IOPS vs connections at 3 per-conn rates |
+//! | `fig7a_fio` | Figure 7a: FIO p95 latency vs throughput |
+//! | `fig7b_flashx` | Figure 7b: FlashX slowdowns (WCC/PR/BFS/SCC) |
+//! | `fig7c_rocksdb` | Figure 7c: RocksDB slowdowns (BL/RR/RwW) |
+//! | `ablations` | design-choice sweeps: batching cap, NEG_LIMIT, donation |
+
+#![warn(missing_docs)]
+
+use reflex_core::{ServerHarness, Testbed, TestbedReport, WorkloadSpec};
+use reflex_sim::SimDuration;
+
+/// Standard warmup used by the harnesses.
+pub const WARMUP: SimDuration = SimDuration::from_millis(100);
+
+/// Standard measurement window used by the harnesses.
+pub const MEASURE: SimDuration = SimDuration::from_millis(400);
+
+/// Adds `workloads` to a testbed, runs warmup + measurement, and reports.
+///
+/// # Panics
+///
+/// Panics if any workload is rejected (harness configurations are
+/// pre-validated).
+pub fn run_testbed<S: ServerHarness + 'static>(
+    mut tb: Testbed<S>,
+    workloads: Vec<WorkloadSpec>,
+    warmup: SimDuration,
+    measure: SimDuration,
+) -> TestbedReport {
+    for spec in workloads {
+        let name = spec.name.clone();
+        tb.add_workload(spec)
+            .unwrap_or_else(|e| panic!("workload {name} rejected: {e}"));
+    }
+    tb.run(warmup);
+    tb.begin_measurement();
+    tb.run(measure);
+    tb.report()
+}

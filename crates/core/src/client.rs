@@ -1,0 +1,403 @@
+//! Client models and workload specifications.
+//!
+//! Two client shapes from the paper are modelled:
+//!
+//! * the **user-level client library** (§4.2) — applications open TCP
+//!   connections and issue block reads/writes directly; client-side cost is
+//!   the network stack's per-message CPU (IX clients are nearly free, Linux
+//!   clients are bounded at ~70K msgs/s per thread);
+//! * the **remote block device driver** (§4.2) — one hardware context
+//!   (thread + socket) per core, no coalescing; modelled as a client with
+//!   `threads` Linux-stack workers.
+//!
+//! A [`WorkloadSpec`] describes one tenant-bound stream of requests:
+//! open-loop (mutilate-style Poisson arrivals) or closed-loop (FIO-style
+//! fixed queue depth), with its read ratio, request size and address
+//! pattern.
+
+use std::sync::Arc;
+
+use reflex_net::ConnId;
+use reflex_qos::{TenantClass, TenantId};
+use reflex_sim::{Histogram, RatePoint, RateSeries, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One operation of a recorded I/O trace (offsets are relative to the
+/// workload's start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceOp {
+    /// Issue instant relative to trace start.
+    pub at: SimDuration,
+    /// `true` for reads.
+    pub is_read: bool,
+    /// Device byte address.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+/// Inter-arrival process of an open-loop generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Exponential gaps (a Poisson process) — maximally bursty.
+    Poisson,
+    /// Fixed gaps with ±10% uniform jitter — mutilate-style paced load.
+    /// A tenant offered exactly its SLO reservation only meets its tail
+    /// bound with paced arrivals; Poisson load at the reservation rate is
+    /// critically loaded against the token limiter by construction.
+    Paced,
+}
+
+/// How requests are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LoadPattern {
+    /// Poisson arrivals at a target rate, spread over the workload's
+    /// connections (mutilate-style load generation).
+    OpenLoop {
+        /// Offered I/O operations per second.
+        iops: f64,
+    },
+    /// Each connection keeps a fixed number of requests in flight
+    /// (FIO-style). `queue_depth = 1` is the paper's unloaded-latency
+    /// prober.
+    ClosedLoop {
+        /// Outstanding requests per connection.
+        queue_depth: u32,
+    },
+}
+
+/// How the read/write mix is realized by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MixProcess {
+    /// Each request is independently a read with probability `read_pct`.
+    /// With expensive writes (10-20 tokens) this makes a tenant's token
+    /// spend a random walk that repeatedly hits the deficit limit even at
+    /// exactly the reserved rate.
+    Bernoulli,
+    /// Writes are interleaved deterministically at the exact ratio
+    /// (e.g. every 5th request for an 80% read mix) — how paced load
+    /// generators behave.
+    Deterministic,
+}
+
+/// How request addresses are chosen within the tenant's namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddrPattern {
+    /// Uniformly random, aligned to the request size.
+    UniformRandom,
+    /// Sequential per connection with wraparound.
+    Sequential,
+    /// Zipfian popularity over the namespace's blocks (KV-store style
+    /// skew); `theta_permille` is the skew × 1000, e.g. 990 for the
+    /// YCSB-default 0.99.
+    Zipfian {
+        /// Skew parameter in thousandths (1..=999).
+        theta_permille: u16,
+    },
+}
+
+/// One tenant-bound request stream.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Human-readable label used in reports.
+    pub name: String,
+    /// Tenant identity (registered with the server at setup).
+    pub tenant: TenantId,
+    /// LC (with SLO) or BE.
+    pub class: TenantClass,
+    /// Request generation shape.
+    pub pattern: LoadPattern,
+    /// Percentage of requests that are reads (0–100).
+    pub read_pct: u8,
+    /// Request size in bytes.
+    pub io_size: u32,
+    /// Number of TCP connections.
+    pub conns: u32,
+    /// Client threads the connections are spread over (bounds Linux-client
+    /// message rates).
+    pub client_threads: u32,
+    /// Index of the client machine issuing this workload.
+    pub client_machine: usize,
+    /// Threads the tenant's SLO is sharded across (1 = the paper's
+    /// single-thread-per-tenant limitation; >1 removes it, §4.1 future
+    /// work).
+    pub shards: u32,
+    /// Inter-arrival process for open-loop generation.
+    pub arrival: ArrivalProcess,
+    /// Read/write interleaving discipline.
+    pub mix: MixProcess,
+    /// Address pattern within the namespace.
+    pub addr_pattern: AddrPattern,
+    /// Namespace (byte offset, byte length) on the device.
+    pub namespace: (u64, u64),
+    /// When set, replay this recorded trace instead of generating
+    /// requests from `pattern` (connections are used round-robin; `at`
+    /// offsets must be non-decreasing).
+    pub trace: Option<Arc<[TraceOp]>>,
+}
+
+impl WorkloadSpec {
+    /// A convenient open-loop workload with sensible defaults: uniform
+    /// random 4KB requests on one connection from client machine 0 over
+    /// the whole first terabyte.
+    pub fn open_loop(name: &str, tenant: TenantId, class: TenantClass, iops: f64) -> Self {
+        WorkloadSpec {
+            name: name.to_owned(),
+            tenant,
+            class,
+            pattern: LoadPattern::OpenLoop { iops },
+            read_pct: 100,
+            io_size: 4096,
+            conns: 1,
+            client_threads: 1,
+            client_machine: 0,
+            shards: 1,
+            arrival: ArrivalProcess::Paced,
+            mix: MixProcess::Deterministic,
+            addr_pattern: AddrPattern::UniformRandom,
+            namespace: (0, 1 << 40),
+            trace: None,
+        }
+    }
+
+    /// A workload that replays a recorded trace.
+    pub fn from_trace(name: &str, tenant: TenantId, class: TenantClass, trace: Arc<[TraceOp]>) -> Self {
+        WorkloadSpec { trace: Some(trace), ..Self::open_loop(name, tenant, class, 1.0) }
+    }
+
+    /// A closed-loop workload (queue depth per connection).
+    pub fn closed_loop(name: &str, tenant: TenantId, class: TenantClass, queue_depth: u32) -> Self {
+        WorkloadSpec {
+            pattern: LoadPattern::ClosedLoop { queue_depth },
+            ..Self::open_loop(name, tenant, class, 0.0)
+        }
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.read_pct > 100 {
+            return Err("read_pct must be 0..=100".into());
+        }
+        if self.io_size == 0 {
+            return Err("io_size must be non-zero".into());
+        }
+        if self.conns == 0 {
+            return Err("need at least one connection".into());
+        }
+        if self.client_threads == 0 {
+            return Err("need at least one client thread".into());
+        }
+        if self.shards == 0 {
+            return Err("need at least one shard".into());
+        }
+        if let LoadPattern::OpenLoop { iops } = self.pattern {
+            if iops.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err("open-loop iops must be positive".into());
+            }
+        }
+        if let LoadPattern::ClosedLoop { queue_depth } = self.pattern {
+            if queue_depth == 0 {
+                return Err("queue depth must be positive".into());
+            }
+        }
+        if self.namespace.1 < self.io_size as u64 {
+            return Err("namespace smaller than one request".into());
+        }
+        if let Some(trace) = &self.trace {
+            if trace.is_empty() {
+                return Err("trace must not be empty".into());
+            }
+            if trace.windows(2).any(|w| w[1].at < w[0].at) {
+                return Err("trace offsets must be non-decreasing".into());
+            }
+            if trace.iter().any(|op| op.len == 0) {
+                return Err("trace ops must have non-zero length".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Measured results of one workload over the measurement window.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// The workload's label.
+    pub name: String,
+    /// Its tenant.
+    pub tenant: TenantId,
+    /// Read-latency histogram (request issue → response at client app).
+    pub read_latency: Histogram,
+    /// Write-latency histogram.
+    pub write_latency: Histogram,
+    /// Completed reads + writes per second of measured time.
+    pub iops: f64,
+    /// Completed reads per second.
+    pub read_iops: f64,
+    /// Completed writes per second.
+    pub write_iops: f64,
+    /// Goodput in bytes/second (reads returned + writes sent).
+    pub bytes_per_sec: f64,
+    /// Error responses received.
+    pub errors: u64,
+    /// Requests issued during measurement.
+    pub issued: u64,
+    /// Completion-rate time series over the measurement window (10ms
+    /// buckets) — the raw material for Figure-6a-style plots.
+    pub iops_series: Vec<RatePoint>,
+}
+
+impl WorkloadReport {
+    /// p95 read latency in microseconds — the paper's headline metric.
+    pub fn p95_read_us(&self) -> f64 {
+        self.read_latency.p95().as_micros_f64()
+    }
+
+    /// Mean read latency in microseconds.
+    pub fn mean_read_us(&self) -> f64 {
+        self.read_latency.mean().as_micros_f64()
+    }
+}
+
+/// Internal per-workload runtime state (used by the testbed).
+#[derive(Debug)]
+pub(crate) struct WorkloadState {
+    pub spec: WorkloadSpec,
+    pub conns: Vec<ConnId>,
+    /// Client thread index serving each connection.
+    pub conn_thread: Vec<u32>,
+    /// Sequential cursors per connection.
+    pub seq_cursor: Vec<u64>,
+    /// Deterministic-mix accumulator (percent units).
+    pub read_debt: u32,
+    pub read_hist: Histogram,
+    pub write_hist: Histogram,
+    pub completed_reads: u64,
+    pub completed_writes: u64,
+    pub read_bytes: u64,
+    pub write_bytes: u64,
+    pub errors: u64,
+    pub issued: u64,
+    pub stopped: bool,
+    pub iops_series: RateSeries,
+}
+
+impl WorkloadState {
+    pub fn new(spec: WorkloadSpec) -> Self {
+        WorkloadState {
+            spec,
+            conns: Vec::new(),
+            conn_thread: Vec::new(),
+            seq_cursor: Vec::new(),
+            read_debt: 0,
+            read_hist: Histogram::new(),
+            write_hist: Histogram::new(),
+            completed_reads: 0,
+            completed_writes: 0,
+            read_bytes: 0,
+            write_bytes: 0,
+            errors: 0,
+            issued: 0,
+            stopped: false,
+            iops_series: RateSeries::new(SimDuration::from_millis(10)),
+        }
+    }
+
+    pub fn reset_measurement(&mut self) {
+        self.iops_series = RateSeries::new(SimDuration::from_millis(10));
+        self.read_hist.reset();
+        self.write_hist.reset();
+        self.completed_reads = 0;
+        self.completed_writes = 0;
+        self.read_bytes = 0;
+        self.write_bytes = 0;
+        self.errors = 0;
+        self.issued = 0;
+    }
+
+    pub fn report(&self, window: SimDuration) -> WorkloadReport {
+        let secs = window.as_secs_f64().max(1e-12);
+        let mut series = self.iops_series.clone();
+        series.finish(SimTime::ZERO + window);
+        WorkloadReport {
+            name: self.spec.name.clone(),
+            tenant: self.spec.tenant,
+            read_latency: self.read_hist.clone(),
+            write_latency: self.write_hist.clone(),
+            iops: (self.completed_reads + self.completed_writes) as f64 / secs,
+            read_iops: self.completed_reads as f64 / secs,
+            write_iops: self.completed_writes as f64 / secs,
+            bytes_per_sec: (self.read_bytes + self.write_bytes) as f64 / secs,
+            errors: self.errors,
+            issued: self.issued,
+            iops_series: series.points().to_vec(),
+        }
+    }
+}
+
+/// A request outstanding at a client, awaiting its response.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OutstandingReq {
+    pub workload: usize,
+    pub conn_idx: usize,
+    pub sent_at: SimTime,
+    pub is_read: bool,
+    pub len: u32,
+    pub measured: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::open_loop("t", TenantId(1), TenantClass::BestEffort, 1000.0)
+    }
+
+    #[test]
+    fn default_specs_validate() {
+        spec().validate().expect("open loop default valid");
+        WorkloadSpec::closed_loop("c", TenantId(2), TenantClass::BestEffort, 4)
+            .validate()
+            .expect("closed loop default valid");
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut s = spec();
+        s.read_pct = 101;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.io_size = 0;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.conns = 0;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.pattern = LoadPattern::OpenLoop { iops: 0.0 };
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.pattern = LoadPattern::ClosedLoop { queue_depth: 0 };
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.namespace = (0, 100);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn report_computes_rates() {
+        let mut st = WorkloadState::new(spec());
+        st.completed_reads = 500;
+        st.completed_writes = 100;
+        st.read_bytes = 500 * 4096;
+        st.write_bytes = 100 * 4096;
+        let rep = st.report(SimDuration::from_millis(100));
+        assert!((rep.iops - 6_000.0).abs() < 1e-6);
+        assert!((rep.read_iops - 5_000.0).abs() < 1e-6);
+        let expected_bps = 600.0 * 4096.0 / 0.1;
+        assert!((rep.bytes_per_sec - expected_bps).abs() < 1e-3);
+    }
+}

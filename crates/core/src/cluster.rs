@@ -1,0 +1,347 @@
+//! The global control plane (paper §4.3, future work): manages Flash
+//! resources across a cluster of ReFlex servers.
+//!
+//! The paper sketches two responsibilities we implement here:
+//!
+//! 1. **SLO-aware placement** — "the global control plane should try to
+//!    co-locate tenants with similar tail latency requirements such that
+//!    strict requirements of one tenant do not limit the IOPS available to
+//!    other tenants." Because a server generates tokens at the capacity of
+//!    its *strictest* registered SLO, putting a 200µs tenant on a server
+//!    full of 2ms tenants collapses everyone's throughput; the planner
+//!    scores that loss explicitly.
+//! 2. **Capacity management** — admission against each server's capacity
+//!    table, preferring the placement that preserves the most usable
+//!    tokens cluster-wide.
+//!
+//! The planner is pure logic over server descriptors; driving actual
+//! [`Testbed`](crate::Testbed)s from its decisions is up to the caller
+//! (see `tests/cluster_planning.rs`).
+
+use std::collections::HashMap;
+
+use reflex_qos::{CostModel, SloSpec, TenantId};
+use reflex_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::capacity::CapacityProfile;
+
+/// Identifier of a ReFlex server within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServerId(pub u32);
+
+/// The global control plane's view of one ReFlex server.
+#[derive(Debug, Clone)]
+pub struct ServerDescriptor {
+    /// Server identity.
+    pub id: ServerId,
+    /// The server's device capacity table.
+    pub capacity: CapacityProfile,
+    /// Cost model of the server's device.
+    pub cost_model: CostModel,
+    /// LC tenants currently placed there.
+    tenants: HashMap<TenantId, SloSpec>,
+}
+
+impl ServerDescriptor {
+    /// Describes a server with no tenants.
+    pub fn new(id: ServerId, capacity: CapacityProfile, cost_model: CostModel) -> Self {
+        ServerDescriptor { id, capacity, cost_model, tenants: HashMap::new() }
+    }
+
+    /// The strictest latency bound among placed tenants.
+    pub fn strictest_slo(&self) -> Option<SimDuration> {
+        self.tenants.values().map(|s| s.p95_read_latency).min()
+    }
+
+    /// Total tokens/sec reserved by placed tenants (4KB basis).
+    pub fn reserved_tokens_per_sec(&self) -> f64 {
+        self.tenants
+            .values()
+            .map(|s| s.token_rate(&self.cost_model, 4096).as_tokens_per_sec_f64())
+            .sum()
+    }
+
+    /// Usable token rate given the (hypothetical) strictest bound.
+    fn usable_at(&self, strictest: Option<SimDuration>) -> f64 {
+        match strictest {
+            Some(bound) => self.capacity.tokens_per_sec_at(bound),
+            None => self.capacity.max_rate().as_tokens_per_sec_f64(),
+        }
+    }
+
+    /// Unreserved tokens/sec at the current strictest bound.
+    pub fn headroom_tokens_per_sec(&self) -> f64 {
+        (self.usable_at(self.strictest_slo()) - self.reserved_tokens_per_sec()).max(0.0)
+    }
+
+    /// Number of placed tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+}
+
+/// Why a tenant could not be placed anywhere in the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementError {
+    /// No server can honour the SLO without violating existing ones.
+    NoCapacity {
+        /// Tokens/sec the SLO needs.
+        required: f64,
+        /// Largest compatible headroom found.
+        best_available: f64,
+    },
+    /// The tenant id is already placed.
+    Duplicate(TenantId),
+    /// The tenant id is unknown (removal).
+    Unknown(TenantId),
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NoCapacity { required, best_available } => write!(
+                f,
+                "no server can host the SLO: needs {required:.0} tokens/s, best {best_available:.0}"
+            ),
+            PlacementError::Duplicate(t) => write!(f, "{t} already placed"),
+            PlacementError::Unknown(t) => write!(f, "{t} not placed"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// The cluster-wide tenant placer.
+///
+/// # Examples
+///
+/// ```
+/// use reflex_core::{CapacityProfile, ClusterPlanner, ServerDescriptor, ServerId};
+/// use reflex_qos::{CostModel, SloSpec, TenantId};
+/// use reflex_sim::SimDuration;
+///
+/// let mut planner = ClusterPlanner::new(vec![
+///     ServerDescriptor::new(ServerId(0), CapacityProfile::device_a_default(), CostModel::for_device_a()),
+///     ServerDescriptor::new(ServerId(1), CapacityProfile::device_a_default(), CostModel::for_device_a()),
+/// ]);
+/// let slo = SloSpec::new(100_000, 100, SimDuration::from_micros(500));
+/// let placed_on = planner.place(TenantId(1), slo).expect("cluster has room");
+/// assert!(placed_on == ServerId(0) || placed_on == ServerId(1));
+/// ```
+#[derive(Debug)]
+pub struct ClusterPlanner {
+    servers: Vec<ServerDescriptor>,
+    placements: HashMap<TenantId, ServerId>,
+}
+
+impl ClusterPlanner {
+    /// Creates a planner over the given servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty or contains duplicate ids.
+    pub fn new(servers: Vec<ServerDescriptor>) -> Self {
+        assert!(!servers.is_empty(), "a cluster needs servers");
+        let mut ids: Vec<ServerId> = servers.iter().map(|s| s.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), servers.len(), "duplicate server ids");
+        ClusterPlanner { servers, placements: HashMap::new() }
+    }
+
+    /// The server descriptors.
+    pub fn servers(&self) -> &[ServerDescriptor] {
+        &self.servers
+    }
+
+    /// Where a tenant is placed, if anywhere.
+    pub fn placement_of(&self, id: TenantId) -> Option<ServerId> {
+        self.placements.get(&id).copied()
+    }
+
+    /// Cluster-wide usable tokens/sec (each server at its own strictest
+    /// bound) minus reservations — the quantity placement tries to
+    /// preserve.
+    pub fn total_headroom(&self) -> f64 {
+        self.servers.iter().map(|s| s.headroom_tokens_per_sec()).sum()
+    }
+
+    /// Places an LC tenant on the server that (a) can honour the SLO and
+    /// (b) loses the least cluster-wide headroom by accepting it — which
+    /// naturally co-locates tenants with similar latency bounds, because
+    /// putting a strict tenant on a relaxed server shrinks that server's
+    /// whole token budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`PlacementError`].
+    pub fn place(&mut self, id: TenantId, slo: SloSpec) -> Result<ServerId, PlacementError> {
+        if self.placements.contains_key(&id) {
+            return Err(PlacementError::Duplicate(id));
+        }
+        let required = |s: &ServerDescriptor| {
+            slo.token_rate(&s.cost_model, 4096).as_tokens_per_sec_f64()
+        };
+
+        let mut best: Option<(usize, (f64, f64))> = None;
+        let mut best_available = 0.0f64;
+        for (i, s) in self.servers.iter().enumerate() {
+            let req = required(s);
+            let new_strictest = match s.strictest_slo() {
+                Some(cur) => cur.min(slo.p95_read_latency),
+                None => slo.p95_read_latency,
+            };
+            let usable_after = s.usable_at(Some(new_strictest));
+            let available = usable_after - s.reserved_tokens_per_sec();
+            best_available = best_available.max(available);
+            if available < req {
+                continue; // would violate someone's SLO
+            }
+            // Primary score: headroom existing tenants lose when the
+            // server's budget tightens (zero on an empty server), plus the
+            // reservation itself. Secondary: latency-class affinity — how
+            // much looser this tenant is than the server's (new) strictest
+            // bound; similar classes pack together.
+            let tightening_loss = match s.strictest_slo() {
+                Some(_) => s.usable_at(s.strictest_slo()) - usable_after,
+                None => 0.0,
+            };
+            let loss = tightening_loss + req;
+            let affinity = (slo.p95_read_latency.as_micros_f64()
+                - new_strictest.as_micros_f64())
+            .abs();
+            let score = (loss, affinity);
+            match best {
+                Some((_, best_score)) if best_score <= score => {}
+                _ => best = Some((i, score)),
+            }
+        }
+        let Some((idx, _)) = best else {
+            return Err(PlacementError::NoCapacity {
+                required: required(&self.servers[0]),
+                best_available,
+            });
+        };
+        self.servers[idx].tenants.insert(id, slo);
+        let sid = self.servers[idx].id;
+        self.placements.insert(id, sid);
+        Ok(sid)
+    }
+
+    /// Removes a tenant from the cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::Unknown`] for unplaced ids.
+    pub fn remove(&mut self, id: TenantId) -> Result<(), PlacementError> {
+        let sid = self.placements.remove(&id).ok_or(PlacementError::Unknown(id))?;
+        let server = self
+            .servers
+            .iter_mut()
+            .find(|s| s.id == sid)
+            .expect("placement refers to a live server");
+        server.tenants.remove(&id);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: u32) -> ClusterPlanner {
+        ClusterPlanner::new(
+            (0..n)
+                .map(|i| {
+                    ServerDescriptor::new(
+                        ServerId(i),
+                        CapacityProfile::device_a_default(),
+                        CostModel::for_device_a(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn slo(iops: u64, p95_us: u64) -> SloSpec {
+        SloSpec::new(iops, 100, SimDuration::from_micros(p95_us))
+    }
+
+    #[test]
+    fn strict_tenants_co_locate() {
+        let mut planner = cluster(2);
+        // A relaxed tenant seeds server A; a strict one seeds server B.
+        let s_relaxed = planner.place(TenantId(1), slo(100_000, 2_000)).unwrap();
+        let s_strict = planner.place(TenantId(2), slo(50_000, 300)).unwrap();
+        assert_ne!(s_relaxed, s_strict, "mixed latency classes should separate");
+        // Another strict tenant joins the strict server; another relaxed
+        // one joins the relaxed server.
+        assert_eq!(planner.place(TenantId(3), slo(50_000, 300)).unwrap(), s_strict);
+        assert_eq!(planner.place(TenantId(4), slo(100_000, 2_000)).unwrap(), s_relaxed);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut planner = cluster(1);
+        // 330K tokens/s at 500us on device A; 280K fits, another 280K not.
+        planner.place(TenantId(1), SloSpec::new(100_000, 80, SimDuration::from_micros(500)))
+            .expect("280K of 330K");
+        let err = planner
+            .place(TenantId(2), SloSpec::new(100_000, 80, SimDuration::from_micros(500)))
+            .unwrap_err();
+        assert!(matches!(err, PlacementError::NoCapacity { .. }), "{err}");
+    }
+
+    #[test]
+    fn second_server_absorbs_overflow() {
+        let mut planner = cluster(2);
+        let a = planner
+            .place(TenantId(1), SloSpec::new(100_000, 80, SimDuration::from_micros(500)))
+            .unwrap();
+        let b = planner
+            .place(TenantId(2), SloSpec::new(100_000, 80, SimDuration::from_micros(500)))
+            .unwrap();
+        assert_ne!(a, b, "overflow should spill to the other server");
+    }
+
+    #[test]
+    fn removal_frees_capacity() {
+        let mut planner = cluster(1);
+        planner.place(TenantId(1), SloSpec::new(100_000, 80, SimDuration::from_micros(500)))
+            .unwrap();
+        assert!(planner
+            .place(TenantId(2), SloSpec::new(100_000, 80, SimDuration::from_micros(500)))
+            .is_err());
+        planner.remove(TenantId(1)).unwrap();
+        planner
+            .place(TenantId(2), SloSpec::new(100_000, 80, SimDuration::from_micros(500)))
+            .expect("freed capacity is reusable");
+        assert!(planner.remove(TenantId(1)).is_err());
+    }
+
+    #[test]
+    fn duplicate_placement_rejected() {
+        let mut planner = cluster(2);
+        planner.place(TenantId(1), slo(10_000, 500)).unwrap();
+        assert_eq!(
+            planner.place(TenantId(1), slo(10_000, 500)),
+            Err(PlacementError::Duplicate(TenantId(1)))
+        );
+    }
+
+    #[test]
+    fn headroom_accounts_for_strictness() {
+        let mut planner = cluster(1);
+        let before = planner.total_headroom();
+        // Placing a strict tenant shrinks headroom by more than its own
+        // reservation (the whole server budget tightens).
+        planner.place(TenantId(1), slo(10_000, 200)).unwrap();
+        let after = planner.total_headroom();
+        let loss = before - after;
+        assert!(
+            loss > 10_000.0 * 2.0,
+            "strict placement should cost more than its reservation: lost {loss:.0}"
+        );
+    }
+}

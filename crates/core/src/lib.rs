@@ -1,0 +1,49 @@
+//! # reflex-core — the assembled ReFlex system
+//!
+//! Brings the reproduction together: the multi-thread [`ReflexServer`] with
+//! its local control plane (admission control, token-rate management,
+//! deficit monitoring, thread scaling), device capacity calibration, the
+//! client models, and the [`Testbed`] that wires clients ↔ fabric ↔ server
+//! ↔ Flash into one deterministic simulation for every experiment in the
+//! paper's evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use reflex_core::{LoadPattern, Testbed, WorkloadSpec};
+//! use reflex_qos::{SloSpec, TenantClass, TenantId};
+//! use reflex_sim::SimDuration;
+//!
+//! let mut tb = Testbed::builder().server_threads(1).build();
+//! let slo = SloSpec::new(50_000, 100, SimDuration::from_micros(500));
+//! tb.add_workload(WorkloadSpec::open_loop(
+//!     "reader",
+//!     TenantId(1),
+//!     TenantClass::LatencyCritical(slo),
+//!     50_000.0,
+//! ))?;
+//! tb.run(SimDuration::from_millis(20)); // warmup
+//! tb.begin_measurement();
+//! tb.run(SimDuration::from_millis(50));
+//! let report = tb.report();
+//! let reader = report.workload("reader");
+//! assert!(reader.iops > 40_000.0);
+//! # Ok::<(), reflex_core::TestbedError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod capacity;
+mod client;
+mod cluster;
+mod harness;
+mod server;
+mod testbed;
+
+pub use capacity::{calibrate_capacity, sweep_device, sweep_device_sized, CapacityProfile};
+pub use cluster::{ClusterPlanner, PlacementError, ServerDescriptor, ServerId};
+pub use harness::ServerHarness;
+pub use client::{AddrPattern, ArrivalProcess, LoadPattern, MixProcess, TraceOp, WorkloadReport, WorkloadSpec};
+pub use server::{AdmissionError, ControlPlaneStats, ReflexServer, ServerConfig};
+pub use testbed::{Testbed, TestbedBuilder, TestbedError, TestbedReport, ThreadReport, World};

@@ -1,0 +1,773 @@
+//! The Testbed: clients ↔ fabric ↔ ReFlex server ↔ Flash, in one engine.
+//!
+//! [`Testbed`] wires every component of the reproduction into a single
+//! deterministic discrete-event simulation, mirroring the paper's
+//! experimental setup (§5.1): client machines running load generators, a
+//! 10GbE switch fabric, and a server machine with NVMe Flash running the
+//! ReFlex dataplane. Workloads are described declaratively
+//! ([`WorkloadSpec`](crate::WorkloadSpec)) and measured with
+//! warmup-then-measure windows, exactly like mutilate.
+
+use std::collections::HashMap;
+
+use reflex_dataplane::WireMsg;
+use reflex_flash::{DeviceProfile, DeviceStats, FlashDevice};
+use reflex_net::{Fabric, LinkConfig, MachineId, Opcode, ReflexHeader, StackProfile};
+use reflex_qos::{CostModel, TenantId};
+use reflex_sim::{Ctx, Engine, SimDuration, SimRng, SimTime, Zipf};
+
+use crate::capacity::CapacityProfile;
+use crate::client::{
+    AddrPattern, ArrivalProcess, LoadPattern, MixProcess, OutstandingReq, WorkloadReport,
+    WorkloadSpec, WorkloadState,
+};
+use crate::harness::ServerHarness;
+use crate::server::{AdmissionError, ReflexServer, ServerConfig};
+
+/// Errors configuring a testbed.
+#[derive(Debug)]
+pub enum TestbedError {
+    /// The workload spec failed validation.
+    InvalidSpec(String),
+    /// The spec referenced a client machine that does not exist.
+    NoSuchClient(usize),
+    /// Tenant registration failed.
+    Admission(AdmissionError),
+}
+
+impl std::fmt::Display for TestbedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestbedError::InvalidSpec(s) => write!(f, "invalid workload: {s}"),
+            TestbedError::NoSuchClient(i) => write!(f, "no client machine {i}"),
+            TestbedError::Admission(e) => write!(f, "admission: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TestbedError {}
+
+impl From<AdmissionError> for TestbedError {
+    fn from(e: AdmissionError) -> Self {
+        TestbedError::Admission(e)
+    }
+}
+
+struct ClientMachine {
+    machine: MachineId,
+    stack: StackProfile,
+}
+
+/// The simulation world: every component plus scheduling bookkeeping.
+pub struct World<S: ServerHarness = ReflexServer> {
+    fabric: Fabric<WireMsg>,
+    device: FlashDevice,
+    server: S,
+    clients: Vec<ClientMachine>,
+    workloads: Vec<WorkloadState>,
+    client_threads_busy: Vec<Vec<SimTime>>, // [workload][client thread]
+    outstanding: HashMap<u64, OutstandingReq>,
+    cookie_seq: u64,
+    rng: SimRng,
+    thread_wake: Vec<Option<SimTime>>,
+    client_wake: Vec<Option<SimTime>>,
+    measure_start: Option<SimTime>,
+    busy_snapshot: Vec<SimDuration>,
+    sched_snapshot: Vec<SimDuration>,
+    spent_snapshot: HashMap<TenantId, i64>,
+    gen_cursor: Vec<usize>,
+    zipf: Vec<Option<Zipf>>,
+}
+
+impl<S: ServerHarness> std::fmt::Debug for World<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("workloads", &self.workloads.len())
+            .field("outstanding", &self.outstanding.len())
+            .finish()
+    }
+}
+
+impl<S: ServerHarness + 'static> World<S> {
+    /// The simulated Flash device.
+    pub fn device(&self) -> &FlashDevice {
+        &self.device
+    }
+
+    /// The server under test.
+    pub fn server(&self) -> &S {
+        &self.server
+    }
+
+    /// Exclusive access to the server (tests and advanced harnesses).
+    pub fn server_mut(&mut self) -> &mut S {
+        &mut self.server
+    }
+
+    /// Stops every workload generator: open-loop generators cease and
+    /// closed-loop connections stop re-issuing, letting queues drain.
+    pub fn stop_all_workloads(&mut self) {
+        for w in &mut self.workloads {
+            w.stopped = true;
+        }
+    }
+
+    fn ensure_thread_wake(&mut self, ctx: &mut Ctx<World<S>>, thread: usize, at: SimTime) {
+        let at = at.max(ctx.now());
+        let better = self.thread_wake[thread].is_none_or(|p| at < p);
+        if better {
+            self.thread_wake[thread] = Some(at);
+            ctx.schedule_at(at, move |w: &mut World<S>, ctx| w.pump_event(thread, ctx));
+        }
+    }
+
+    fn ensure_client_wake(&mut self, ctx: &mut Ctx<World<S>>, client: usize) {
+        let machine = self.clients[client].machine;
+        let Some(at) = self.fabric.next_arrival(machine) else {
+            return;
+        };
+        let at = at.max(ctx.now());
+        let better = self.client_wake[client].is_none_or(|p| at < p);
+        if better {
+            self.client_wake[client] = Some(at);
+            ctx.schedule_at(at, move |w: &mut World<S>, ctx| w.client_poll_event(client, ctx));
+        }
+    }
+
+    fn pump_event(&mut self, thread: usize, ctx: &mut Ctx<World<S>>) {
+        match self.thread_wake[thread] {
+            Some(t) if t == ctx.now() => self.thread_wake[thread] = None,
+            _ => return, // stale wake
+        }
+        let wake = self.server.pump_thread(thread, ctx.now(), &mut self.fabric, &mut self.device);
+        if let Some(at) = wake {
+            self.ensure_thread_wake(ctx, thread, at);
+        }
+        // Responses (and rebalance forwards) may now be in flight.
+        for c in 0..self.clients.len() {
+            self.ensure_client_wake(ctx, c);
+        }
+        // Forwarded messages land on sibling queues: re-arm every active
+        // thread whose queue has pending arrivals.
+        for i in 0..self.server.active_threads() {
+            if i != thread {
+                if let Some(at) = self
+                    .fabric
+                    .next_arrival_queue(self.server.machine(), self.server.nic_queue(i))
+                {
+                    self.ensure_thread_wake(ctx, i, at);
+                }
+            }
+        }
+    }
+
+    fn client_poll_event(&mut self, client: usize, ctx: &mut Ctx<World<S>>) {
+        match self.client_wake[client] {
+            Some(t) if t == ctx.now() => self.client_wake[client] = None,
+            _ => return,
+        }
+        let machine = self.clients[client].machine;
+        let deliveries = self.fabric.poll(ctx.now(), machine, usize::MAX);
+        for d in deliveries {
+            let Ok(header) = ReflexHeader::decode(&d.payload) else {
+                continue;
+            };
+            let Some(req) = self.outstanding.remove(&header.cookie) else {
+                continue;
+            };
+            let w = &mut self.workloads[req.workload];
+            let in_window = self.measure_start.is_some_and(|m| d.arrived_at >= m);
+            if in_window {
+                let since = d
+                    .arrived_at
+                    .saturating_since(self.measure_start.expect("checked in_window"));
+                w.iops_series.add(SimTime::ZERO + since, 1);
+                // Throughput counts every in-window completion — under
+                // overload, responses to pre-window requests are still
+                // served work (mutilate measures goodput the same way).
+                if header.opcode == Opcode::Error {
+                    w.errors += 1;
+                } else if req.is_read {
+                    w.completed_reads += 1;
+                    w.read_bytes += req.len as u64;
+                } else {
+                    w.completed_writes += 1;
+                    w.write_bytes += req.len as u64;
+                }
+                // Latency distributions only include requests issued within
+                // the window (no warmup contamination).
+                if req.measured && header.opcode != Opcode::Error {
+                    let latency = d.arrived_at.saturating_since(req.sent_at);
+                    if req.is_read {
+                        w.read_hist.record(latency);
+                    } else {
+                        w.write_hist.record(latency);
+                    }
+                }
+            }
+            // Closed-loop: keep the queue depth topped up.
+            if matches!(w.spec.pattern, LoadPattern::ClosedLoop { .. }) && !w.stopped {
+                self.issue_request(req.workload, req.conn_idx, ctx);
+            }
+        }
+        self.ensure_client_wake(ctx, client);
+    }
+
+    fn next_addr(&mut self, w_idx: usize, conn_idx: usize) -> u64 {
+        let w = &mut self.workloads[w_idx];
+        let (ns_start, ns_len) = w.spec.namespace;
+        let size = w.spec.io_size as u64;
+        let slots = (ns_len / size).max(1);
+        match w.spec.addr_pattern {
+            AddrPattern::UniformRandom => ns_start + self.rng.below(slots) * size,
+            AddrPattern::Sequential => {
+                let cur = w.seq_cursor[conn_idx];
+                w.seq_cursor[conn_idx] = (cur + 1) % slots;
+                ns_start + cur * size
+            }
+            AddrPattern::Zipfian { .. } => {
+                let z = self.zipf[w_idx].as_ref().expect("built at add_workload");
+                // Scramble the rank so hot blocks scatter over the address
+                // space (ranks map to blocks via a fixed permutation).
+                let rank = z.sample(&mut self.rng);
+                let block = rank.wrapping_mul(0x9e37_79b9_7f4a_7c15) % slots;
+                ns_start + block * size
+            }
+        }
+    }
+
+    fn issue_request(&mut self, w_idx: usize, conn_idx: usize, ctx: &mut Ctx<World<S>>) {
+        let addr = self.next_addr(w_idx, conn_idx);
+        let w = &mut self.workloads[w_idx];
+        let spec = &w.spec;
+        let is_read = match spec.mix {
+            MixProcess::Bernoulli => self.rng.below(100) < spec.read_pct as u64,
+            MixProcess::Deterministic => {
+                w.read_debt += spec.read_pct as u32;
+                if w.read_debt >= 100 {
+                    w.read_debt -= 100;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        let len = spec.io_size;
+        self.issue_explicit(w_idx, conn_idx, is_read, addr, len, ctx);
+    }
+
+    /// Issues one fully-specified request (the trace-replay path and the
+    /// generated path share everything from here on).
+    fn issue_explicit(
+        &mut self,
+        w_idx: usize,
+        conn_idx: usize,
+        is_read: bool,
+        addr: u64,
+        io_size: u32,
+        ctx: &mut Ctx<World<S>>,
+    ) {
+        let now = ctx.now();
+        let w = &mut self.workloads[w_idx];
+        let spec = &w.spec;
+        let tenant = spec.tenant;
+        let client_idx = spec.client_machine;
+        let conn = w.conns[conn_idx];
+        let th = w.conn_thread[conn_idx] as usize;
+
+        // Client thread gating: the stack's per-message CPU bounds the
+        // thread's message rate (Linux: ~70K msgs/s).
+        let per_msg = self.clients[client_idx].stack.per_msg_cpu;
+        let busy = &mut self.client_threads_busy[w_idx][th];
+        let t_send = now.max(*busy);
+        *busy = t_send + per_msg;
+
+        let cookie = self.cookie_seq;
+        self.cookie_seq += 1;
+        let header = ReflexHeader {
+            opcode: if is_read { Opcode::Get } else { Opcode::Put },
+            tenant: tenant.0,
+            cookie,
+            addr,
+            len: io_size,
+        };
+        let payload = if is_read { 0 } else { io_size };
+        let client_machine = self.clients[client_idx].machine;
+        let server_machine = self.server.machine();
+        let queue = self.server.route(conn).unwrap_or_default();
+        let arrival = self.fabric.send_to_queue(
+            t_send,
+            client_machine,
+            server_machine,
+            queue,
+            conn,
+            payload,
+            header.encode(),
+        );
+        let measured = self.measure_start.is_some_and(|m| now >= m);
+        if measured {
+            self.workloads[w_idx].issued += 1;
+        }
+        self.outstanding.insert(
+            cookie,
+            OutstandingReq { workload: w_idx, conn_idx, sent_at: now, is_read, len: io_size, measured },
+        );
+        if let Some(thread) = self.server.thread_of_conn(conn) {
+            self.ensure_thread_wake(ctx, thread, arrival);
+        }
+    }
+
+    fn open_loop_gen_event(&mut self, w_idx: usize, ctx: &mut Ctx<World<S>>) {
+        let w = &self.workloads[w_idx];
+        if w.stopped {
+            return;
+        }
+        let LoadPattern::OpenLoop { iops } = w.spec.pattern else {
+            return;
+        };
+        let conns = w.conns.len();
+        let arrival = w.spec.arrival;
+        let conn_idx = self.gen_cursor[w_idx] % conns;
+        self.gen_cursor[w_idx] += 1;
+        self.issue_request(w_idx, conn_idx, ctx);
+        let mean = SimDuration::from_secs_f64(1.0 / iops);
+        let gap = match arrival {
+            ArrivalProcess::Poisson => self.rng.exponential(mean),
+            // ±10% uniform jitter around the nominal gap.
+            ArrivalProcess::Paced => mean.mul_f64(0.9 + 0.2 * self.rng.f64()),
+        };
+        ctx.schedule_after(gap, move |w: &mut World<S>, ctx| w.open_loop_gen_event(w_idx, ctx));
+    }
+
+    fn trace_replay_event(&mut self, w_idx: usize, pos: usize, started: SimTime, ctx: &mut Ctx<World<S>>) {
+        let w = &self.workloads[w_idx];
+        if w.stopped {
+            return;
+        }
+        let trace = w.spec.trace.clone().expect("trace workloads carry a trace");
+        let Some(op) = trace.get(pos) else { return };
+        let conns = w.conns.len();
+        let conn_idx = pos % conns;
+        self.issue_explicit(w_idx, conn_idx, op.is_read, op.addr, op.len, ctx);
+        if let Some(next) = trace.get(pos + 1) {
+            let due = started + next.at;
+            let at = due.max(ctx.now());
+            ctx.schedule_at(at, move |w: &mut World<S>, ctx| {
+                w.trace_replay_event(w_idx, pos + 1, started, ctx)
+            });
+        }
+    }
+
+    fn control_event(&mut self, interval: SimDuration, ctx: &mut Ctx<World<S>>) {
+        let _ = self.server.control_tick(ctx.now(), interval);
+        ctx.schedule_after(interval, move |w: &mut World<S>, ctx| w.control_event(interval, ctx));
+    }
+}
+
+/// Per-thread slice of a [`TestbedReport`].
+#[derive(Debug, Clone)]
+pub struct ThreadReport {
+    /// Fraction of the measurement window the core was busy.
+    pub busy_fraction: f64,
+    /// Fraction of the window spent in QoS scheduling.
+    pub sched_fraction: f64,
+    /// Raw dataplane statistics (cumulative, not windowed), when the
+    /// server exposes them.
+    pub stats: Option<reflex_dataplane::ThreadStats>,
+}
+
+/// Results of a measurement window.
+#[derive(Debug, Clone)]
+pub struct TestbedReport {
+    /// Length of the measured window.
+    pub window: SimDuration,
+    /// One report per workload, in registration order.
+    pub workloads: Vec<WorkloadReport>,
+    /// One report per active server thread.
+    pub threads: Vec<ThreadReport>,
+    /// Total token spend rate across all tenants (tokens/sec).
+    pub token_usage_per_sec: f64,
+    /// Device statistics (cumulative).
+    pub device: DeviceStats,
+    /// Tenants the control plane flagged for SLO renegotiation.
+    pub renegotiations: Vec<TenantId>,
+}
+
+impl TestbedReport {
+    /// Finds a workload report by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workload has that name.
+    pub fn workload(&self, name: &str) -> &WorkloadReport {
+        self.workloads
+            .iter()
+            .find(|w| w.name == name)
+            .unwrap_or_else(|| panic!("no workload named {name}"))
+    }
+}
+
+/// Builder for a [`Testbed`].
+#[derive(Debug)]
+pub struct TestbedBuilder {
+    device: DeviceProfile,
+    link: LinkConfig,
+    server: ServerConfig,
+    server_stack: StackProfile,
+    client_stacks: Vec<StackProfile>,
+    cost_model: Option<CostModel>,
+    capacity: Option<CapacityProfile>,
+    control_interval: SimDuration,
+    seed: u64,
+}
+
+impl Default for TestbedBuilder {
+    fn default() -> Self {
+        TestbedBuilder {
+            device: reflex_flash::device_a(),
+            link: LinkConfig::default(),
+            server: ServerConfig::default(),
+            server_stack: StackProfile::dataplane_raw(),
+            client_stacks: vec![StackProfile::ix_tcp()],
+            cost_model: None,
+            capacity: None,
+            control_interval: SimDuration::from_millis(10),
+            seed: 42,
+        }
+    }
+}
+
+impl TestbedBuilder {
+    /// Starts from defaults: device A, 10GbE, one IX client machine, one
+    /// server thread.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the Flash device profile.
+    pub fn device(mut self, profile: DeviceProfile) -> Self {
+        self.device = profile;
+        self
+    }
+
+    /// Sets the fabric link configuration.
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Sets the server configuration (threads, dataplane costs, scaling).
+    pub fn server(mut self, server: ServerConfig) -> Self {
+        self.server = server;
+        self
+    }
+
+    /// Sets the number of active server threads (shorthand).
+    pub fn server_threads(mut self, threads: u32) -> Self {
+        self.server.threads = threads;
+        self.server.max_threads = self.server.max_threads.max(threads);
+        self
+    }
+
+    /// Replaces the client machines (one entry per machine).
+    pub fn client_machines(mut self, stacks: Vec<StackProfile>) -> Self {
+        self.client_stacks = stacks;
+        self
+    }
+
+    /// Sets the server machine's network stack (baseline servers run on
+    /// the Linux kernel stack; ReFlex polls raw NIC queues).
+    pub fn server_stack(mut self, stack: StackProfile) -> Self {
+        self.server_stack = stack;
+        self
+    }
+
+    /// Overrides the cost model (default: matched to the device profile).
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = Some(model);
+        self
+    }
+
+    /// Overrides the capacity profile (default: matched to the device).
+    pub fn capacity(mut self, capacity: CapacityProfile) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the RNG seed (default 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the testbed around a ReFlex server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no client machines are configured.
+    pub fn build(self) -> Testbed<ReflexServer> {
+        let cost_model = self
+            .cost_model
+            .clone()
+            .unwrap_or_else(|| CostModel::for_profile(&self.device));
+        let capacity = self
+            .capacity
+            .clone()
+            .unwrap_or_else(|| CapacityProfile::for_profile(&self.device));
+        let server_cfg = self.server.clone();
+        self.build_with(move |fabric, device, machine| {
+            ReflexServer::new(
+                machine,
+                fabric,
+                device,
+                cost_model,
+                capacity,
+                server_cfg,
+                SimTime::ZERO,
+            )
+        })
+    }
+
+    /// Builds the testbed around any [`ServerHarness`] (used by the
+    /// baseline servers). The constructor receives the fabric (to add NIC
+    /// queues), the device (to create queue pairs) and the server machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no client machines are configured.
+    pub fn build_with<S, F>(self, make_server: F) -> Testbed<S>
+    where
+        S: ServerHarness + 'static,
+        F: FnOnce(&mut Fabric<WireMsg>, &mut FlashDevice, MachineId) -> S,
+    {
+        assert!(!self.client_stacks.is_empty(), "need at least one client machine");
+        let mut rng = SimRng::seed(self.seed);
+        let mut fabric = Fabric::new(self.link, rng.fork());
+        let mut device = FlashDevice::new(self.device.clone(), rng.fork());
+        device.precondition();
+        let clients: Vec<ClientMachine> = self
+            .client_stacks
+            .into_iter()
+            .map(|stack| ClientMachine { machine: fabric.add_machine(stack.clone()), stack })
+            .collect();
+        let server_machine = fabric.add_machine(self.server_stack.clone());
+        let server = make_server(&mut fabric, &mut device, server_machine);
+        let n_threads = server.max_threads();
+        let n_clients = clients.len();
+        let world = World {
+            fabric,
+            device,
+            server,
+            clients,
+            workloads: Vec::new(),
+            client_threads_busy: Vec::new(),
+            outstanding: HashMap::new(),
+            cookie_seq: 0,
+            rng,
+            thread_wake: vec![None; n_threads],
+            client_wake: vec![None; n_clients],
+            measure_start: None,
+            busy_snapshot: Vec::new(),
+            sched_snapshot: Vec::new(),
+            spent_snapshot: HashMap::new(),
+            gen_cursor: Vec::new(),
+            zipf: Vec::new(),
+        };
+        let mut engine = Engine::new(world);
+        let interval = self.control_interval;
+        engine.schedule_at(SimTime::ZERO + interval, move |w: &mut World<S>, ctx| {
+            w.control_event(interval, ctx)
+        });
+        Testbed { engine, measure_begin: SimTime::ZERO }
+    }
+}
+
+/// The assembled simulation. See the module documentation.
+#[derive(Debug)]
+pub struct Testbed<S: ServerHarness = ReflexServer> {
+    engine: Engine<World<S>>,
+    measure_begin: SimTime,
+}
+
+impl Testbed<ReflexServer> {
+    /// Starts building a testbed.
+    pub fn builder() -> TestbedBuilder {
+        TestbedBuilder::new()
+    }
+}
+
+impl<S: ServerHarness + 'static> Testbed<S> {
+    /// Current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &World<S> {
+        self.engine.world()
+    }
+
+    /// Exclusive access to the world.
+    pub fn world_mut(&mut self) -> &mut World<S> {
+        self.engine.world_mut()
+    }
+
+    /// Registers a workload: admits its tenant, opens and binds its
+    /// connections, and starts its generator.
+    ///
+    /// # Errors
+    ///
+    /// See [`TestbedError`].
+    pub fn add_workload(&mut self, spec: WorkloadSpec) -> Result<(), TestbedError> {
+        let mut spec = spec;
+        spec.validate().map_err(TestbedError::InvalidSpec)?;
+        let world = self.engine.world_mut();
+        if spec.client_machine >= world.clients.len() {
+            return Err(TestbedError::NoSuchClient(spec.client_machine));
+        }
+        // Clamp the namespace to the device capacity so default specs work
+        // on any profile.
+        let capacity = world.device.profile().capacity_bytes;
+        if spec.namespace.0 >= capacity {
+            return Err(TestbedError::InvalidSpec("namespace beyond device capacity".into()));
+        }
+        spec.namespace.1 = spec.namespace.1.min(capacity - spec.namespace.0);
+        let acl = reflex_dataplane::AclEntry {
+            ns_start: spec.namespace.0,
+            ns_len: spec.namespace.1,
+            allow_read: true,
+            allow_write: true,
+            allowed_clients: None,
+        };
+        if spec.shards > 1 {
+            // Sharded registration goes through the concrete ReFlex path;
+            // harness servers without sharding treat it as an error.
+            world
+                .server
+                .register_tenant_sharded(spec.tenant, spec.class, acl, spec.io_size, spec.shards)?;
+        } else {
+            world.server.register_tenant(spec.tenant, spec.class, acl, spec.io_size)?;
+        }
+
+        let client_machine = world.clients[spec.client_machine].machine;
+        let mut state = WorkloadState::new(spec.clone());
+        for i in 0..spec.conns {
+            let conn = world.fabric.new_conn();
+            world
+                .server
+                .bind_connection(conn, spec.tenant, client_machine)
+                .map_err(TestbedError::Admission)?;
+            state.conns.push(conn);
+            state.conn_thread.push(i % spec.client_threads);
+            state.seq_cursor.push(0);
+        }
+        let w_idx = world.workloads.len();
+        let zipf = match spec.addr_pattern {
+            AddrPattern::Zipfian { theta_permille } => {
+                let slots = (spec.namespace.1 / spec.io_size as u64).max(2);
+                Some(Zipf::new(slots, f64::from(theta_permille.clamp(1, 999)) / 1000.0))
+            }
+            _ => None,
+        };
+        world.zipf.push(zipf);
+        world.workloads.push(state);
+        world
+            .client_threads_busy
+            .push(vec![SimTime::ZERO; spec.client_threads as usize]);
+        world.gen_cursor.push(0);
+
+        // Kick off the generator (trace replay overrides the pattern).
+        if let Some(trace) = &spec.trace {
+            let start = self.engine.now();
+            let first_at = trace.first().expect("validated non-empty").at;
+            self.engine.schedule_at(start + first_at, move |w: &mut World<S>, ctx| {
+                w.trace_replay_event(w_idx, 0, start, ctx)
+            });
+            return Ok(());
+        }
+        match spec.pattern {
+            LoadPattern::OpenLoop { iops } => {
+                let offset = world.rng.exponential(SimDuration::from_secs_f64(1.0 / iops));
+                self.engine.schedule_at(
+                    self.engine.now() + offset,
+                    move |w: &mut World<S>, ctx| w.open_loop_gen_event(w_idx, ctx),
+                );
+            }
+            LoadPattern::ClosedLoop { queue_depth } => {
+                for conn_idx in 0..spec.conns as usize {
+                    for q in 0..queue_depth {
+                        // Stagger initial issues by a microsecond each so
+                        // connections do not start in lockstep.
+                        let offset =
+                            SimDuration::from_nanos((conn_idx as u64 * queue_depth as u64 + q as u64) * 1_000);
+                        self.engine.schedule_at(
+                            self.engine.now() + offset,
+                            move |w: &mut World<S>, ctx| w.issue_request(w_idx, conn_idx, ctx),
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks the end of warmup: clears all histograms and counters so the
+    /// next [`report`](Self::report) covers only what follows.
+    pub fn begin_measurement(&mut self) {
+        let now = self.engine.now();
+        self.measure_begin = now;
+        let world = self.engine.world_mut();
+        world.measure_start = Some(now);
+        for w in &mut world.workloads {
+            w.reset_measurement();
+        }
+        world.busy_snapshot =
+            (0..world.server.max_threads()).map(|i| world.server.busy_time(i)).collect();
+        world.sched_snapshot =
+            (0..world.server.max_threads()).map(|i| world.server.sched_time(i)).collect();
+        world.spent_snapshot = world.server.tenants_spent_millitokens();
+    }
+
+    /// Advances the simulation by `span`.
+    pub fn run(&mut self, span: SimDuration) {
+        self.engine.run_for(span);
+    }
+
+    /// Produces the measurement report for the window since
+    /// [`begin_measurement`](Self::begin_measurement).
+    pub fn report(&self) -> TestbedReport {
+        let world = self.engine.world();
+        let window = self.engine.now().saturating_since(self.measure_begin);
+        let workloads: Vec<WorkloadReport> =
+            world.workloads.iter().map(|w| w.report(window)).collect();
+        let mut threads = Vec::new();
+        for i in 0..world.server.active_threads() {
+            let busy0 = world.busy_snapshot.get(i).copied().unwrap_or(SimDuration::ZERO);
+            let sched0 = world.sched_snapshot.get(i).copied().unwrap_or(SimDuration::ZERO);
+            let secs = window.as_secs_f64().max(1e-12);
+            threads.push(ThreadReport {
+                busy_fraction: world.server.busy_time(i).saturating_sub(busy0).as_secs_f64()
+                    / secs,
+                sched_fraction: world.server.sched_time(i).saturating_sub(sched0).as_secs_f64()
+                    / secs,
+                stats: world.server.thread_stats(i),
+            });
+        }
+        let spent_now = world.server.tenants_spent_millitokens();
+        let mut spent_delta = 0i64;
+        for (id, now_mt) in &spent_now {
+            let before = world.spent_snapshot.get(id).copied().unwrap_or(0);
+            spent_delta += now_mt - before;
+        }
+        let token_usage_per_sec =
+            spent_delta as f64 / 1_000.0 / window.as_secs_f64().max(1e-12);
+        TestbedReport {
+            window,
+            workloads,
+            threads,
+            token_usage_per_sec,
+            device: world.device.stats(),
+            renegotiations: world.server.renegotiations(),
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Control-plane thread scaling (paper §4.3): "If latency and load are
+//! high, it allocates resources for additional threads and rebalances
+//! tenants. If load is low, it deallocates threads."
+
+use reflex_core::{ServerConfig, ServerHarness, Testbed, WorkloadSpec};
+use reflex_net::{LinkConfig, StackProfile};
+use reflex_qos::{TenantClass, TenantId};
+use reflex_sim::SimDuration;
+
+fn blast_spec(i: u32, iops: f64) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::open_loop(
+        &format!("blast{i}"),
+        TenantId(i + 1),
+        TenantClass::BestEffort,
+        iops,
+    );
+    spec.io_size = 1024;
+    spec.conns = 32;
+    spec.client_threads = 8;
+    spec.client_machine = i as usize % 2;
+    spec
+}
+
+#[test]
+fn overload_triggers_scale_up_and_raises_throughput() {
+    let mut tb = Testbed::builder()
+        .seed(71)
+        .server(ServerConfig {
+            threads: 1,
+            max_threads: 4,
+            auto_scale: true,
+            ..ServerConfig::default()
+        })
+        .client_machines(vec![StackProfile::ix_tcp(), StackProfile::ix_tcp()])
+        .link(LinkConfig::forty_gbe())
+        .build();
+    // Two tenants together offering well beyond one core's ~850K ceiling.
+    tb.add_workload(blast_spec(0, 600_000.0)).expect("accepted");
+    tb.add_workload(blast_spec(1, 600_000.0)).expect("accepted");
+
+    tb.run(SimDuration::from_millis(100)); // control ticks every 10ms
+    assert!(
+        tb.world().server().active_threads() >= 2,
+        "control plane should have scaled up; still {} thread(s)",
+        tb.world().server().active_threads()
+    );
+
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(200));
+    let report = tb.report();
+    let total: f64 = report.workloads.iter().map(|w| w.iops).sum();
+    assert!(
+        total > 950_000.0,
+        "after scale-up throughput should approach the device limit; got {total:.0}"
+    );
+}
+
+#[test]
+fn idle_server_scales_back_down() {
+    let mut tb = Testbed::builder()
+        .seed(72)
+        .server(ServerConfig {
+            threads: 3,
+            max_threads: 4,
+            auto_scale: true,
+            ..ServerConfig::default()
+        })
+        .build();
+    // A trickle of load: three threads are overkill.
+    let mut spec = WorkloadSpec::open_loop("trickle", TenantId(1), TenantClass::BestEffort, 5_000.0);
+    spec.conns = 2;
+    tb.add_workload(spec).expect("accepted");
+    tb.run(SimDuration::from_millis(300));
+    assert!(
+        tb.world().server().active_threads() < 3,
+        "idle threads should be retired; still {}",
+        tb.world().server().active_threads()
+    );
+    // The remaining thread still serves the trickle.
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(100));
+    let report = tb.report();
+    assert!(report.workload("trickle").iops > 4_500.0);
+    assert_eq!(report.workload("trickle").errors, 0);
+}
+
+#[test]
+fn rebalanced_connections_are_not_dropped() {
+    // Force a scale-up mid-run and verify no requests are lost: issued
+    // requests all eventually complete (forwarding covers in-flight ones).
+    let mut tb = Testbed::builder()
+        .seed(73)
+        .server(ServerConfig {
+            threads: 1,
+            max_threads: 2,
+            auto_scale: true,
+            ..ServerConfig::default()
+        })
+        .client_machines(vec![StackProfile::ix_tcp(), StackProfile::ix_tcp()])
+        .link(LinkConfig::forty_gbe())
+        .build();
+    tb.add_workload(blast_spec(0, 500_000.0)).expect("accepted");
+    tb.add_workload(blast_spec(1, 500_000.0)).expect("accepted");
+    tb.run(SimDuration::from_millis(150));
+    assert!(tb.world().server().active_threads() == 2, "scale-up expected");
+    // Stop issuing: run the queues dry and compare totals.
+    tb.world_mut().stop_all_workloads();
+    tb.run(SimDuration::from_millis(400));
+    // (The drain window may have scaled back down; inspect whatever
+    // threads remain active — counters are cumulative.)
+    let report = tb.report();
+    let mut unanswered = 0u64;
+    for t in &report.threads {
+        if let Some(stats) = t.stats {
+            unanswered += stats.unbound_conns;
+        }
+    }
+    assert_eq!(unanswered, 0, "rebalancing must not drop messages");
+}

@@ -1,0 +1,36 @@
+//! End-to-end failure injection: media errors surface to clients as error
+//! responses while healthy traffic is unaffected.
+
+use reflex_core::{Testbed, WorkloadSpec};
+use reflex_qos::{SloSpec, TenantClass, TenantId};
+use reflex_sim::SimDuration;
+
+#[test]
+fn media_errors_reach_the_client_as_error_responses() {
+    let mut profile = reflex_flash::device_a();
+    profile.media_error_rate = 0.02;
+    let mut tb = Testbed::builder().seed(91).device(profile).build();
+    let slo = SloSpec::new(50_000, 100, SimDuration::from_micros(500));
+    let mut spec = WorkloadSpec::open_loop(
+        "app",
+        TenantId(1),
+        TenantClass::LatencyCritical(slo),
+        50_000.0,
+    );
+    spec.conns = 8;
+    tb.add_workload(spec).expect("admitted");
+    tb.run(SimDuration::from_millis(50));
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(300));
+    let report = tb.report();
+    let w = report.workload("app");
+    let total = w.read_latency.count() + w.errors;
+    let rate = w.errors as f64 / total.max(1) as f64;
+    assert!(
+        (0.012..0.032).contains(&rate),
+        "client-observed error rate {rate} ({} of {total})",
+        w.errors
+    );
+    // Healthy requests keep their latency profile.
+    assert!(w.p95_read_us() < 500.0, "p95 {}", w.p95_read_us());
+}

@@ -1,0 +1,112 @@
+//! SLO renegotiation: the control plane flags tenants that persistently
+//! exceed their reservation (NEG_LIMIT notifications, paper Algorithm 1
+//! line 7 and §4.3) and the operator renegotiates them in place.
+
+use reflex_core::{Testbed, WorkloadSpec};
+use reflex_qos::{SloSpec, TenantClass, TenantId};
+use reflex_sim::SimDuration;
+
+#[test]
+fn renegotiation_cures_a_flagged_tenant() {
+    let mut tb = Testbed::builder().seed(95).build();
+    // Reserved 20K, offered 60K: persistent deficits.
+    let slo = SloSpec::new(20_000, 100, SimDuration::from_micros(500));
+    let mut spec = WorkloadSpec::open_loop(
+        "greedy",
+        TenantId(1),
+        TenantClass::LatencyCritical(slo),
+        60_000.0,
+    );
+    spec.conns = 8;
+    tb.add_workload(spec).expect("admitted");
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(200));
+    let before = tb.report();
+    assert!(
+        before.renegotiations.contains(&TenantId(1)),
+        "over-issuing tenant should be flagged"
+    );
+    // The workload is read-only, so the device enters read-only mode and
+    // reads cost 1/2 token: the 20K-token reservation buys ~40K IOPS —
+    // still well short of the offered 60K.
+    let throttled = before.workload("greedy").iops;
+    assert!(throttled < 45_000.0, "rate limiting should hold: {throttled:.0}");
+
+    // The operator accepts the renegotiation: raise the SLO to 70K.
+    let new_slo = SloSpec::new(70_000, 100, SimDuration::from_micros(500));
+    tb.world_mut()
+        .server_mut()
+        .renegotiate_tenant(TenantId(1), new_slo)
+        .expect("70K fits in 330K");
+
+    // Let the backlog accumulated while throttled drain, then measure.
+    tb.run(SimDuration::from_millis(150));
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(300));
+    let after = tb.report();
+    let healthy = after.workload("greedy").iops;
+    assert!(
+        healthy > 55_000.0,
+        "renegotiated tenant should get its offered 60K: {healthy:.0}"
+    );
+    assert!(
+        after.workload("greedy").p95_read_us() < 500.0,
+        "and meet its tail bound: {}",
+        after.workload("greedy").p95_read_us()
+    );
+}
+
+#[test]
+fn renegotiation_respects_admission_control() {
+    let mut tb = Testbed::builder().seed(96).build();
+    let slo_a = SloSpec::new(100_000, 80, SimDuration::from_micros(500)); // 280K tokens
+    tb.add_workload(WorkloadSpec::open_loop(
+        "a",
+        TenantId(1),
+        TenantClass::LatencyCritical(slo_a),
+        10_000.0,
+    ))
+    .expect("fits");
+    let slo_b = SloSpec::new(40_000, 100, SimDuration::from_micros(500)); // 40K tokens
+    tb.add_workload(WorkloadSpec::open_loop(
+        "b",
+        TenantId(2),
+        TenantClass::LatencyCritical(slo_b),
+        10_000.0,
+    ))
+    .expect("fits (320K of 330K)");
+
+    // b asks to grow to 100K tokens: 280K + 100K > 330K -> rejected.
+    let too_big = SloSpec::new(100_000, 100, SimDuration::from_micros(500));
+    assert!(tb
+        .world_mut()
+        .server_mut()
+        .renegotiate_tenant(TenantId(2), too_big)
+        .is_err());
+
+    // Shrinking a is allowed; then b's growth fits.
+    let smaller_a = SloSpec::new(50_000, 80, SimDuration::from_micros(500)); // 140K
+    tb.world_mut()
+        .server_mut()
+        .renegotiate_tenant(TenantId(1), smaller_a)
+        .expect("shrinking always fits");
+    tb.world_mut()
+        .server_mut()
+        .renegotiate_tenant(TenantId(2), too_big)
+        .expect("now 140K + 100K fits");
+}
+
+#[test]
+fn renegotiating_unknown_or_be_tenants_fails() {
+    let mut tb = Testbed::builder().seed(97).build();
+    tb.add_workload(WorkloadSpec::open_loop(
+        "be",
+        TenantId(1),
+        TenantClass::BestEffort,
+        1_000.0,
+    ))
+    .expect("accepted");
+    let slo = SloSpec::new(1_000, 100, SimDuration::from_millis(1));
+    assert!(tb.world_mut().server_mut().renegotiate_tenant(TenantId(1), slo).is_err());
+    assert!(tb.world_mut().server_mut().renegotiate_tenant(TenantId(9), slo).is_err());
+}

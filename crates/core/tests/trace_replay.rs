@@ -1,0 +1,107 @@
+//! Trace-replay workloads: recorded I/O schedules drive the testbed with
+//! exact timing and addresses.
+
+use std::sync::Arc;
+
+use reflex_core::{Testbed, TraceOp, WorkloadSpec};
+use reflex_qos::{SloSpec, TenantClass, TenantId};
+use reflex_sim::SimDuration;
+
+fn synthetic_trace(ops: usize, gap_us: u64, write_every: usize) -> Arc<[TraceOp]> {
+    (0..ops)
+        .map(|i| TraceOp {
+            at: SimDuration::from_micros(i as u64 * gap_us),
+            is_read: write_every == 0 || i % write_every != 0,
+            addr: (i as u64 * 7919 % 1_000_000) * 4096,
+            len: 4096,
+        })
+        .collect::<Vec<_>>()
+        .into()
+}
+
+#[test]
+fn trace_replays_exact_op_count_and_mix() {
+    let mut tb = Testbed::builder().seed(141).build();
+    let trace = synthetic_trace(2_000, 20, 5); // 50K IOPS, 20% writes
+    let slo = SloSpec::new(60_000, 80, SimDuration::from_millis(1));
+    let mut spec = WorkloadSpec::from_trace(
+        "replay",
+        TenantId(1),
+        TenantClass::LatencyCritical(slo),
+        trace,
+    );
+    spec.conns = 4;
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(100));
+    tb.add_workload(spec).expect("admitted");
+    tb.run(SimDuration::from_millis(100));
+    let report = tb.report();
+    let w = report.workload("replay");
+    let reads = w.read_latency.count();
+    let writes = w.write_latency.count();
+    assert_eq!(reads + writes + w.errors, 2_000, "every op answered once");
+    assert_eq!(writes, 400, "exact write interleave (every 5th op)");
+    assert_eq!(w.errors, 0);
+}
+
+#[test]
+fn trace_timing_is_respected() {
+    // A bursty trace: 100 ops at t=0, then 100 at t=50ms. The completion
+    // series must show the two bursts.
+    let mut ops = Vec::new();
+    for i in 0..100u64 {
+        ops.push(TraceOp {
+            at: SimDuration::from_micros(i),
+            is_read: true,
+            addr: i * 4096,
+            len: 4096,
+        });
+    }
+    for i in 0..100u64 {
+        ops.push(TraceOp {
+            at: SimDuration::from_millis(50) + SimDuration::from_micros(i),
+            is_read: true,
+            addr: (1_000 + i) * 4096,
+            len: 4096,
+        });
+    }
+    let mut tb = Testbed::builder().seed(142).build();
+    let spec = WorkloadSpec::from_trace(
+        "bursts",
+        TenantId(1),
+        TenantClass::BestEffort,
+        ops.into(),
+    );
+    tb.begin_measurement();
+    tb.add_workload(spec).expect("accepted");
+    tb.run(SimDuration::from_millis(100));
+    let report = tb.report();
+    let w = report.workload("bursts");
+    assert_eq!(w.read_latency.count(), 200);
+    // Completions cluster in the first and sixth 10ms buckets.
+    let series = &w.iops_series;
+    let busy: Vec<usize> = series
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.count > 10)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(busy, vec![0, 5], "bursts in wrong buckets: {busy:?}");
+}
+
+#[test]
+fn malformed_traces_are_rejected() {
+    let mut tb = Testbed::builder().seed(143).build();
+    // Decreasing offsets.
+    let bad: Arc<[TraceOp]> = vec![
+        TraceOp { at: SimDuration::from_micros(10), is_read: true, addr: 0, len: 4096 },
+        TraceOp { at: SimDuration::from_micros(5), is_read: true, addr: 0, len: 4096 },
+    ]
+    .into();
+    let spec = WorkloadSpec::from_trace("bad", TenantId(1), TenantClass::BestEffort, bad);
+    assert!(tb.add_workload(spec).is_err());
+    // Empty trace.
+    let empty: Arc<[TraceOp]> = Vec::new().into();
+    let spec = WorkloadSpec::from_trace("empty", TenantId(2), TenantClass::BestEffort, empty);
+    assert!(tb.add_workload(spec).is_err());
+}

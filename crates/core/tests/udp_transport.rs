@@ -1,0 +1,95 @@
+//! UDP transport (paper §4.1 future work): "both tail latency and
+//! throughput will improve when we implement UDP or other, lighter-weight
+//! transport protocols."
+
+use reflex_core::{ServerConfig, Testbed, WorkloadSpec};
+use reflex_dataplane::DataplaneConfig;
+use reflex_net::StackProfile;
+use reflex_qos::{SloSpec, TenantClass, TenantId};
+use reflex_sim::SimDuration;
+
+fn unloaded_read(client: StackProfile, server_stack: StackProfile, dp: DataplaneConfig) -> f64 {
+    let mut tb = Testbed::builder()
+        .seed(61)
+        .client_machines(vec![client])
+        .server_stack(server_stack)
+        .server(ServerConfig { dataplane: dp, ..ServerConfig::default() })
+        .build();
+    let slo = SloSpec::new(20_000, 100, SimDuration::from_micros(500));
+    tb.add_workload(WorkloadSpec::closed_loop(
+        "probe",
+        TenantId(1),
+        TenantClass::LatencyCritical(slo),
+        1,
+    ))
+    .expect("admitted");
+    tb.run(SimDuration::from_millis(50));
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(300));
+    tb.report().workload("probe").mean_read_us()
+}
+
+#[test]
+fn udp_cuts_unloaded_latency() {
+    let tcp = unloaded_read(
+        StackProfile::ix_tcp(),
+        StackProfile::dataplane_raw(),
+        DataplaneConfig::default(),
+    );
+    let udp = unloaded_read(
+        StackProfile::ix_udp(),
+        StackProfile::dataplane_raw_udp(),
+        DataplaneConfig::udp(),
+    );
+    assert!(
+        udp + 1.0 < tcp,
+        "udp ({udp:.1}us) should beat tcp ({tcp:.1}us)"
+    );
+    assert!(tcp - udp < 15.0, "udp saving implausibly large: {}", tcp - udp);
+}
+
+#[test]
+fn udp_raises_per_core_throughput() {
+    let run = |client: StackProfile, server_stack: StackProfile, dp: DataplaneConfig| {
+        let mut tb = Testbed::builder()
+            .seed(62)
+            .client_machines(vec![client.clone(), client])
+            .server_stack(server_stack)
+            .server(ServerConfig { dataplane: dp, ..ServerConfig::default() })
+            .link(reflex_net::LinkConfig::forty_gbe())
+            .build();
+        for i in 0..2u32 {
+            let mut spec = WorkloadSpec::open_loop(
+                &format!("blast{i}"),
+                TenantId(i + 1),
+                TenantClass::BestEffort,
+                700_000.0,
+            );
+            spec.io_size = 1024;
+            spec.conns = 64;
+            spec.client_threads = 8;
+            spec.client_machine = i as usize;
+            tb.add_workload(spec).expect("accepted");
+        }
+        tb.run(SimDuration::from_millis(60));
+        tb.begin_measurement();
+        tb.run(SimDuration::from_millis(150));
+        tb.report().workloads.iter().map(|w| w.iops).sum::<f64>()
+    };
+    let tcp = run(
+        StackProfile::ix_tcp(),
+        StackProfile::dataplane_raw(),
+        DataplaneConfig::default(),
+    );
+    let udp = run(
+        StackProfile::ix_udp(),
+        StackProfile::dataplane_raw_udp(),
+        DataplaneConfig::udp(),
+    );
+    // TCP one core ~850K; UDP should add >10% (device read-only limit ~1M
+    // caps the gain).
+    assert!(
+        udp > tcp * 1.08,
+        "udp throughput {udp:.0} should clearly beat tcp {tcp:.0}"
+    );
+}

@@ -1,0 +1,887 @@
+//! The ReFlex dataplane thread (paper §3.1, Figure 2).
+//!
+//! Each thread owns a dedicated core (modelled by a `core_busy` CPU clock),
+//! one NIC queue pair (its machine's receive queue on the [`Fabric`]) and
+//! one NVMe queue pair. A [`pump`](DataplaneThread::pump) call runs the
+//! polling loop at the current instant:
+//!
+//! 1. poll NIC RX, parse the wire protocol, run access control, and issue
+//!    read/write **syscalls** that enqueue requests into per-tenant QoS
+//!    queues (run-to-completion step 1);
+//! 2. run the QoS scheduler and submit admissible requests to the NVMe
+//!    submission queue;
+//! 3. poll the NVMe completion queue, deliver **event conditions** to the
+//!    user-level server code, and transmit responses (run-to-completion
+//!    step 2).
+//!
+//! Adaptive batching emerges naturally: while the core is busy, arrivals
+//! and completions accumulate and are picked up in batches of up to 64.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use reflex_flash::{CmdId, FlashDevice, IoType, NvmeCommand, NvmeStatus, QpId, SubmitError};
+use reflex_net::{ConnId, Delivery, Fabric, MachineId, NicQueueId, Opcode, ReflexHeader};
+use reflex_qos::{
+    CostModel, CostedRequest, LoadMix, QosError, QosScheduler, SchedulerParams, TenantClass,
+    TenantId, TokenRate,
+};
+use reflex_sim::{Histogram, SimDuration, SimTime};
+use std::sync::Arc;
+
+use crate::abi::{AbiStatus, BufHandle, Cookie, EventCond, Syscall, TenantHandle};
+use crate::config::DataplaneConfig;
+
+/// The payload carried on the simulated wire: an encoded ReFlex header.
+/// (Data blocks are represented by message sizes, not bytes.)
+pub type WireMsg = Bytes;
+
+/// Access-control entry for a tenant: a namespace (byte range of logical
+/// blocks), read/write permissions, and optionally the client machines
+/// allowed to open connections to the tenant (paper §4.1: "it checks if a
+/// client has the right to open a connection to a specific tenant and if
+/// a tenant has read or write permission for an NVMe namespace").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AclEntry {
+    /// First byte of the tenant's namespace.
+    pub ns_start: u64,
+    /// Length of the namespace in bytes.
+    pub ns_len: u64,
+    /// Tenant may read.
+    pub allow_read: bool,
+    /// Tenant may write.
+    pub allow_write: bool,
+    /// Client machines that may connect (`None` = any client).
+    pub allowed_clients: Option<Vec<MachineId>>,
+}
+
+impl AclEntry {
+    /// Full-device read/write access from any client.
+    pub fn full(capacity: u64) -> Self {
+        AclEntry {
+            ns_start: 0,
+            ns_len: capacity,
+            allow_read: true,
+            allow_write: true,
+            allowed_clients: None,
+        }
+    }
+
+    /// Restricts connection-open rights to the given client machines.
+    pub fn restricted_to(mut self, clients: Vec<MachineId>) -> Self {
+        self.allowed_clients = Some(clients);
+        self
+    }
+
+    /// `true` when `client` may open connections to this tenant.
+    pub fn permits_client(&self, client: MachineId) -> bool {
+        match &self.allowed_clients {
+            None => true,
+            Some(list) => list.contains(&client),
+        }
+    }
+
+    /// Checks an I/O against the entry.
+    fn check(&self, op: IoType, addr: u64, len: u32) -> Result<(), AbiStatus> {
+        match op {
+            IoType::Read if !self.allow_read => return Err(AbiStatus::AccessDenied),
+            IoType::Write if !self.allow_write => return Err(AbiStatus::AccessDenied),
+            _ => {}
+        }
+        let end = addr.saturating_add(len as u64);
+        if addr < self.ns_start || end > self.ns_start + self.ns_len {
+            return Err(AbiStatus::OutOfRange);
+        }
+        Ok(())
+    }
+}
+
+/// Per-request context carried from syscall to completion event. Opaque
+/// outside the dataplane; exposed only as the scheduler's payload type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReqCtx {
+    tenant: TenantId,
+    conn: ConnId,
+    client: MachineId,
+    cookie: Cookie,
+    op: IoType,
+    addr: u64,
+    len: u32,
+    arrived: SimTime,
+    rx_started: SimTime,
+    enqueued: SimTime,
+}
+
+/// Per-tenant ordering state for barrier support: while fenced, new
+/// requests buffer here instead of entering the QoS queue.
+#[derive(Debug, Default)]
+struct OrderingState {
+    inflight: u32,
+    fence: Option<ReqCtx>,
+    buffered: VecDeque<(IoType, u32, ReqCtx)>,
+}
+
+/// Where a request's time goes inside the server (paper Figure 2): the
+/// queueing and processing stages between NIC arrival and response
+/// transmit, accumulated over sampled requests. This decomposes the
+/// "+21µs over local Flash" headline into its parts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Requests sampled.
+    pub samples: u64,
+    /// NIC arrival → start of RX processing (batching/queueing delay).
+    pub rx_wait_ns: u64,
+    /// RX processing + protocol parse + ACL + syscall (steps 2-3).
+    pub rx_proc_ns: u64,
+    /// Software queue wait until the QoS scheduler admits it (step 4).
+    pub sched_wait_ns: u64,
+    /// NVMe submission → device completion (steps 5-6).
+    pub device_ns: u64,
+    /// Completion available → response on the wire (steps 7-8, including
+    /// CQ polling delay and TX processing).
+    pub tx_ns: u64,
+}
+
+impl LatencyBreakdown {
+    /// Mean microseconds per stage: (rx_wait, rx_proc, sched_wait, device,
+    /// tx). Zero when nothing was sampled.
+    pub fn means_us(&self) -> (f64, f64, f64, f64, f64) {
+        if self.samples == 0 {
+            return (0.0, 0.0, 0.0, 0.0, 0.0);
+        }
+        let n = self.samples as f64 * 1_000.0;
+        (
+            self.rx_wait_ns as f64 / n,
+            self.rx_proc_ns as f64 / n,
+            self.sched_wait_ns as f64 / n,
+            self.device_ns as f64 / n,
+            self.tx_ns as f64 / n,
+        )
+    }
+}
+
+/// Aggregate statistics of one dataplane thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Messages received and parsed.
+    pub rx_msgs: u64,
+    /// Responses transmitted (including error responses).
+    pub tx_msgs: u64,
+    /// NVMe commands submitted.
+    pub submitted: u64,
+    /// NVMe completions processed.
+    pub completed: u64,
+    /// Requests rejected by access control.
+    pub acl_rejections: u64,
+    /// Messages that failed protocol parsing.
+    pub decode_errors: u64,
+    /// Requests for connections not bound to any tenant.
+    pub unbound_conns: u64,
+    /// Messages re-steered to a sibling thread after rebalancing.
+    pub forwarded: u64,
+    /// QoS scheduling rounds executed.
+    pub sched_rounds: u64,
+    /// Barrier requests completed.
+    pub barriers: u64,
+    /// NVMe submissions refused with a full SQ (retried later).
+    pub sq_full_retries: u64,
+}
+
+/// One simulated ReFlex server thread. See the module documentation.
+#[derive(Debug)]
+pub struct DataplaneThread {
+    thread_idx: u32,
+    machine: MachineId,
+    nic_queue: NicQueueId,
+    qp: QpId,
+    config: DataplaneConfig,
+    sched: QosScheduler<ReqCtx>,
+    acl: HashMap<TenantId, AclEntry>,
+    ordering: HashMap<TenantId, OrderingState>,
+    /// Server-side read-latency histograms, kept for LC tenants so the
+    /// control plane can monitor SLO compliance (paper §4.3).
+    tenant_read_latency: HashMap<TenantId, Histogram>,
+    conn_binding: HashMap<ConnId, (TenantId, MachineId)>,
+    forwards: HashMap<ConnId, NicQueueId>,
+    inflight: HashMap<CmdId, ReqCtx>,
+    retry_submit: VecDeque<(TenantId, CostedRequest<ReqCtx>)>,
+    cmd_seq: u64,
+    core_busy: SimTime,
+    busy_time: SimDuration,
+    sched_time: SimDuration,
+    last_sched: SimTime,
+    max_sched_interval: SimDuration,
+    breakdown: LatencyBreakdown,
+    submit_times: HashMap<CmdId, SimTime>,
+    stats: ThreadStats,
+}
+
+impl DataplaneThread {
+    /// Creates a thread bound to `machine`'s NIC queues and NVMe queue
+    /// pair `qp`, sharing the QoS `bucket` with sibling threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        thread_idx: u32,
+        machine: MachineId,
+        nic_queue: NicQueueId,
+        qp: QpId,
+        bucket: Arc<reflex_qos::GlobalBucket>,
+        model: CostModel,
+        sched_params: SchedulerParams,
+        config: DataplaneConfig,
+        now: SimTime,
+    ) -> Self {
+        config.validate().expect("invalid dataplane config");
+        DataplaneThread {
+            thread_idx,
+            machine,
+            nic_queue,
+            qp,
+            config,
+            sched: QosScheduler::new(thread_idx, bucket, model, sched_params, now),
+            acl: HashMap::new(),
+            ordering: HashMap::new(),
+            tenant_read_latency: HashMap::new(),
+            conn_binding: HashMap::new(),
+            forwards: HashMap::new(),
+            inflight: HashMap::new(),
+            retry_submit: VecDeque::new(),
+            cmd_seq: 0,
+            core_busy: now,
+            busy_time: SimDuration::ZERO,
+            sched_time: SimDuration::ZERO,
+            last_sched: now,
+            max_sched_interval: config.max_sched_interval,
+            breakdown: LatencyBreakdown::default(),
+            submit_times: HashMap::new(),
+            stats: ThreadStats::default(),
+        }
+    }
+
+    /// Per-stage latency decomposition accumulated so far (Figure 2).
+    pub fn latency_breakdown(&self) -> LatencyBreakdown {
+        self.breakdown
+    }
+
+    /// Sets the upper bound on the scheduling interval (the control plane
+    /// keeps it at 5% of the strictest registered SLO, paper §3.2.2).
+    pub fn set_max_sched_interval(&mut self, interval: SimDuration) {
+        self.max_sched_interval = interval.max(self.config.min_sched_interval);
+    }
+
+    /// The spacing between scheduling rounds this thread currently aims
+    /// for: wide enough that per-tenant iteration stays below ~half the
+    /// core, but never beyond the control plane's SLO-derived bound.
+    fn sched_interval(&self) -> SimDuration {
+        let (lc, be) = self.sched.tenant_counts();
+        let round_cost = self.config.sched_base_cost
+            + self.config.sched_per_tenant_cost * (lc + be) as u64;
+        (round_cost * 2)
+            .max(self.config.min_sched_interval)
+            .min(self.max_sched_interval)
+    }
+
+    /// This thread's index (bit position in the global bucket).
+    pub fn thread_idx(&self) -> u32 {
+        self.thread_idx
+    }
+
+    /// The machine whose NIC queues this thread polls.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// The NIC receive queue dedicated to this thread.
+    pub fn nic_queue(&self) -> NicQueueId {
+        self.nic_queue
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ThreadStats {
+        self.stats
+    }
+
+    /// Total CPU time consumed.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// CPU time spent in QoS scheduling (paper: 2–8% at load).
+    pub fn sched_cpu_time(&self) -> SimDuration {
+        self.sched_time
+    }
+
+    /// Server-side read latency (message arrival to response transmit)
+    /// for an LC tenant — what the control plane monitors against SLOs.
+    pub fn tenant_read_latency(&self, id: TenantId) -> Option<&Histogram> {
+        self.tenant_read_latency.get(&id)
+    }
+
+    /// Resets a tenant's server-side latency window (the control plane
+    /// clears it after each monitoring interval).
+    pub fn reset_tenant_read_latency(&mut self, id: TenantId) {
+        if let Some(h) = self.tenant_read_latency.get_mut(&id) {
+            h.reset();
+        }
+    }
+
+    /// Exclusive access to the thread's QoS scheduler (control plane
+    /// operations: BE rates, cost-model recalibration, token inspection).
+    pub fn scheduler_mut(&mut self) -> &mut QosScheduler<ReqCtx> {
+        &mut self.sched
+    }
+
+    /// Shared access to the thread's QoS scheduler.
+    pub fn scheduler(&self) -> &QosScheduler<ReqCtx> {
+        &self.sched
+    }
+
+    /// Registers a tenant on this thread (the control plane binds each
+    /// tenant to exactly one thread, §4.1 "Limitations").
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QosError::DuplicateTenant`].
+    pub fn register_tenant(
+        &mut self,
+        id: TenantId,
+        class: TenantClass,
+        acl: AclEntry,
+        io_size: u32,
+    ) -> Result<TenantHandle, QosError> {
+        match class {
+            TenantClass::LatencyCritical(slo) => {
+                self.sched.register_lc(id, slo, io_size)?;
+                self.tenant_read_latency.insert(id, Histogram::new());
+            }
+            TenantClass::BestEffort => self.sched.register_be(id)?,
+        }
+        self.acl.insert(id, acl);
+        Ok(TenantHandle(id.0))
+    }
+
+    /// Unregisters a tenant, returning its queued requests so a caller
+    /// moving the tenant to another thread can re-enqueue them there (see
+    /// [`adopt_pending`](Self::adopt_pending)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QosError::UnknownTenant`].
+    pub fn unregister_tenant(
+        &mut self,
+        id: TenantId,
+    ) -> Result<Vec<CostedRequest<ReqCtx>>, QosError> {
+        let leftovers = self.sched.unregister(id)?;
+        self.acl.remove(&id);
+        let buffered = self
+            .ordering
+            .remove(&id)
+            .map(|o| o.buffered)
+            .unwrap_or_default();
+        self.tenant_read_latency.remove(&id);
+        self.conn_binding.retain(|_, (t, _)| *t != id);
+        // Fence-buffered requests follow the queued ones (order preserved:
+        // scheduler queue first, then post-barrier buffer).
+        let mut all = leftovers;
+        all.extend(
+            buffered
+                .into_iter()
+                .map(|(op, len, ctx)| CostedRequest { op, len, payload: ctx }),
+        );
+        Ok(all)
+    }
+
+    /// Re-enqueues requests drained from another thread during tenant
+    /// rebalancing, keeping their order. The tenant must already be
+    /// registered here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QosError::UnknownTenant`].
+    pub fn adopt_pending(
+        &mut self,
+        id: TenantId,
+        reqs: Vec<CostedRequest<ReqCtx>>,
+    ) -> Result<(), QosError> {
+        let ordering = self.ordering.entry(id).or_default();
+        ordering.inflight += reqs.len() as u32;
+        for req in reqs {
+            self.sched.enqueue(id, req)?;
+        }
+        Ok(())
+    }
+
+    /// Binds a client connection to a tenant (the connection-open ACL
+    /// check of §4.1).
+    ///
+    /// # Errors
+    ///
+    /// [`QosError::UnknownTenant`] when the tenant is not on this thread.
+    pub fn bind_connection(
+        &mut self,
+        conn: ConnId,
+        tenant: TenantId,
+        client: MachineId,
+    ) -> Result<(), QosError> {
+        let Some(acl) = self.acl.get(&tenant) else {
+            return Err(QosError::UnknownTenant(tenant));
+        };
+        if !acl.permits_client(client) {
+            return Err(QosError::ConnectionDenied(tenant));
+        }
+        self.conn_binding.insert(conn, (tenant, client));
+        Ok(())
+    }
+
+    /// Removes a connection binding.
+    pub fn unbind_connection(&mut self, conn: ConnId) {
+        self.conn_binding.remove(&conn);
+    }
+
+    /// Installs a forwarding entry: messages for `conn` arriving on this
+    /// thread's queue are re-steered to `queue` (tenant rebalancing keeps
+    /// in-flight traffic from being dropped, paper §3.1, reference \[53\]).
+    pub fn forward_connection(&mut self, conn: ConnId, queue: NicQueueId) {
+        self.conn_binding.remove(&conn);
+        self.forwards.insert(conn, queue);
+    }
+
+    /// Active connection count (drives the LLC-pressure model).
+    pub fn connection_count(&self) -> u32 {
+        self.conn_binding.len() as u32
+    }
+
+    /// Sets each BE tenant's fair-share token rate (control plane).
+    pub fn set_be_rate(&mut self, rate: TokenRate) {
+        self.sched.set_be_rate(rate);
+    }
+
+    fn charge(&mut self, cost: SimDuration) {
+        self.core_busy += cost;
+        self.busy_time += cost;
+    }
+
+    /// The *user-level server code* (paper: 490 SLOC in guest ring 3):
+    /// parses a message and turns it into a syscall. Pure function of the
+    /// header — any bug here cannot touch dataplane state.
+    fn user_handle_message(
+        header: &ReflexHeader,
+        tenant: TenantId,
+    ) -> Result<Option<Syscall>, AbiStatus> {
+        let handle = TenantHandle(tenant.0);
+        // Zero-copy: the buffer handle indexes a pre-allocated DMA region;
+        // the cookie travels to the completion event untouched.
+        let buf = BufHandle(0);
+        match header.opcode {
+            Opcode::Get => Ok(Some(Syscall::Read {
+                handle,
+                buf,
+                addr: header.addr,
+                len: header.len,
+                cookie: header.cookie,
+            })),
+            Opcode::Put => Ok(Some(Syscall::Write {
+                handle,
+                buf,
+                addr: header.addr,
+                len: header.len,
+                cookie: header.cookie,
+            })),
+            // Barriers are an ordering directive, not an I/O syscall.
+            Opcode::Barrier => Ok(None),
+            Opcode::Response | Opcode::Error => Err(AbiStatus::AccessDenied),
+        }
+    }
+
+    /// The user-level completion path: turns an event condition into the
+    /// response message for the wire.
+    fn user_handle_event(event: &EventCond, ctx: &ReqCtx) -> (ReflexHeader, u32) {
+        let ok = matches!(
+            event,
+            EventCond::Response { status: AbiStatus::Ok, .. }
+                | EventCond::Written { status: AbiStatus::Ok, .. }
+        );
+        let opcode = if ok { Opcode::Response } else { Opcode::Error };
+        let payload = if ok && ctx.op.is_read() { ctx.len } else { 0 };
+        (
+            ReflexHeader { opcode, tenant: 0, cookie: ctx.cookie, addr: ctx.addr, len: ctx.len },
+            payload,
+        )
+    }
+
+    fn send_error(
+        &mut self,
+        fabric: &mut Fabric<WireMsg>,
+        ctx: ReqCtx,
+        status: AbiStatus,
+    ) {
+        let event = match ctx.op {
+            IoType::Read => EventCond::Response { cookie: ctx.cookie, status },
+            IoType::Write => EventCond::Written { cookie: ctx.cookie, status },
+        };
+        let (header, payload) = Self::user_handle_event(&event, &ctx);
+        let factor = self.config.conn_pressure.factor(self.connection_count());
+        self.charge(self.config.tx_msg_cost.mul_f64(factor));
+        self.stats.tx_msgs += 1;
+        fabric.send(self.core_busy, self.machine, ctx.client, ctx.conn, payload, header.encode());
+    }
+
+    fn handle_rx(
+        &mut self,
+        fabric: &mut Fabric<WireMsg>,
+        delivery: Delivery<WireMsg>,
+        rx_started: SimTime,
+    ) {
+        self.stats.rx_msgs += 1;
+        let Some(&(tenant, client)) = self.conn_binding.get(&delivery.conn) else {
+            if let Some(&queue) = self.forwards.get(&delivery.conn) {
+                fabric.requeue(self.core_busy, self.machine, queue, delivery);
+                self.stats.forwarded += 1;
+            } else {
+                self.stats.unbound_conns += 1;
+            }
+            return;
+        };
+        let header = match ReflexHeader::decode(&delivery.payload) {
+            Ok(h) => h,
+            Err(_) => {
+                self.stats.decode_errors += 1;
+                return;
+            }
+        };
+        let syscall = match Self::user_handle_message(&header, tenant) {
+            Ok(s) => s,
+            Err(status) => {
+                self.stats.decode_errors += 1;
+                let ctx = ReqCtx {
+                    tenant,
+                    conn: delivery.conn,
+                    client,
+                    cookie: header.cookie,
+                    op: IoType::Read,
+                    addr: header.addr,
+                    len: header.len,
+                    arrived: delivery.arrived_at,
+                    rx_started,
+                    enqueued: self.core_busy,
+                };
+                self.send_error(fabric, ctx, status);
+                return;
+            }
+        };
+
+        // Barrier: complete immediately if the tenant has nothing
+        // outstanding, otherwise fence the tenant until it drains.
+        let Some(syscall) = syscall else {
+            let ctx = ReqCtx {
+                tenant,
+                conn: delivery.conn,
+                client,
+                cookie: header.cookie,
+                op: IoType::Read,
+                addr: 0,
+                len: 0,
+                arrived: delivery.arrived_at,
+                rx_started,
+                enqueued: self.core_busy,
+            };
+            let ordering = self.ordering.entry(tenant).or_default();
+            if ordering.fence.is_some() {
+                // One outstanding barrier per tenant; a second is an error.
+                self.stats.decode_errors += 1;
+                self.send_error(fabric, ctx, AbiStatus::OutOfResources);
+                return;
+            }
+            let drained = ordering.inflight == 0 && self.sched.queued_for(tenant) == 0;
+            if drained {
+                self.ack_barrier(fabric, ctx);
+            } else {
+                self.ordering.entry(tenant).or_default().fence = Some(ctx);
+            }
+            return;
+        };
+
+        // Kernel side of the syscall: ACL check, then per-tenant queueing.
+        let (op, addr, len, cookie) = match syscall {
+            Syscall::Read { addr, len, cookie, .. } => (IoType::Read, addr, len, cookie),
+            Syscall::Write { addr, len, cookie, .. } => (IoType::Write, addr, len, cookie),
+            // Register/unregister arrive via the control plane in this
+            // reproduction; they never appear on the data path.
+            Syscall::Register { .. } | Syscall::Unregister { .. } => return,
+        };
+        let ctx = ReqCtx {
+            tenant,
+            conn: delivery.conn,
+            client,
+            cookie,
+            op,
+            addr,
+            len,
+            arrived: delivery.arrived_at,
+            rx_started,
+            enqueued: self.core_busy,
+        };
+        let acl = self.acl.get(&tenant).cloned().expect("bound conn implies ACL entry");
+        if let Err(status) = acl.check(op, addr, len) {
+            self.stats.acl_rejections += 1;
+            self.send_error(fabric, ctx, status);
+            return;
+        }
+        let ordering = self.ordering.entry(tenant).or_default();
+        if ordering.fence.is_some() {
+            // Requests behind a barrier wait for it to complete.
+            ordering.buffered.push_back((op, len, ctx));
+            return;
+        }
+        ordering.inflight += 1;
+        self.sched
+            .enqueue(tenant, CostedRequest { op, len, payload: ctx })
+            .expect("bound conn implies registered tenant");
+    }
+
+    /// Acknowledges a completed barrier to the client.
+    fn ack_barrier(&mut self, fabric: &mut Fabric<WireMsg>, ctx: ReqCtx) {
+        self.stats.barriers += 1;
+        let header = ReflexHeader {
+            opcode: Opcode::Response,
+            tenant: ctx.tenant.0,
+            cookie: ctx.cookie,
+            addr: 0,
+            len: 0,
+        };
+        let factor = self.config.conn_pressure.factor(self.connection_count());
+        self.charge(self.config.tx_msg_cost.mul_f64(factor));
+        self.stats.tx_msgs += 1;
+        fabric.send(self.core_busy, self.machine, ctx.client, ctx.conn, 0, header.encode());
+    }
+
+    /// Called when one of `tenant`'s I/Os completes: release a pending
+    /// barrier (and the requests buffered behind it) once drained.
+    fn note_completion(&mut self, fabric: &mut Fabric<WireMsg>, tenant: TenantId) {
+        let Some(ordering) = self.ordering.get_mut(&tenant) else { return };
+        ordering.inflight = ordering.inflight.saturating_sub(1);
+        if ordering.inflight == 0 && ordering.fence.is_some() && self.sched.queued_for(tenant) == 0
+        {
+            let ctx = ordering.fence.take().expect("checked above");
+            let buffered = std::mem::take(&mut ordering.buffered);
+            ordering.inflight += buffered.len() as u32;
+            self.ack_barrier(fabric, ctx);
+            for (op, len, rctx) in buffered {
+                self.sched
+                    .enqueue(tenant, CostedRequest { op, len, payload: rctx })
+                    .expect("tenant still registered");
+            }
+        }
+    }
+
+    fn submit_one(
+        &mut self,
+        device: &mut FlashDevice,
+        tenant: TenantId,
+        req: CostedRequest<ReqCtx>,
+    ) {
+        let id = CmdId(self.cmd_seq);
+        self.cmd_seq += 1;
+        let cmd = match req.op {
+            IoType::Read => NvmeCommand::read(id, req.payload.addr, req.len),
+            IoType::Write => NvmeCommand::write(id, req.payload.addr, req.len),
+        };
+        match device.submit(self.core_busy, self.qp, cmd) {
+            Ok(_) => {
+                self.submit_times.insert(id, self.core_busy);
+                self.inflight.insert(id, req.payload);
+                self.stats.submitted += 1;
+            }
+            Err(SubmitError::QueueFull) => {
+                self.stats.sq_full_retries += 1;
+                let payload = req.payload;
+                self.retry_submit.push_front((
+                    tenant,
+                    CostedRequest { op: req.op, len: req.len, payload },
+                ));
+            }
+            Err(SubmitError::EmptyCommand) => {
+                // Zero-length requests were already rejected at parse time;
+                // treat defensively as a decode error.
+                self.stats.decode_errors += 1;
+            }
+        }
+    }
+
+    fn handle_completion(
+        &mut self,
+        fabric: &mut Fabric<WireMsg>,
+        completed: reflex_flash::NvmeCompletion,
+    ) {
+        self.stats.completed += 1;
+        let Some(ctx) = self.inflight.remove(&completed.id) else {
+            self.submit_times.remove(&completed.id);
+            return;
+        };
+        let submitted_at = self.submit_times.remove(&completed.id);
+        let status = match completed.status {
+            NvmeStatus::Success => AbiStatus::Ok,
+            NvmeStatus::OutOfRange => AbiStatus::OutOfRange,
+            NvmeStatus::MediaError => AbiStatus::OutOfResources,
+        };
+        let event = match ctx.op {
+            IoType::Read => EventCond::Response { cookie: ctx.cookie, status },
+            IoType::Write => EventCond::Written { cookie: ctx.cookie, status },
+        };
+        let (header, payload) = Self::user_handle_event(&event, &ctx);
+        let factor = self.config.conn_pressure.factor(self.connection_count());
+        self.charge(self.config.tx_msg_cost.mul_f64(factor));
+        self.stats.tx_msgs += 1;
+        fabric.send(self.core_busy, self.machine, ctx.client, ctx.conn, payload, header.encode());
+        if ctx.op.is_read() {
+            if let Some(h) = self.tenant_read_latency.get_mut(&ctx.tenant) {
+                h.record(self.core_busy.saturating_since(ctx.arrived));
+            }
+        }
+        if let Some(submitted_at) = submitted_at {
+            let b = &mut self.breakdown;
+            b.samples += 1;
+            b.rx_wait_ns += ctx.rx_started.saturating_since(ctx.arrived).as_nanos();
+            b.rx_proc_ns += ctx.enqueued.saturating_since(ctx.rx_started).as_nanos();
+            b.sched_wait_ns += submitted_at.saturating_since(ctx.enqueued).as_nanos();
+            b.device_ns += completed.completed_at.saturating_since(submitted_at).as_nanos();
+            b.tx_ns += self.core_busy.saturating_since(completed.completed_at).as_nanos();
+        }
+        // Barrier release happens after the response is on the wire so the
+        // client observes completions in order.
+        self.note_completion(fabric, ctx.tenant);
+    }
+
+    /// Runs the polling loop at `now`: drains available NIC arrivals, runs
+    /// QoS scheduling, submits to the device and transmits completions,
+    /// charging CPU time throughout. Returns the instant the thread should
+    /// next be woken, or `None` when fully idle with no pending work.
+    pub fn pump(
+        &mut self,
+        now: SimTime,
+        fabric: &mut Fabric<WireMsg>,
+        device: &mut FlashDevice,
+    ) -> Option<SimTime> {
+        if self.core_busy < now {
+            self.core_busy = now;
+        }
+
+        loop {
+            let mut progress = false;
+            let factor = self.config.conn_pressure.factor(self.connection_count());
+
+            // Step 1: NIC RX batch (bounded, adaptive).
+            let msgs =
+                fabric.poll_queue(self.core_busy, self.machine, self.nic_queue, self.config.batch_max);
+            for d in msgs {
+                let rx_started = self.core_busy.max(d.arrived_at);
+                self.charge(self.config.rx_msg_cost.mul_f64(factor));
+                self.handle_rx(fabric, d, rx_started);
+                progress = true;
+            }
+
+            // Step 2: QoS scheduling + NVMe submission.
+            // Retry anything the SQ refused last round first. The SQ is a
+            // single queue: once one submit fails with QueueFull, the rest
+            // will too, so stop immediately instead of rescanning the
+            // whole backlog every round.
+            while let Some((tenant, req)) = self.retry_submit.pop_front() {
+                let before = self.stats.sq_full_retries;
+                self.submit_one(device, tenant, req);
+                if self.stats.sq_full_retries > before {
+                    // submit_one pushed the request back; the SQ is full,
+                    // so every further attempt this round would fail too.
+                    break;
+                }
+            }
+            let due = self.core_busy.saturating_since(self.last_sched) >= self.sched_interval();
+            if self.sched.queued_requests() > 0 && due {
+                self.last_sched = self.core_busy;
+                let (lc, be) = self.sched.tenant_counts();
+                let cost = self.config.sched_base_cost
+                    + self.config.sched_per_tenant_cost * (lc + be) as u64;
+                self.charge(cost);
+                self.sched_time += cost;
+                self.stats.sched_rounds += 1;
+                let mix = if device.in_read_only_mode(self.core_busy) {
+                    LoadMix::ReadOnly
+                } else {
+                    LoadMix::Mixed
+                };
+                let outcome = self.sched.schedule(self.core_busy, mix);
+                let submitted_any = !outcome.submitted.is_empty();
+                for (tenant, req) in outcome.submitted {
+                    self.submit_one(device, tenant, req);
+                }
+                if submitted_any {
+                    progress = true;
+                }
+            }
+
+            // Step 3: NVMe CQ batch -> events -> responses.
+            let comps = device.poll_completions(self.core_busy, self.qp, self.config.batch_max);
+            for c in comps {
+                self.handle_completion(fabric, c);
+                progress = true;
+            }
+
+            if !progress {
+                break;
+            }
+        }
+
+        // Decide when to wake next.
+        let mut wake: Option<SimTime> = None;
+        let mut consider = |t: Option<SimTime>| {
+            if let Some(t) = t {
+                wake = Some(match wake {
+                    Some(w) => w.min(t),
+                    None => t,
+                });
+            }
+        };
+        consider(fabric.next_arrival_queue(self.machine, self.nic_queue));
+        consider(device.next_completion_time(self.qp));
+        if self.sched.queued_requests() > 0 || !self.retry_submit.is_empty() {
+            consider(Some(self.core_busy + self.sched_interval()));
+        }
+        wake.map(|t| t.max(self.core_busy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_breakdown_means() {
+        let mut b = LatencyBreakdown::default();
+        assert_eq!(b.means_us(), (0.0, 0.0, 0.0, 0.0, 0.0));
+        b.samples = 2;
+        b.rx_wait_ns = 2_000;
+        b.rx_proc_ns = 4_000;
+        b.sched_wait_ns = 6_000;
+        b.device_ns = 100_000;
+        b.tx_ns = 1_000;
+        let (rx_wait, rx_proc, sched, device, tx) = b.means_us();
+        assert_eq!(rx_wait, 1.0);
+        assert_eq!(rx_proc, 2.0);
+        assert_eq!(sched, 3.0);
+        assert_eq!(device, 50.0);
+        assert_eq!(tx, 0.5);
+    }
+
+    #[test]
+    fn acl_client_permits() {
+        let open = AclEntry::full(1 << 20);
+        assert!(open.permits_client(MachineId(0)));
+        assert!(open.permits_client(MachineId(9)));
+        let closed = AclEntry::full(1 << 20).restricted_to(vec![MachineId(1), MachineId(2)]);
+        assert!(closed.permits_client(MachineId(1)));
+        assert!(!closed.permits_client(MachineId(3)));
+    }
+}

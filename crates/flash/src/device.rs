@@ -1,0 +1,620 @@
+//! The simulated NVMe Flash device.
+//!
+//! [`FlashDevice`] computes each command's completion instant *at submission
+//! time* from per-channel backlog state (lazy evaluation), so it needs no
+//! events of its own: callers poll completion queues exactly like a real
+//! NVMe driver polls CQs.
+//!
+//! The mechanistic model (see [`DeviceProfile`](crate::DeviceProfile)) is
+//! what produces the paper's Figure 1 behaviour: background page programs
+//! and GC erases occupy channels, reads queue behind them, and tail read
+//! latency degrades as the write share of the load grows.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use reflex_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::profile::DeviceProfile;
+use crate::types::{IoType, NvmeCommand, NvmeCompletion, NvmeStatus, SubmitError};
+
+/// Identifier of a hardware submission/completion queue pair.
+///
+/// Each dataplane thread owns one queue pair, mirroring ReFlex's
+/// one-QP-per-core design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QpId(pub u32);
+
+/// Per-channel backlog state.
+///
+/// Reads serialize on `busy_until`. Write work (page programs and GC
+/// erases) accumulates in `pending_write_work` and drains in the channel's
+/// idle gaps: real FTLs *suspend* programs and erases to serve reads, so a
+/// read normally waits at most one suspend slice. Only when the backlog
+/// exceeds the profile's force threshold (write-buffer pressure) does the
+/// FTL force programs ahead of reads — which is exactly when read tails
+/// explode on real devices (paper Figure 1).
+#[derive(Debug, Clone, Copy, Default)]
+struct Channel {
+    busy_until: SimTime,
+    pending_write_work: SimDuration,
+    pages_since_erase: u32,
+    /// Wall time up to which idle capacity has already been consumed for
+    /// draining write work (prevents double-counting the same idle gap).
+    drain_cursor: SimTime,
+}
+
+impl Channel {
+    /// Drains pending write work into the not-yet-consumed idle gap
+    /// before `now`.
+    fn drain_idle(&mut self, now: SimTime) {
+        let from = self.busy_until.max(self.drain_cursor);
+        let idle = now.saturating_since(from);
+        let drained = self.pending_write_work.min(idle);
+        self.pending_write_work -= drained;
+        self.drain_cursor = self.drain_cursor.max(now);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CqEntry {
+    at: SimTime,
+    seq: u64,
+    completion: NvmeCompletion,
+}
+
+impl PartialOrd for CqEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CqEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Aggregate device statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Read commands completed or in flight.
+    pub reads: u64,
+    /// Write commands completed or in flight.
+    pub writes: u64,
+    /// Pages read.
+    pub read_pages: u64,
+    /// Pages programmed.
+    pub write_pages: u64,
+    /// Garbage-collection erases performed.
+    pub gc_erases: u64,
+    /// Commands rejected for addressing beyond capacity.
+    pub out_of_range: u64,
+    /// Reads failed with uncorrectable media errors.
+    pub media_errors: u64,
+}
+
+struct QueuePair {
+    outstanding: u32,
+    cq: BinaryHeap<Reverse<CqEntry>>,
+}
+
+impl QueuePair {
+    fn new() -> Self {
+        QueuePair { outstanding: 0, cq: BinaryHeap::new() }
+    }
+}
+
+/// A simulated NVMe Flash device with multiple hardware queue pairs.
+///
+/// # Examples
+///
+/// ```
+/// use reflex_flash::{device_a, CmdId, FlashDevice, NvmeCommand};
+/// use reflex_sim::{SimRng, SimTime};
+///
+/// let mut dev = FlashDevice::new(device_a(), SimRng::seed(1));
+/// let qp = dev.create_queue_pair();
+/// let t0 = SimTime::ZERO;
+/// dev.submit(t0, qp, NvmeCommand::read(CmdId(1), 0, 4096))?;
+/// let done = dev.next_completion_time(qp).expect("one command in flight");
+/// let completions = dev.poll_completions(done, qp, 32);
+/// assert_eq!(completions.len(), 1);
+/// assert_eq!(completions[0].id, CmdId(1));
+/// # Ok::<(), reflex_flash::SubmitError>(())
+/// ```
+pub struct FlashDevice {
+    profile: DeviceProfile,
+    channels: Vec<Channel>,
+    qps: Vec<QueuePair>,
+    rng: SimRng,
+    seq: u64,
+    last_write_at: Option<SimTime>,
+    wear_factor: f64,
+    stats: DeviceStats,
+}
+
+impl std::fmt::Debug for FlashDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlashDevice")
+            .field("profile", &self.profile.name)
+            .field("qps", &self.qps.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl FlashDevice {
+    /// Creates a device from a validated profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`DeviceProfile::validate`].
+    pub fn new(profile: DeviceProfile, rng: SimRng) -> Self {
+        profile.validate().expect("invalid device profile");
+        let channels = vec![Channel::default(); profile.channels as usize];
+        FlashDevice {
+            profile,
+            channels,
+            qps: Vec::new(),
+            rng,
+            seq: 0,
+            last_write_at: None,
+            wear_factor: 1.0,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// The device's performance profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Multiplier applied to program occupancy to model wear-out; the
+    /// control plane raises this as the device ages and re-calibrates the
+    /// cost model (paper §3.2.1).
+    pub fn set_wear_factor(&mut self, factor: f64) {
+        assert!(factor >= 1.0, "wear can only slow a device down");
+        self.wear_factor = factor;
+    }
+
+    /// Allocates a new hardware queue pair.
+    pub fn create_queue_pair(&mut self) -> QpId {
+        let id = QpId(self.qps.len() as u32);
+        self.qps.push(QueuePair::new());
+        id
+    }
+
+    /// Number of commands submitted on `qp` and not yet polled.
+    pub fn outstanding(&self, qp: QpId) -> u32 {
+        self.qps[qp.0 as usize].outstanding
+    }
+
+    /// `true` if the device has seen no write for the profile's read-only
+    /// window — reads then pipeline better (the `C(read, 100%) = ½` effect).
+    pub fn in_read_only_mode(&self, now: SimTime) -> bool {
+        match self.last_write_at {
+            None => true,
+            Some(t) => now.saturating_since(t) > self.profile.read_only_window,
+        }
+    }
+
+    fn channel_index(&self, addr: u64) -> usize {
+        let page = addr / self.profile.page_size as u64;
+        // Multiplicative hash spreads both sequential and strided patterns.
+        let h = page.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h % self.channels.len() as u64) as usize
+    }
+
+    /// Submits a command on `qp` at instant `now`; returns the completion
+    /// instant the model computed. The completion also becomes visible to
+    /// [`poll_completions`](Self::poll_completions) at that instant, like
+    /// a real CQ.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when `qp` already has `sq_depth`
+    /// outstanding commands, [`SubmitError::EmptyCommand`] for zero-length
+    /// requests.
+    pub fn submit(&mut self, now: SimTime, qp: QpId, cmd: NvmeCommand) -> Result<SimTime, SubmitError> {
+        if cmd.len == 0 {
+            return Err(SubmitError::EmptyCommand);
+        }
+        if self.qps[qp.0 as usize].outstanding >= self.profile.sq_depth {
+            return Err(SubmitError::QueueFull);
+        }
+
+        if cmd.addr.saturating_add(cmd.len as u64) > self.profile.capacity_bytes {
+            self.stats.out_of_range += 1;
+            let at = now + SimDuration::from_micros(1);
+            let seq = self.next_seq();
+            self.push_completion(
+                qp,
+                CqEntry {
+                    at,
+                    seq,
+                    completion: NvmeCompletion {
+                        id: cmd.id,
+                        op: cmd.op,
+                        completed_at: at,
+                        status: NvmeStatus::OutOfRange,
+                    },
+                },
+            );
+            return Ok(at);
+        }
+
+        let completed_at = match cmd.op {
+            IoType::Read => self.service_read(now, &cmd),
+            IoType::Write => self.service_write(now, &cmd),
+        };
+        debug_assert!(completed_at >= now);
+        // Failure injection: the read occupies the channel either way, but
+        // ECC gives up and the completion reports a media error.
+        let status = if cmd.op.is_read()
+            && self.profile.media_error_rate > 0.0
+            && self.rng.chance(self.profile.media_error_rate)
+        {
+            self.stats.media_errors += 1;
+            NvmeStatus::MediaError
+        } else {
+            NvmeStatus::Success
+        };
+        let seq = self.next_seq();
+        self.push_completion(
+            qp,
+            CqEntry {
+                at: completed_at,
+                seq,
+                completion: NvmeCompletion {
+                    id: cmd.id,
+                    op: cmd.op,
+                    completed_at,
+                    status,
+                },
+            },
+        );
+        Ok(completed_at)
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn push_completion(&mut self, qp: QpId, entry: CqEntry) {
+        let q = &mut self.qps[qp.0 as usize];
+        q.outstanding += 1;
+        q.cq.push(Reverse(entry));
+    }
+
+    fn service_read(&mut self, now: SimTime, cmd: &NvmeCommand) -> SimTime {
+        let pages = cmd.pages(self.profile.page_size) as u64;
+        self.stats.reads += 1;
+        self.stats.read_pages += pages;
+
+        let occ_page = if self.in_read_only_mode(now) {
+            self.profile.read_occupancy.mul_f64(self.profile.read_only_occupancy_factor)
+        } else {
+            self.profile.read_occupancy
+        };
+        let fixed = self
+            .rng
+            .lognormal(self.profile.read_latency_median, self.profile.read_latency_sigma);
+
+        // Multi-page commands stripe across channels (page i of the
+        // request lands on the channel its page address hashes to); the
+        // command completes when its slowest page does.
+        let mut completed = now;
+        for i in 0..pages {
+            let addr = cmd.addr + i * self.profile.page_size as u64;
+            let ch_idx = self.channel_index(addr);
+            let ch = &mut self.channels[ch_idx];
+            ch.drain_idle(now);
+            let mut start = now.max(ch.busy_until);
+            if !ch.pending_write_work.is_zero() {
+                // Program suspension: wait out the in-flight program
+                // slice. If buffer pressure forces programs ahead of
+                // reads, wait for the excess backlog too — the read-tail
+                // collapse of Figure 1.
+                let suspend = ch.pending_write_work.min(self.profile.suspend_slice);
+                let forced = ch
+                    .pending_write_work
+                    .saturating_sub(self.profile.write_force_threshold);
+                let delay = suspend.max(forced);
+                start += delay;
+                ch.pending_write_work -= delay.min(ch.pending_write_work);
+            }
+            ch.busy_until = start + occ_page;
+            completed = completed.max(start + fixed);
+        }
+        completed
+    }
+
+    fn service_write(&mut self, now: SimTime, cmd: &NvmeCommand) -> SimTime {
+        let pages = cmd.pages(self.profile.page_size) as u64;
+        self.stats.writes += 1;
+        self.stats.write_pages += pages;
+        self.last_write_at = Some(now);
+
+        let program = self.profile.program_occupancy.mul_f64(self.wear_factor);
+        let buffered = self
+            .rng
+            .lognormal(self.profile.write_buffer_median, self.profile.write_buffer_sigma);
+
+        // Each page's program lands on its own channel; host completion
+        // stalls on the most backlogged channel involved once its pending
+        // work exceeds the write-buffer allowance.
+        let mut worst_stall = SimDuration::ZERO;
+        for i in 0..pages {
+            let addr = cmd.addr + i * self.profile.page_size as u64;
+            let ch_idx = self.channel_index(addr);
+            let ch = &mut self.channels[ch_idx];
+            ch.drain_idle(now);
+            ch.pending_write_work += program;
+            ch.pages_since_erase += 1;
+            while ch.pages_since_erase >= self.profile.gc_every_pages {
+                ch.pages_since_erase -= self.profile.gc_every_pages;
+                ch.pending_write_work += self.profile.gc_erase_time;
+                self.stats.gc_erases += 1;
+            }
+            let stall = ch.pending_write_work.saturating_sub(self.profile.write_backlog_limit);
+            worst_stall = worst_stall.max(stall);
+        }
+        now + buffered + worst_stall
+    }
+
+    /// Pops up to `max` completions with `completed_at <= now` from `qp`'s
+    /// completion queue, in completion order.
+    pub fn poll_completions(&mut self, now: SimTime, qp: QpId, max: usize) -> Vec<NvmeCompletion> {
+        let q = &mut self.qps[qp.0 as usize];
+        let mut out = Vec::new();
+        while out.len() < max {
+            match q.cq.peek() {
+                Some(Reverse(e)) if e.at <= now => {
+                    out.push(q.cq.pop().expect("peeked entry must pop").0.completion);
+                    q.outstanding -= 1;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Instant of `qp`'s earliest pending completion, if any.
+    pub fn next_completion_time(&self, qp: QpId) -> Option<SimTime> {
+        self.qps[qp.0 as usize].cq.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Earliest pending completion across all queue pairs, if any.
+    pub fn next_completion_time_any(&self) -> Option<SimTime> {
+        self.qps
+            .iter()
+            .filter_map(|q| q.cq.peek().map(|Reverse(e)| e.at))
+            .min()
+    }
+
+    /// Preconditions the device to steady state (the paper preconditions
+    /// real devices with sequential + random writes): marks every channel
+    /// mid-way to its next GC erase so write costs are immediately at their
+    /// steady-state average.
+    pub fn precondition(&mut self) {
+        let half = self.profile.gc_every_pages / 2;
+        for ch in &mut self.channels {
+            ch.pages_since_erase = half;
+        }
+    }
+
+    /// Convenience: submit a 4KB read at a uniformly random page-aligned
+    /// address (workload generators use this for random-read patterns).
+    pub fn random_page_addr(&mut self) -> u64 {
+        let pages = self.profile.capacity_bytes / self.profile.page_size as u64;
+        self.rng.below(pages) * self.profile.page_size as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::device_a;
+    use crate::types::CmdId;
+    use reflex_sim::SimRng;
+
+    fn dev() -> (FlashDevice, QpId) {
+        let mut d = FlashDevice::new(device_a(), SimRng::seed(42));
+        let qp = d.create_queue_pair();
+        (d, qp)
+    }
+
+    #[test]
+    fn unloaded_read_latency_matches_profile() {
+        let (mut d, qp) = dev();
+        let mut total = 0.0;
+        let n = 2_000;
+        let mut t = SimTime::ZERO;
+        for i in 0..n {
+            let addr = d.random_page_addr();
+            d.submit(t, qp, NvmeCommand::read(CmdId(i), addr, 4096)).unwrap();
+            let done = d.next_completion_time(qp).unwrap();
+            let cs = d.poll_completions(done, qp, 8);
+            assert_eq!(cs.len(), 1);
+            total += (cs[0].completed_at - t).as_micros_f64();
+            t = done + SimDuration::from_micros(50); // queue depth 1, idle gaps
+        }
+        let avg = total / n as f64;
+        // Unloaded read ~ fixed component only (single page): ~76.5us mean.
+        assert!((72.0..=82.0).contains(&avg), "unloaded read avg {avg}us");
+    }
+
+    #[test]
+    fn unloaded_write_latency_is_buffered() {
+        let (mut d, qp) = dev();
+        let mut total = 0.0;
+        let n = 500;
+        let mut t = SimTime::ZERO;
+        for i in 0..n {
+            let addr = d.random_page_addr();
+            d.submit(t, qp, NvmeCommand::write(CmdId(i), addr, 4096)).unwrap();
+            let done = d.next_completion_time(qp).unwrap();
+            d.poll_completions(done, qp, 8);
+            total += (done - t).as_micros_f64();
+            t = done + SimDuration::from_millis(1); // let programs drain
+        }
+        let avg = total / n as f64;
+        assert!((8.0..=16.0).contains(&avg), "unloaded write avg {avg}us");
+    }
+
+    #[test]
+    fn reads_queue_behind_writes_on_same_channel() {
+        let (mut d, qp) = dev();
+        let addr = 0u64;
+        let t0 = SimTime::ZERO;
+        // Stack enough writes on one channel to exceed the force threshold,
+        // then read the same channel.
+        for i in 0..16 {
+            d.submit(t0, qp, NvmeCommand::write(CmdId(i), addr, 4096)).unwrap();
+        }
+        d.submit(t0, qp, NvmeCommand::read(CmdId(100), addr, 4096)).unwrap();
+        let mut read_done = None;
+        let mut poll_t = t0;
+        for _ in 0..100 {
+            poll_t = poll_t + SimDuration::from_millis(1);
+            for c in d.poll_completions(poll_t, qp, 64) {
+                if c.id == CmdId(100) {
+                    read_done = Some(c.completed_at);
+                }
+            }
+            if read_done.is_some() {
+                break;
+            }
+        }
+        let lat = (read_done.expect("read completes") - t0).as_micros_f64();
+        // 16 programs x 430us = 6.9ms of backlog; ~3.3ms is forced ahead of
+        // the read: far above unloaded latency.
+        assert!(lat > 2_000.0, "interfered read latency only {lat}us");
+    }
+
+    #[test]
+    fn read_only_mode_engages_after_idle_window() {
+        let (mut d, qp) = dev();
+        assert!(d.in_read_only_mode(SimTime::ZERO));
+        d.submit(SimTime::ZERO, qp, NvmeCommand::write(CmdId(0), 0, 4096)).unwrap();
+        assert!(!d.in_read_only_mode(SimTime::from_millis(1)));
+        assert!(d.in_read_only_mode(SimTime::from_millis(20)));
+    }
+
+    #[test]
+    fn queue_full_is_reported() {
+        let (mut d, qp) = dev();
+        let depth = d.profile().sq_depth;
+        for i in 0..depth {
+            d.submit(SimTime::ZERO, qp, NvmeCommand::read(CmdId(i as u64), 0, 4096)).unwrap();
+        }
+        let err = d.submit(SimTime::ZERO, qp, NvmeCommand::read(CmdId(9999), 0, 4096));
+        assert_eq!(err, Err(SubmitError::QueueFull));
+        // Draining completions frees slots.
+        let t = SimTime::from_secs(10);
+        let n = d.poll_completions(t, qp, usize::MAX);
+        assert_eq!(n.len(), depth as usize);
+        assert!(d.submit(t, qp, NvmeCommand::read(CmdId(9999), 0, 4096)).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_completes_with_error_status() {
+        let (mut d, qp) = dev();
+        let cap = d.profile().capacity_bytes;
+        d.submit(SimTime::ZERO, qp, NvmeCommand::read(CmdId(1), cap, 4096)).unwrap();
+        let cs = d.poll_completions(SimTime::from_millis(1), qp, 8);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].status, NvmeStatus::OutOfRange);
+        assert_eq!(d.stats().out_of_range, 1);
+    }
+
+    #[test]
+    fn empty_command_rejected() {
+        let (mut d, qp) = dev();
+        let err = d.submit(SimTime::ZERO, qp, NvmeCommand::read(CmdId(1), 0, 0));
+        assert_eq!(err, Err(SubmitError::EmptyCommand));
+    }
+
+    #[test]
+    fn completions_come_out_in_time_order() {
+        let (mut d, qp) = dev();
+        for i in 0..200u64 {
+            let addr = d.random_page_addr();
+            let cmd = if i % 3 == 0 {
+                NvmeCommand::write(CmdId(i), addr, 4096)
+            } else {
+                NvmeCommand::read(CmdId(i), addr, 4096)
+            };
+            d.submit(SimTime::from_nanos(i * 100), qp, cmd).unwrap();
+        }
+        let cs = d.poll_completions(SimTime::from_secs(1), qp, usize::MAX);
+        assert_eq!(cs.len(), 200);
+        for w in cs.windows(2) {
+            assert!(w[0].completed_at <= w[1].completed_at);
+        }
+    }
+
+    #[test]
+    fn multiple_qps_are_independent() {
+        let mut d = FlashDevice::new(device_a(), SimRng::seed(1));
+        let qp0 = d.create_queue_pair();
+        let qp1 = d.create_queue_pair();
+        d.submit(SimTime::ZERO, qp0, NvmeCommand::read(CmdId(1), 0, 4096)).unwrap();
+        assert_eq!(d.outstanding(qp0), 1);
+        assert_eq!(d.outstanding(qp1), 0);
+        let t = SimTime::from_millis(1);
+        assert!(d.poll_completions(t, qp1, 8).is_empty());
+        assert_eq!(d.poll_completions(t, qp0, 8).len(), 1);
+    }
+
+    #[test]
+    fn multi_page_reads_stripe_across_channels() {
+        let (mut d, qp) = dev();
+        // 32KB read = 8 pages striped over channels: latency stays near
+        // the fixed array-read time, while channel occupancy (and thus the
+        // token cost the scheduler charges) is 8x a 4KB read.
+        d.submit(SimTime::ZERO, qp, NvmeCommand::read(CmdId(1), 0, 32 * 1024)).unwrap();
+        let done = d.next_completion_time(qp).unwrap();
+        let lat = (done - SimTime::ZERO).as_micros_f64();
+        assert!((60.0..200.0).contains(&lat), "32KB striped read latency {lat}us");
+        assert_eq!(d.stats().read_pages, 8);
+    }
+
+    #[test]
+    fn gc_erases_accumulate_with_writes() {
+        let (mut d, qp) = dev();
+        d.precondition();
+        let mut t = SimTime::ZERO;
+        for i in 0..2_000u64 {
+            let addr = d.random_page_addr();
+            d.submit(t, qp, NvmeCommand::write(CmdId(i), addr, 4096)).unwrap();
+            t = t + SimDuration::from_micros(20);
+            d.poll_completions(t, qp, usize::MAX);
+        }
+        assert!(d.stats().gc_erases > 10, "expected GC activity, got {:?}", d.stats());
+    }
+
+    #[test]
+    fn wear_factor_slows_writes() {
+        let (mut d, qp) = dev();
+        d.set_wear_factor(4.0);
+        let t0 = SimTime::ZERO;
+        for i in 0..8 {
+            d.submit(t0, qp, NvmeCommand::write(CmdId(i), 0, 4096)).unwrap();
+        }
+        d.submit(t0, qp, NvmeCommand::read(CmdId(99), 0, 4096)).unwrap();
+        let all = d.poll_completions(SimTime::from_secs(1), qp, usize::MAX);
+        let read = all.iter().find(|c| c.id == CmdId(99)).unwrap();
+        let lat = (read.completed_at - t0).as_micros_f64();
+        // 8 programs x 430us x 4 wear = ~13.8ms backlog; ~10ms forced ahead.
+        assert!(lat > 5_000.0, "worn-device read latency {lat}us");
+    }
+}

@@ -1,0 +1,61 @@
+//! Failure injection: uncorrectable media errors.
+
+use reflex_flash::{device_a, CmdId, FlashDevice, NvmeCommand, NvmeStatus};
+use reflex_sim::{SimRng, SimTime};
+
+#[test]
+fn media_errors_occur_at_the_configured_rate() {
+    let mut profile = device_a();
+    profile.media_error_rate = 0.05;
+    profile.sq_depth = 1 << 16; // batch-submit test: no backpressure needed
+    let mut dev = FlashDevice::new(profile, SimRng::seed(1));
+    let qp = dev.create_queue_pair();
+    let n = 5_000u64;
+    for i in 0..n {
+        let addr = dev.random_page_addr();
+        dev.submit(SimTime::from_nanos(i * 2_000), qp, NvmeCommand::read(CmdId(i), addr, 4096))
+            .expect("deep sq");
+    }
+    let cs = dev.poll_completions(SimTime::from_secs(600), qp, usize::MAX);
+    let errors = cs.iter().filter(|c| c.status == NvmeStatus::MediaError).count();
+    let rate = errors as f64 / n as f64;
+    assert!((0.035..0.07).contains(&rate), "observed error rate {rate}");
+    assert_eq!(dev.stats().media_errors, errors as u64);
+}
+
+#[test]
+fn healthy_devices_never_error() {
+    let mut profile = device_a();
+    profile.sq_depth = 1 << 16;
+    let mut dev = FlashDevice::new(profile, SimRng::seed(2));
+    let qp = dev.create_queue_pair();
+    for i in 0..2_000u64 {
+        let addr = dev.random_page_addr();
+        dev.submit(SimTime::from_nanos(i * 1_000), qp, NvmeCommand::read(CmdId(i), addr, 4096))
+            .expect("deep sq");
+    }
+    let cs = dev.poll_completions(SimTime::from_secs(600), qp, usize::MAX);
+    assert!(cs.iter().all(|c| c.status == NvmeStatus::Success));
+}
+
+#[test]
+fn writes_are_unaffected_by_read_error_injection() {
+    let mut profile = device_a();
+    profile.media_error_rate = 0.5;
+    let mut dev = FlashDevice::new(profile, SimRng::seed(3));
+    let qp = dev.create_queue_pair();
+    for i in 0..500u64 {
+        let addr = dev.random_page_addr();
+        dev.submit(SimTime::from_nanos(i * 20_000), qp, NvmeCommand::write(CmdId(i), addr, 4096))
+            .expect("deep sq");
+    }
+    let cs = dev.poll_completions(SimTime::from_secs(600), qp, usize::MAX);
+    assert!(cs.iter().all(|c| c.status == NvmeStatus::Success));
+}
+
+#[test]
+fn invalid_rate_rejected() {
+    let mut profile = device_a();
+    profile.media_error_rate = 1.5;
+    assert!(profile.validate().is_err());
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the Flash device model's invariants.
+
+use proptest::prelude::*;
+use reflex_flash::{device_a, CmdId, FlashDevice, NvmeCommand, NvmeStatus};
+use reflex_sim::{SimRng, SimTime};
+
+fn arbitrary_cmd(i: u64, kind: u8, page: u64, pages: u32) -> NvmeCommand {
+    let addr = (page % 1_000_000) * 4096;
+    let len = pages.clamp(1, 64) * 4096;
+    if kind == 0 {
+        NvmeCommand::read(CmdId(i), addr, len)
+    } else {
+        NvmeCommand::write(CmdId(i), addr, len)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Completions never precede submissions, and polled completions come
+    /// out in non-decreasing completion order.
+    #[test]
+    fn completions_causal_and_ordered(
+        cmds in prop::collection::vec((0u8..2, 0u64..1_000_000, 1u32..8, 1u64..50_000), 1..200),
+    ) {
+        let mut dev = FlashDevice::new(device_a(), SimRng::seed(1));
+        let qp = dev.create_queue_pair();
+        let mut now = SimTime::ZERO;
+        let mut submit_times = std::collections::HashMap::new();
+        for (i, (kind, page, pages, gap_ns)) in cmds.iter().enumerate() {
+            now = now + reflex_sim::SimDuration::from_nanos(*gap_ns);
+            let cmd = arbitrary_cmd(i as u64, *kind, *page, *pages);
+            submit_times.insert(cmd.id, now);
+            dev.submit(now, qp, cmd).expect("sq deep enough");
+        }
+        let completions = dev.poll_completions(SimTime::from_secs(3_600), qp, usize::MAX);
+        prop_assert_eq!(completions.len(), cmds.len());
+        let mut prev = SimTime::ZERO;
+        for c in &completions {
+            prop_assert!(c.completed_at >= prev, "completion order violated");
+            prev = c.completed_at;
+            let submitted = submit_times[&c.id];
+            prop_assert!(c.completed_at >= submitted, "completion before submission");
+            prop_assert_eq!(c.status, NvmeStatus::Success);
+        }
+    }
+
+    /// The completion instant returned by submit matches what the CQ
+    /// later reports.
+    #[test]
+    fn predicted_completion_matches_cq(
+        cmds in prop::collection::vec((0u8..2, 0u64..100_000, 1u32..4), 1..100),
+    ) {
+        let mut dev = FlashDevice::new(device_a(), SimRng::seed(2));
+        let qp = dev.create_queue_pair();
+        let mut predicted = std::collections::HashMap::new();
+        let mut now = SimTime::ZERO;
+        for (i, (kind, page, pages)) in cmds.iter().enumerate() {
+            now = now + reflex_sim::SimDuration::from_micros(3);
+            let cmd = arbitrary_cmd(i as u64, *kind, *page, *pages);
+            let at = dev.submit(now, qp, cmd).expect("deep sq");
+            predicted.insert(cmd.id, at);
+        }
+        for c in dev.poll_completions(SimTime::from_secs(3_600), qp, usize::MAX) {
+            prop_assert_eq!(predicted[&c.id], c.completed_at);
+        }
+    }
+
+    /// Out-of-range commands always complete with OutOfRange and never
+    /// touch channel state (subsequent latencies are unaffected).
+    #[test]
+    fn out_of_range_is_isolated(offsets in prop::collection::vec(0u64..1_000_000, 1..20)) {
+        let mut dev = FlashDevice::new(device_a(), SimRng::seed(3));
+        let qp = dev.create_queue_pair();
+        let cap = dev.profile().capacity_bytes;
+        for (i, off) in offsets.iter().enumerate() {
+            dev.submit(
+                SimTime::ZERO,
+                qp,
+                NvmeCommand::read(CmdId(i as u64), cap + off * 4096, 4096),
+            )
+            .expect("accepted");
+        }
+        let cs = dev.poll_completions(SimTime::from_secs(1), qp, usize::MAX);
+        for c in &cs {
+            prop_assert_eq!(c.status, NvmeStatus::OutOfRange);
+        }
+        // A clean read afterwards sees unloaded latency.
+        let t = SimTime::from_secs(2);
+        let done = dev.submit(t, qp, NvmeCommand::read(CmdId(999), 0, 4096)).unwrap();
+        let lat_us = done.saturating_since(t).as_micros_f64();
+        prop_assert!(lat_us < 150.0, "clean read after errors took {lat_us}us");
+    }
+
+    /// Device statistics count exactly what was submitted.
+    #[test]
+    fn stats_count_submissions(
+        reads in 0u32..50,
+        writes in 0u32..50,
+    ) {
+        let mut dev = FlashDevice::new(device_a(), SimRng::seed(4));
+        let qp = dev.create_queue_pair();
+        let mut id = 0u64;
+        for _ in 0..reads {
+            dev.submit(SimTime::ZERO, qp, NvmeCommand::read(CmdId(id), 0, 4096)).unwrap();
+            id += 1;
+        }
+        for _ in 0..writes {
+            dev.submit(SimTime::ZERO, qp, NvmeCommand::write(CmdId(id), 4096, 4096)).unwrap();
+            id += 1;
+        }
+        let stats = dev.stats();
+        prop_assert_eq!(stats.reads, reads as u64);
+        prop_assert_eq!(stats.writes, writes as u64);
+        prop_assert_eq!(stats.read_pages, reads as u64);
+        prop_assert_eq!(stats.write_pages, writes as u64);
+    }
+
+    /// Queue-pair isolation: traffic on one QP never produces completions
+    /// on another.
+    #[test]
+    fn qp_isolation(n in 1u32..100) {
+        let mut dev = FlashDevice::new(device_a(), SimRng::seed(5));
+        let qp0 = dev.create_queue_pair();
+        let qp1 = dev.create_queue_pair();
+        for i in 0..n {
+            dev.submit(SimTime::ZERO, qp0, NvmeCommand::read(CmdId(i as u64), 0, 4096)).unwrap();
+        }
+        prop_assert!(dev.poll_completions(SimTime::from_secs(10), qp1, usize::MAX).is_empty());
+        prop_assert_eq!(
+            dev.poll_completions(SimTime::from_secs(10), qp0, usize::MAX).len(),
+            n as usize
+        );
+    }
+}

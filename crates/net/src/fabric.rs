@@ -1,0 +1,477 @@
+//! The network fabric: machines, NICs and message delivery.
+//!
+//! Like the Flash device model, the fabric computes each message's arrival
+//! instant *at send time* from per-NIC busy state (serialization on the
+//! sender's uplink, receive capacity on the destination's downlink,
+//! propagation through the switch) plus the endpoints' stack latencies.
+//! Receivers poll their delivery queue, mirroring how the dataplane polls
+//! NIC RX descriptor rings.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use reflex_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::stack::StackProfile;
+use crate::wire::wire_bytes_with;
+
+/// Identifier of a machine attached to the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MachineId(pub u32);
+
+/// Identifier of a (TCP) connection between two machines. The fabric itself
+/// is connection-agnostic; ids are carried for the endpoints' bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConnId(pub u64);
+
+/// Identifier of a receive queue on a machine's NIC. Multi-queue NICs let
+/// each dataplane thread poll its own queue (flow steering / RSS) while all
+/// queues share the NIC's bandwidth. Every machine has queue 0 by default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NicQueueId(pub u32);
+
+/// Fabric-wide link parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Link bandwidth in bits per second (default: 10GbE).
+    pub bandwidth_bps: u64,
+    /// One-way propagation + switching delay.
+    pub propagation: SimDuration,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            bandwidth_bps: 10_000_000_000,
+            propagation: SimDuration::from_micros_f64(1.0),
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A 40GbE fabric (the paper notes modern datacenters remove the 10GbE
+    /// bottleneck; fig4/fig7a discussion).
+    pub fn forty_gbe() -> Self {
+        LinkConfig { bandwidth_bps: 40_000_000_000, ..LinkConfig::default() }
+    }
+
+    /// Time to serialize `bytes` onto the wire.
+    pub fn serialization(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps as f64)
+    }
+}
+
+/// A message delivered to a machine's receive queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery<P> {
+    /// Sender machine.
+    pub from: MachineId,
+    /// Connection the message belongs to.
+    pub conn: ConnId,
+    /// Instant the receiving application sees the message.
+    pub arrived_at: SimTime,
+    /// Application payload length in bytes (excluding headers).
+    pub size: u32,
+    /// Opaque payload handed back to the receiver.
+    pub payload: P,
+}
+
+struct Nic {
+    stack: StackProfile,
+    tx_busy: SimTime,
+    rx_busy: SimTime,
+    rng: SimRng,
+    tx_bytes: u64,
+    rx_bytes: u64,
+}
+
+struct RxEntry<P> {
+    at: SimTime,
+    seq: u64,
+    delivery: Delivery<P>,
+}
+
+impl<P> PartialEq for RxEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<P> Eq for RxEntry<P> {}
+impl<P> PartialOrd for RxEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for RxEntry<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The shared network fabric over which all machines communicate.
+///
+/// # Examples
+///
+/// ```
+/// use reflex_net::{Fabric, LinkConfig, StackProfile};
+/// use reflex_sim::{SimRng, SimTime};
+///
+/// let mut fabric: Fabric<&'static str> = Fabric::new(LinkConfig::default(), SimRng::seed(1));
+/// let client = fabric.add_machine(StackProfile::linux_tcp());
+/// let server = fabric.add_machine(StackProfile::dataplane_raw());
+///
+/// let conn = fabric.new_conn();
+/// let arrival = fabric.send(SimTime::ZERO, client, server, conn, 4096, "hello");
+/// let got = fabric.poll(arrival, server, 16);
+/// assert_eq!(got.len(), 1);
+/// assert_eq!(got[0].payload, "hello");
+/// ```
+pub struct Fabric<P> {
+    link: LinkConfig,
+    nic_seed: u64,
+    nics: Vec<Nic>,
+    rx_queues: Vec<Vec<BinaryHeap<Reverse<RxEntry<P>>>>>,
+    seq: u64,
+    next_conn: u64,
+}
+
+impl<P> std::fmt::Debug for Fabric<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("machines", &self.nics.len())
+            .field("link", &self.link)
+            .finish()
+    }
+}
+
+impl<P> Fabric<P> {
+    /// Creates a fabric with the given link configuration. `seed_rng`
+    /// derives each attached NIC's jitter stream.
+    pub fn new(link: LinkConfig, mut seed_rng: SimRng) -> Self {
+        let nic_seed = seed_rng.next_u64();
+        Fabric { link, nic_seed, nics: Vec::new(), rx_queues: Vec::new(), seq: 0, next_conn: 0 }
+    }
+
+    /// The fabric's link configuration.
+    pub fn link(&self) -> LinkConfig {
+        self.link
+    }
+
+    /// Attaches a machine with the given stack; returns its id.
+    pub fn add_machine(&mut self, stack: StackProfile) -> MachineId {
+        let id = MachineId(self.nics.len() as u32);
+        // Each NIC gets an independent RNG stream derived from its index so
+        // machine creation order, not call order, determines jitter.
+        let rng = SimRng::seed(self.nic_seed ^ (0x9e37_79b9 * (id.0 as u64 + 1)));
+        self.nics.push(Nic {
+            stack,
+            tx_busy: SimTime::ZERO,
+            rx_busy: SimTime::ZERO,
+            rng,
+            tx_bytes: 0,
+            rx_bytes: 0,
+        });
+        self.rx_queues.push(vec![BinaryHeap::new()]);
+        id
+    }
+
+    /// Adds a receive queue to `machine`'s NIC (queue 0 exists already);
+    /// returns its id. Dataplane threads poll disjoint queues.
+    pub fn add_queue(&mut self, machine: MachineId) -> NicQueueId {
+        let queues = &mut self.rx_queues[machine.0 as usize];
+        queues.push(BinaryHeap::new());
+        NicQueueId(queues.len() as u32 - 1)
+    }
+
+    /// Number of receive queues on `machine`'s NIC.
+    pub fn queue_count(&self, machine: MachineId) -> u32 {
+        self.rx_queues[machine.0 as usize].len() as u32
+    }
+
+    /// Allocates a fresh connection id.
+    pub fn new_conn(&mut self) -> ConnId {
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        id
+    }
+
+    /// Number of attached machines.
+    pub fn machines(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// Total (tx, rx) application bytes a machine has moved.
+    pub fn traffic(&self, m: MachineId) -> (u64, u64) {
+        let nic = &self.nics[m.0 as usize];
+        (nic.tx_bytes, nic.rx_bytes)
+    }
+
+    /// Sends `size` application bytes from `from` to `to`; returns the
+    /// instant the receiving application will see the message. The message
+    /// is queued on the destination and must be drained with
+    /// [`poll`](Self::poll).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` or either machine id is unknown.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        from: MachineId,
+        to: MachineId,
+        conn: ConnId,
+        size: u32,
+        payload: P,
+    ) -> SimTime {
+        self.send_to_queue(now, from, to, NicQueueId(0), conn, size, payload)
+    }
+
+    /// Like [`send`](Self::send) but steers the message to a specific
+    /// receive queue on the destination NIC (flow steering). All queues of
+    /// a NIC share its bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`, either machine id is unknown, or the queue
+    /// does not exist on the destination.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_to_queue(
+        &mut self,
+        now: SimTime,
+        from: MachineId,
+        to: MachineId,
+        queue: NicQueueId,
+        conn: ConnId,
+        size: u32,
+        payload: P,
+    ) -> SimTime {
+        assert_ne!(from, to, "loopback is not modelled");
+        // The flow's transport is the sender's (both ends of a connection
+        // speak the same protocol).
+        let overhead = self.nics[from.0 as usize].stack.transport.frame_overhead();
+        let bytes = wire_bytes_with(size as usize, overhead);
+        let ser = self.link.serialization(bytes);
+
+        // Sender: stack latency, then serialization on the uplink.
+        let src = &mut self.nics[from.0 as usize];
+        let tx_stack = src.stack.sample_tx(&mut src.rng);
+        let depart_start = (now + tx_stack).max(src.tx_busy);
+        let departed = depart_start + ser;
+        src.tx_busy = departed;
+        src.tx_bytes += size as u64;
+
+        // Receiver: downlink capacity, then stack latency to the app.
+        let dst = &mut self.nics[to.0 as usize];
+        let wire_arrival = departed + self.link.propagation;
+        let rx_done = wire_arrival.max(dst.rx_busy) + ser;
+        dst.rx_busy = rx_done;
+        let rx_stack = dst.stack.sample_rx(&mut dst.rng);
+        let arrived_at = rx_done + rx_stack;
+        dst.rx_bytes += size as u64;
+
+        let seq = self.seq;
+        self.seq += 1;
+        self.rx_queues[to.0 as usize][queue.0 as usize].push(Reverse(RxEntry {
+            at: arrived_at,
+            seq,
+            delivery: Delivery { from, conn, arrived_at, size, payload },
+        }));
+        arrived_at
+    }
+
+    /// Re-enqueues a polled delivery onto another queue of the same
+    /// machine (connection rebalancing across dataplane threads forwards
+    /// in-flight messages instead of dropping them). The message becomes
+    /// visible shortly after `now`.
+    pub fn requeue(&mut self, now: SimTime, machine: MachineId, queue: NicQueueId, mut delivery: Delivery<P>) {
+        let at = now + SimDuration::from_nanos(500);
+        delivery.arrived_at = at;
+        let seq = self.seq;
+        self.seq += 1;
+        self.rx_queues[machine.0 as usize][queue.0 as usize]
+            .push(Reverse(RxEntry { at, seq, delivery }));
+    }
+
+    /// Pops up to `max` messages that have arrived at `machine`'s queue 0
+    /// by `now`.
+    pub fn poll(&mut self, now: SimTime, machine: MachineId, max: usize) -> Vec<Delivery<P>> {
+        self.poll_queue(now, machine, NicQueueId(0), max)
+    }
+
+    /// Pops up to `max` arrived messages from a specific receive queue.
+    pub fn poll_queue(
+        &mut self,
+        now: SimTime,
+        machine: MachineId,
+        queue: NicQueueId,
+        max: usize,
+    ) -> Vec<Delivery<P>> {
+        let q = &mut self.rx_queues[machine.0 as usize][queue.0 as usize];
+        let mut out = Vec::new();
+        while out.len() < max {
+            match q.peek() {
+                Some(Reverse(e)) if e.at <= now => {
+                    out.push(q.pop().expect("peeked entry must pop").0.delivery);
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Instant of the earliest undelivered message on `machine`'s queue 0.
+    pub fn next_arrival(&self, machine: MachineId) -> Option<SimTime> {
+        self.next_arrival_queue(machine, NicQueueId(0))
+    }
+
+    /// Instant of the earliest undelivered message on a specific queue.
+    pub fn next_arrival_queue(&self, machine: MachineId, queue: NicQueueId) -> Option<SimTime> {
+        self.rx_queues[machine.0 as usize][queue.0 as usize]
+            .peek()
+            .map(|Reverse(e)| e.at)
+    }
+
+    /// Earliest undelivered message across all machines and queues, if any.
+    pub fn next_arrival_any(&self) -> Option<SimTime> {
+        self.rx_queues
+            .iter()
+            .flatten()
+            .filter_map(|q| q.peek().map(|Reverse(e)| e.at))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> (Fabric<u32>, MachineId, MachineId) {
+        let mut f = Fabric::new(LinkConfig::default(), SimRng::seed(9));
+        let a = f.add_machine(StackProfile::ix_tcp());
+        let b = f.add_machine(StackProfile::dataplane_raw());
+        (f, a, b)
+    }
+
+    #[test]
+    fn unloaded_latency_is_stack_plus_wire() {
+        let (mut f, a, b) = fabric();
+        let conn = f.new_conn();
+        let mut total = 0.0;
+        let n = 500;
+        for i in 0..n {
+            let t = SimTime::from_millis(i);
+            let arrival = f.send(t, a, b, conn, 0, 0);
+            total += (arrival - t).as_micros_f64();
+        }
+        let avg = total / n as f64;
+        // ix tx ~2 + ser 82B*2 ~0.13 + prop 1 + raw rx ~0.3 = ~3.5us.
+        assert!((2.5..5.0).contains(&avg), "unloaded one-way {avg}us");
+    }
+
+    #[test]
+    fn four_kb_response_takes_longer() {
+        let (mut f, a, b) = fabric();
+        let conn = f.new_conn();
+        let t = SimTime::ZERO;
+        let small = f.send(t, a, b, conn, 0, 0) - t;
+        let t2 = SimTime::from_millis(1);
+        let large = f.send(t2, a, b, conn, 4096, 1) - t2;
+        // 4KB ≈ 4.3KB wire ≈ 3.4us serialization x2 (uplink+downlink).
+        let delta = large.as_micros_f64() - small.as_micros_f64();
+        assert!((4.0..10.0).contains(&delta), "4KB penalty {delta}us");
+    }
+
+    #[test]
+    fn downlink_saturates_at_10gbe() {
+        // Two senders blast one receiver with 4KB messages; the receiver's
+        // goodput must cap near 10Gb/s = ~291K 4KB msgs/s (with framing).
+        let mut f: Fabric<u32> = Fabric::new(LinkConfig::default(), SimRng::seed(1));
+        let s1 = f.add_machine(StackProfile::ix_tcp());
+        let s2 = f.add_machine(StackProfile::ix_tcp());
+        let dst = f.add_machine(StackProfile::dataplane_raw());
+        let conn = f.new_conn();
+        // Offer 600K msg/s total for 10ms.
+        let mut last_arrival = SimTime::ZERO;
+        for i in 0..6_000u64 {
+            let t = SimTime::from_nanos(i * 1_667);
+            let from = if i % 2 == 0 { s1 } else { s2 };
+            let a = f.send(t, from, dst, conn, 4096, i as u32);
+            last_arrival = last_arrival.max(a);
+        }
+        let got = f.poll(last_arrival, dst, usize::MAX);
+        assert_eq!(got.len(), 6_000);
+        let span = last_arrival.as_secs_f64();
+        let rate = 6_000.0 / span;
+        assert!(
+            (250_000.0..300_000.0).contains(&rate),
+            "saturated receive rate {rate} msgs/s"
+        );
+    }
+
+    #[test]
+    fn deliveries_are_time_ordered_and_pollable() {
+        let (mut f, a, b) = fabric();
+        let conn = f.new_conn();
+        for i in 0..100u32 {
+            f.send(SimTime::from_nanos(u64::from(i) * 10), a, b, conn, 1024, i);
+        }
+        assert!(f.poll(SimTime::ZERO, b, usize::MAX).is_empty());
+        let all = f.poll(SimTime::from_secs(1), b, usize::MAX);
+        assert_eq!(all.len(), 100);
+        for w in all.windows(2) {
+            assert!(w[0].arrived_at <= w[1].arrived_at);
+        }
+        assert!(f.next_arrival(b).is_none());
+    }
+
+    #[test]
+    fn next_arrival_reports_earliest() {
+        let (mut f, a, b) = fabric();
+        let conn = f.new_conn();
+        let t1 = f.send(SimTime::ZERO, a, b, conn, 0, 1);
+        let _t2 = f.send(SimTime::from_micros(50), a, b, conn, 0, 2);
+        assert_eq!(f.next_arrival(b), Some(t1));
+        assert_eq!(f.next_arrival_any(), Some(t1));
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let (mut f, a, b) = fabric();
+        let conn = f.new_conn();
+        f.send(SimTime::ZERO, a, b, conn, 4096, 0);
+        assert_eq!(f.traffic(a).0, 4096);
+        assert_eq!(f.traffic(b).1, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_panics() {
+        let (mut f, a, _b) = fabric();
+        let conn = f.new_conn();
+        f.send(SimTime::ZERO, a, a, conn, 0, 0);
+    }
+
+    #[test]
+    fn linux_stack_adds_latency_over_ix() {
+        let mut f: Fabric<u32> = Fabric::new(LinkConfig::default(), SimRng::seed(2));
+        let linux = f.add_machine(StackProfile::linux_tcp());
+        let ix = f.add_machine(StackProfile::ix_tcp());
+        let dst = f.add_machine(StackProfile::dataplane_raw());
+        let conn = f.new_conn();
+        let mut linux_total = 0.0;
+        let mut ix_total = 0.0;
+        for i in 0..500 {
+            let t = SimTime::from_millis(i);
+            linux_total += (f.send(t, linux, dst, conn, 1024, 0) - t).as_micros_f64();
+            let t = SimTime::from_millis(i) + SimDuration::from_micros(300);
+            ix_total += (f.send(t, ix, dst, conn, 1024, 0) - t).as_micros_f64();
+        }
+        assert!(
+            linux_total / 500.0 > ix_total / 500.0 + 4.0,
+            "linux {:.1} vs ix {:.1}",
+            linux_total / 500.0,
+            ix_total / 500.0
+        );
+    }
+}

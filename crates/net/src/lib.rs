@@ -1,0 +1,22 @@
+//! # reflex-net — network model for the ReFlex reproduction
+//!
+//! Simulates the commodity 10GbE TCP/IP environment of the paper:
+//!
+//! * [`Fabric`] — machines connected through a switch; per-NIC
+//!   serialization/receive capacity and propagation delays, lazily computed
+//!   like the Flash device model.
+//! * [`StackProfile`] — Linux kernel TCP versus the IX dataplane stack
+//!   (latency, jitter, per-thread message-rate ceilings).
+//! * [`ReflexHeader`] / [`wire_bytes`] — the binary wire protocol actually
+//!   serialized and parsed by the dataplane.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod fabric;
+mod stack;
+mod wire;
+
+pub use fabric::{ConnId, Delivery, Fabric, LinkConfig, MachineId, NicQueueId};
+pub use stack::{StackProfile, Transport};
+pub use wire::{wire_bytes, wire_bytes_with, Opcode, ReflexHeader, WireError, FRAME_OVERHEAD, HEADER_SIZE, MAGIC, MSS};

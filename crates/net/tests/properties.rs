@@ -1,0 +1,114 @@
+//! Property-based tests of the network model.
+
+use proptest::prelude::*;
+use reflex_net::{
+    wire_bytes, Fabric, LinkConfig, NicQueueId, Opcode, ReflexHeader, StackProfile, WireError,
+    HEADER_SIZE,
+};
+use reflex_sim::{SimDuration, SimRng, SimTime};
+
+fn arb_opcode(raw: u8) -> Opcode {
+    match raw % 4 {
+        0 => Opcode::Get,
+        1 => Opcode::Put,
+        2 => Opcode::Response,
+        _ => Opcode::Error,
+    }
+}
+
+proptest! {
+    /// Header encode/decode round-trips for all field values.
+    #[test]
+    fn header_round_trip(
+        op_raw in any::<u8>(),
+        tenant in any::<u32>(),
+        cookie in any::<u64>(),
+        addr in any::<u64>(),
+        len in any::<u32>(),
+    ) {
+        let hdr = ReflexHeader { opcode: arb_opcode(op_raw), tenant, cookie, addr, len };
+        let enc = hdr.encode();
+        prop_assert_eq!(enc.len(), HEADER_SIZE);
+        prop_assert_eq!(ReflexHeader::decode(&enc).unwrap(), hdr);
+    }
+
+    /// Decoding arbitrary bytes never panics and either returns a valid
+    /// header or a classified error.
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        match ReflexHeader::decode(&bytes) {
+            Ok(h) => {
+                // Anything decoded must re-encode to the same prefix.
+                let enc = h.encode();
+                prop_assert_eq!(&enc[..], &bytes[..HEADER_SIZE]);
+            }
+            Err(WireError::Truncated) => prop_assert!(bytes.len() < HEADER_SIZE),
+            Err(WireError::BadMagic(b)) => prop_assert_eq!(b, bytes[0]),
+            Err(WireError::BadOpcode(b)) => prop_assert_eq!(b, bytes[1]),
+        }
+    }
+
+    /// Wire size accounting is monotone and always includes the header.
+    #[test]
+    fn wire_bytes_monotone(a in 0usize..10_000_000, b in 0usize..10_000_000) {
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(wire_bytes(small) <= wire_bytes(large));
+        prop_assert!(wire_bytes(small) >= small + HEADER_SIZE);
+    }
+
+    /// Fabric causality: every delivery arrives strictly after its send
+    /// instant, and per-queue deliveries are time-ordered.
+    #[test]
+    fn fabric_causal(
+        msgs in prop::collection::vec((0u64..1_000_000, 0u32..100_000, 0u8..2), 1..100),
+    ) {
+        let mut fabric: Fabric<u64> = Fabric::new(LinkConfig::default(), SimRng::seed(1));
+        let c = fabric.add_machine(StackProfile::ix_tcp());
+        let s = fabric.add_machine(StackProfile::dataplane_raw());
+        let q1 = fabric.add_queue(s);
+        let conn = fabric.new_conn();
+        let mut sent = Vec::new();
+        let mut now = SimTime::ZERO;
+        for (i, (gap_ns, size, which_q)) in msgs.iter().enumerate() {
+            now = now + SimDuration::from_nanos(*gap_ns);
+            let q = if *which_q == 0 { NicQueueId(0) } else { q1 };
+            let arrival = fabric.send_to_queue(now, c, s, q, conn, *size, i as u64);
+            prop_assert!(arrival > now, "arrival {arrival} not after send {now}");
+            sent.push((q, i as u64));
+        }
+        let horizon = SimTime::from_secs(3_600);
+        for q in [NicQueueId(0), q1] {
+            let got = fabric.poll_queue(horizon, s, q, usize::MAX);
+            let mut prev = SimTime::ZERO;
+            for d in &got {
+                prop_assert!(d.arrived_at >= prev);
+                prev = d.arrived_at;
+            }
+            let expected = sent.iter().filter(|(sq, _)| *sq == q).count();
+            prop_assert_eq!(got.len(), expected, "queue {:?}", q);
+        }
+    }
+
+    /// Bandwidth conservation: the receiver can never receive faster than
+    /// the link bandwidth over any busy interval.
+    #[test]
+    fn bandwidth_bounded(n in 10u32..200) {
+        let mut fabric: Fabric<u32> = Fabric::new(LinkConfig::default(), SimRng::seed(2));
+        let c = fabric.add_machine(StackProfile::ix_tcp());
+        let s = fabric.add_machine(StackProfile::dataplane_raw());
+        let conn = fabric.new_conn();
+        // Blast n 4KB messages at t=0.
+        let mut last = SimTime::ZERO;
+        for i in 0..n {
+            let a = fabric.send(SimTime::ZERO, c, s, conn, 4096, i);
+            last = last.max(a);
+        }
+        let bytes_on_wire = n as u64 * wire_bytes(4096) as u64;
+        let min_secs = bytes_on_wire as f64 * 8.0 / 10e9;
+        prop_assert!(
+            last.as_secs_f64() >= min_secs,
+            "{n} msgs finished in {} < wire minimum {min_secs}",
+            last.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Token arithmetic.
+//!
+//! The scheduler accounts I/O cost in *tokens*, where one token is the cost
+//! of a 4KB random read under mixed load (paper §3.2.1). Tokens are kept as
+//! signed fixed-point **millitokens** so that `C(read, r=100%) = ½` is exact
+//! and LC tenants can run a bounded deficit (the paper's `NEG_LIMIT`).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+use reflex_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A signed token amount in fixed-point millitokens.
+///
+/// # Examples
+///
+/// ```
+/// use reflex_qos::Tokens;
+///
+/// let one = Tokens::from_tokens(1);
+/// let half = Tokens::from_millitokens(500);
+/// assert_eq!(one + half, Tokens::from_millitokens(1_500));
+/// assert_eq!((one - one - half).as_tokens_f64(), -0.5);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Tokens(i64);
+
+impl Tokens {
+    /// Zero tokens.
+    pub const ZERO: Tokens = Tokens(0);
+
+    /// Creates an amount from whole tokens.
+    pub const fn from_tokens(tokens: i64) -> Self {
+        Tokens(tokens * 1_000)
+    }
+
+    /// Creates an amount from millitokens.
+    pub const fn from_millitokens(mt: i64) -> Self {
+        Tokens(mt)
+    }
+
+    /// The raw millitoken count.
+    pub const fn as_millitokens(self) -> i64 {
+        self.0
+    }
+
+    /// The amount in fractional tokens.
+    pub fn as_tokens_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// `true` when strictly positive.
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// Clamps negative amounts to zero.
+    pub fn max_zero(self) -> Tokens {
+        Tokens(self.0.max(0))
+    }
+
+    /// The smaller of two amounts.
+    pub fn min(self, other: Tokens) -> Tokens {
+        Tokens(self.0.min(other.0))
+    }
+
+    /// Multiplies by a non-negative fraction, truncating to millitokens.
+    pub fn mul_f64(self, f: f64) -> Tokens {
+        debug_assert!(f >= 0.0);
+        Tokens((self.0 as f64 * f) as i64)
+    }
+}
+
+impl Add for Tokens {
+    type Output = Tokens;
+    fn add(self, rhs: Tokens) -> Tokens {
+        Tokens(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Tokens {
+    fn add_assign(&mut self, rhs: Tokens) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Tokens {
+    type Output = Tokens;
+    fn sub(self, rhs: Tokens) -> Tokens {
+        Tokens(self.0 - rhs.0)
+    }
+}
+impl SubAssign for Tokens {
+    fn sub_assign(&mut self, rhs: Tokens) {
+        self.0 -= rhs.0;
+    }
+}
+impl Neg for Tokens {
+    type Output = Tokens;
+    fn neg(self) -> Tokens {
+        Tokens(-self.0)
+    }
+}
+impl Sum for Tokens {
+    fn sum<I: Iterator<Item = Tokens>>(iter: I) -> Tokens {
+        Tokens(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for Tokens {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}tok", self.as_tokens_f64())
+    }
+}
+
+/// A token generation rate in millitokens per second.
+///
+/// Generation over an elapsed interval is computed exactly with a
+/// nanosecond-granularity remainder carried in [`TokenGen`], so no fraction
+/// of a token is ever lost to rounding — scheduling rounds can be as short
+/// as 0.5µs (paper §3.2.2) and typically generate well under one token.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TokenRate(u64);
+
+impl TokenRate {
+    /// Zero rate.
+    pub const ZERO: TokenRate = TokenRate(0);
+
+    /// Creates a rate of whole tokens per second.
+    pub const fn per_sec(tokens: u64) -> Self {
+        TokenRate(tokens * 1_000)
+    }
+
+    /// Creates a rate of millitokens per second.
+    pub const fn millitokens_per_sec(mt: u64) -> Self {
+        TokenRate(mt)
+    }
+
+    /// The rate in millitokens per second.
+    pub const fn as_millitokens_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// The rate in fractional tokens per second.
+    pub fn as_tokens_per_sec_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating subtraction of two rates.
+    pub fn saturating_sub(self, other: TokenRate) -> TokenRate {
+        TokenRate(self.0.saturating_sub(other.0))
+    }
+
+    /// Sum of two rates.
+    pub fn checked_add(self, other: TokenRate) -> Option<TokenRate> {
+        self.0.checked_add(other.0).map(TokenRate)
+    }
+
+    /// Divides the rate into `n` equal shares (floor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn share(self, n: u64) -> TokenRate {
+        assert!(n > 0, "cannot share among zero tenants");
+        TokenRate(self.0 / n)
+    }
+}
+
+/// Exact token generation at a [`TokenRate`] with a carried remainder.
+///
+/// # Examples
+///
+/// ```
+/// use reflex_qos::{TokenGen, TokenRate, Tokens};
+/// use reflex_sim::SimDuration;
+///
+/// let mut gen = TokenGen::new();
+/// let rate = TokenRate::per_sec(420_000);
+/// // 1us at 420K tokens/s = 0.42 tokens = 420 millitokens.
+/// let t = gen.generate(rate, SimDuration::from_micros(1));
+/// assert_eq!(t, Tokens::from_millitokens(420));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenGen {
+    /// Remainder in millitoken-nanoseconds (< 1e9).
+    carry: u64,
+}
+
+impl TokenGen {
+    /// Creates a generator with no carried remainder.
+    pub fn new() -> Self {
+        TokenGen::default()
+    }
+
+    /// Generates tokens for `elapsed` at `rate`, carrying the sub-millitoken
+    /// remainder into the next call. Over any sequence of calls the total
+    /// generated equals `rate × total_elapsed` exactly (within 1 mt).
+    pub fn generate(&mut self, rate: TokenRate, elapsed: SimDuration) -> Tokens {
+        let numer = rate.as_millitokens_per_sec() as u128 * elapsed.as_nanos() as u128
+            + self.carry as u128;
+        let mt = (numer / 1_000_000_000) as i64;
+        self.carry = (numer % 1_000_000_000) as u64;
+        Tokens::from_millitokens(mt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_arithmetic() {
+        let a = Tokens::from_tokens(3);
+        let b = Tokens::from_millitokens(500);
+        assert_eq!(a + b, Tokens::from_millitokens(3_500));
+        assert_eq!(a - b, Tokens::from_millitokens(2_500));
+        assert_eq!(-b, Tokens::from_millitokens(-500));
+        assert!(a.is_positive());
+        assert!(!Tokens::ZERO.is_positive());
+        assert_eq!((b - a).max_zero(), Tokens::ZERO);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.mul_f64(0.9), Tokens::from_millitokens(2_700));
+    }
+
+    #[test]
+    fn token_sum_and_display() {
+        let total: Tokens = [Tokens::from_tokens(1), Tokens::from_millitokens(250)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Tokens::from_millitokens(1_250));
+        assert_eq!(total.to_string(), "1.250tok");
+    }
+
+    #[test]
+    fn rate_shares_and_subtraction() {
+        let r = TokenRate::per_sec(420_000);
+        assert_eq!(r.share(4), TokenRate::per_sec(105_000));
+        let lc = TokenRate::per_sec(316_000);
+        assert_eq!(r.saturating_sub(lc), TokenRate::per_sec(104_000));
+        assert_eq!(lc.saturating_sub(r), TokenRate::ZERO);
+        assert_eq!(
+            r.checked_add(lc),
+            Some(TokenRate::per_sec(736_000))
+        );
+    }
+
+    #[test]
+    fn generation_is_exact_over_many_small_rounds() {
+        // 1000 rounds of 700ns at 420K tokens/s = 0.7ms * 420K = 294 tokens.
+        let mut gen = TokenGen::new();
+        let rate = TokenRate::per_sec(420_000);
+        let mut total = Tokens::ZERO;
+        for _ in 0..1_000 {
+            total += gen.generate(rate, SimDuration::from_nanos(700));
+        }
+        assert_eq!(total, Tokens::from_tokens(294));
+    }
+
+    #[test]
+    fn generation_handles_fractional_millitokens() {
+        // 1 token/s over 1ns rounds: each round generates 0 but the carry
+        // accumulates; after 1e6 rounds (1ms) exactly 1 millitoken.
+        let mut gen = TokenGen::new();
+        let rate = TokenRate::per_sec(1);
+        let mut total = Tokens::ZERO;
+        for _ in 0..1_000_000 {
+            total += gen.generate(rate, SimDuration::from_nanos(1));
+        }
+        assert_eq!(total, Tokens::from_millitokens(1));
+    }
+
+    #[test]
+    fn zero_rate_generates_nothing() {
+        let mut gen = TokenGen::new();
+        assert_eq!(
+            gen.generate(TokenRate::ZERO, SimDuration::from_secs(100)),
+            Tokens::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero tenants")]
+    fn share_zero_panics() {
+        let _ = TokenRate::per_sec(1).share(0);
+    }
+}

@@ -1,0 +1,394 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] owns a user-supplied *world* (the mutable simulation state) and
+//! a time-ordered queue of events. An event is a one-shot closure that
+//! receives exclusive access to the world plus a [`Ctx`] handle for
+//! scheduling follow-up events. Events at the same instant run in FIFO
+//! scheduling order, which makes runs fully deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use reflex_sim::{Engine, SimDuration, SimTime};
+//!
+//! let mut engine = Engine::new(0u32);
+//! engine.schedule_after(SimDuration::from_micros(5), |count, ctx| {
+//!     *count += 1;
+//!     // Chain a follow-up event 5us later.
+//!     ctx.schedule_after(SimDuration::from_micros(5), |count, _| *count += 10);
+//! });
+//! engine.run_until(SimTime::from_micros(100));
+//! assert_eq!(*engine.world(), 11);
+//! // The clock advances to the deadline once the queue drains.
+//! assert_eq!(engine.now(), SimTime::from_micros(100));
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A one-shot event handler over world `W`.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Ctx<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    action: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Scheduled<W> {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Scheduling context passed to every event handler.
+///
+/// Events scheduled through the context are merged into the engine's queue
+/// when the handler returns; they may be at the current instant (they will
+/// run after all previously-queued events for that instant) or in the future.
+pub struct Ctx<W> {
+    now: SimTime,
+    stop: bool,
+    pending: Vec<(SimTime, EventFn<W>)>,
+}
+
+impl<W> std::fmt::Debug for Ctx<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("now", &self.now)
+            .field("stop", &self.stop)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl<W> Ctx<W> {
+    /// The current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `action` to run at absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current instant.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut W, &mut Ctx<W>) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        self.pending.push((at, Box::new(action)));
+    }
+
+    /// Schedules `action` to run `delay` after the current instant.
+    pub fn schedule_after<F>(&mut self, delay: SimDuration, action: F)
+    where
+        F: FnOnce(&mut W, &mut Ctx<W>) + 'static,
+    {
+        let at = self.now + delay;
+        self.pending.push((at, Box::new(action)));
+    }
+
+    /// Requests that the engine stop after the current handler returns.
+    ///
+    /// Queued events are retained; a later `run_*` call resumes them.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+/// Outcome of a single [`Engine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// An event was dispatched at the contained instant.
+    Ran(SimTime),
+    /// The queue was empty; nothing ran.
+    Idle,
+}
+
+/// A deterministic discrete-event engine over a world `W`.
+///
+/// See the module documentation for an example.
+pub struct Engine<W> {
+    world: W,
+    queue: BinaryHeap<Scheduled<W>>,
+    now: SimTime,
+    seq: u64,
+    dispatched: u64,
+}
+
+impl<W: std::fmt::Debug> std::fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("queued", &self.queue.len())
+            .field("dispatched", &self.dispatched)
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine at `t=0` wrapping `world`.
+    pub fn new(world: W) -> Self {
+        Engine {
+            world,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            dispatched: 0,
+        }
+    }
+
+    /// The current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (for setup and inspection between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the engine, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of events currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Instant of the next queued event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|s| s.at)
+    }
+
+    /// Schedules `action` at absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current instant.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut W, &mut Ctx<W>) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, action: Box::new(action) });
+    }
+
+    /// Schedules `action` to run `delay` after the current instant.
+    pub fn schedule_after<F>(&mut self, delay: SimDuration, action: F)
+    where
+        F: FnOnce(&mut W, &mut Ctx<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Dispatches the single earliest event, if any, advancing the clock.
+    pub fn step(&mut self) -> Step {
+        let Some(ev) = self.queue.pop() else {
+            return Step::Idle;
+        };
+        debug_assert!(ev.at >= self.now, "event queue emitted a past event");
+        self.now = ev.at;
+        self.dispatched += 1;
+        let mut ctx = Ctx { now: self.now, stop: false, pending: Vec::new() };
+        (ev.action)(&mut self.world, &mut ctx);
+        for (at, action) in ctx.pending {
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(Scheduled { at, seq, action });
+        }
+        Step::Ran(self.now)
+    }
+
+    /// Runs until the queue drains, the deadline passes, or a handler calls
+    /// [`Ctx::stop`]. The clock is left at `min(deadline, last event time)`;
+    /// events scheduled after `deadline` stay queued.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(next) = self.next_event_time() {
+            if next > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event must pop");
+            self.now = ev.at;
+            self.dispatched += 1;
+            let mut ctx = Ctx { now: self.now, stop: false, pending: Vec::new() };
+            (ev.action)(&mut self.world, &mut ctx);
+            let stop = ctx.stop;
+            for (at, action) in ctx.pending {
+                let seq = self.seq;
+                self.seq += 1;
+                self.queue.push(Scheduled { at, seq, action });
+            }
+            if stop {
+                return;
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `span` of simulated time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+
+    /// Runs until the event queue is completely drained, leaving the clock
+    /// at the instant of the last dispatched event.
+    pub fn run_to_completion(&mut self) {
+        while let Step::Ran(_) = self.step() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut e = Engine::new(Vec::<u32>::new());
+        e.schedule_at(SimTime::from_micros(30), |w: &mut Vec<u32>, _| w.push(3));
+        e.schedule_at(SimTime::from_micros(10), |w: &mut Vec<u32>, _| w.push(1));
+        e.schedule_at(SimTime::from_micros(20), |w: &mut Vec<u32>, _| w.push(2));
+        e.run_until(SimTime::from_millis(1));
+        assert_eq!(e.world(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn same_instant_events_run_fifo() {
+        let mut e = Engine::new(Vec::<u32>::new());
+        let t = SimTime::from_micros(5);
+        for i in 0..10 {
+            e.schedule_at(t, move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        e.run_until(t);
+        assert_eq!(e.world(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut e = Engine::new(0u64);
+        e.schedule_at(SimTime::from_micros(1), |w: &mut u64, ctx| {
+            *w += 1;
+            ctx.schedule_after(SimDuration::from_micros(1), |w, ctx| {
+                *w += 10;
+                ctx.schedule_after(SimDuration::from_micros(1), |w, _| *w += 100);
+            });
+        });
+        e.run_until(SimTime::from_micros(10));
+        assert_eq!(*e.world(), 111);
+        assert_eq!(e.dispatched(), 3);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut e = Engine::new(0u32);
+        e.schedule_at(SimTime::from_micros(5), |w: &mut u32, _| *w += 1);
+        e.schedule_at(SimTime::from_micros(50), |w: &mut u32, _| *w += 1);
+        e.run_until(SimTime::from_micros(10));
+        assert_eq!(*e.world(), 1);
+        assert_eq!(e.now(), SimTime::from_micros(10));
+        assert_eq!(e.queued(), 1);
+        e.run_until(SimTime::from_micros(100));
+        assert_eq!(*e.world(), 2);
+    }
+
+    #[test]
+    fn stop_pauses_and_resumes() {
+        let mut e = Engine::new(Vec::<u32>::new());
+        e.schedule_at(SimTime::from_micros(1), |w: &mut Vec<u32>, ctx| {
+            w.push(1);
+            ctx.stop();
+        });
+        e.schedule_at(SimTime::from_micros(2), |w: &mut Vec<u32>, _| w.push(2));
+        e.run_until(SimTime::from_micros(10));
+        assert_eq!(e.world(), &[1]);
+        e.run_until(SimTime::from_micros(10));
+        assert_eq!(e.world(), &[1, 2]);
+    }
+
+    #[test]
+    fn step_reports_idle_on_empty_queue() {
+        let mut e = Engine::new(());
+        assert_eq!(e.step(), Step::Idle);
+        e.schedule_at(SimTime::from_micros(2), |_, _| {});
+        assert_eq!(e.step(), Step::Ran(SimTime::from_micros(2)));
+        assert_eq!(e.step(), Step::Idle);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut e = Engine::new(());
+        e.schedule_at(SimTime::from_micros(10), |_, _| {});
+        e.run_until(SimTime::from_micros(10));
+        e.schedule_at(SimTime::from_micros(5), |_, _| {});
+    }
+
+    #[test]
+    fn run_for_advances_relative_to_now() {
+        let mut e = Engine::new(0u32);
+        e.schedule_at(SimTime::from_micros(5), |w: &mut u32, _| *w += 1);
+        e.run_for(SimDuration::from_micros(3));
+        assert_eq!(e.now(), SimTime::from_micros(3));
+        assert_eq!(*e.world(), 0);
+        e.run_for(SimDuration::from_micros(3));
+        assert_eq!(*e.world(), 1);
+        assert_eq!(e.now(), SimTime::from_micros(6));
+    }
+
+    #[test]
+    fn heavy_interleaving_is_deterministic() {
+        fn run() -> Vec<u64> {
+            let mut e = Engine::new(Vec::new());
+            for i in 0..100u64 {
+                let at = SimTime::from_nanos((i * 37) % 500);
+                e.schedule_at(at, move |w: &mut Vec<u64>, ctx| {
+                    w.push(i);
+                    if i % 3 == 0 {
+                        ctx.schedule_after(SimDuration::from_nanos(i % 7), move |w, _| {
+                            w.push(1000 + i)
+                        });
+                    }
+                });
+            }
+            e.run_until(SimTime::from_micros(10));
+            e.into_world()
+        }
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,245 @@
+//! Deterministic random-number generation for simulations.
+//!
+//! [`SimRng`] wraps a seeded [`rand::rngs::SmallRng`] and adds the sampling
+//! helpers the storage and network models need: exponential inter-arrival
+//! gaps, lognormal service times, bounded uniform draws, and a Zipfian
+//! key-popularity distribution for key-value workloads.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A seeded, deterministic RNG with simulation-oriented sampling helpers.
+///
+/// Two `SimRng`s constructed with the same seed produce identical streams,
+/// which keeps every experiment reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use reflex_sim::SimRng;
+///
+/// let mut a = SimRng::seed(42);
+/// let mut b = SimRng::seed(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        SimRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child generator; used to give each component
+    /// its own stream so adding draws in one place does not perturb others.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed(self.inner.next_u64() ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.random_range(0..n)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed duration with the given mean — the
+    /// inter-arrival gap of a Poisson process.
+    pub fn exponential(&mut self, mean: SimDuration) -> SimDuration {
+        // Inverse-CDF sampling; guard the log against u == 0.
+        let u = self.f64().max(1e-12);
+        SimDuration::from_micros_f64(-mean.as_micros_f64() * u.ln())
+    }
+
+    /// Lognormally distributed duration parameterised by its *median* and
+    /// the underlying normal's sigma. Service-time jitter in the device and
+    /// stack models uses small sigmas (0.05–0.3).
+    pub fn lognormal(&mut self, median: SimDuration, sigma: f64) -> SimDuration {
+        let z = self.standard_normal();
+        SimDuration::from_micros_f64(median.as_micros_f64() * (sigma * z).exp())
+    }
+
+    /// Standard normal draw (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = self.f64().max(1e-12);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Zipfian distribution over `[0, n)` with skew `theta`, using the
+/// Gray et al. rejection-free approximation common in YCSB-style generators.
+///
+/// # Examples
+///
+/// ```
+/// use reflex_sim::{SimRng, Zipf};
+///
+/// let mut rng = SimRng::seed(7);
+/// let zipf = Zipf::new(1_000, 0.99);
+/// let k = zipf.sample(&mut rng);
+/// assert!(k < 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipfian distribution over `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf { n, theta, alpha, zetan, eta }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum for small n; integral approximation for large n keeps
+        // construction O(1)-ish without visible accuracy loss for sampling.
+        if n <= 10_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let tail = ((n as f64).powf(1.0 - theta) - 10_000f64.powf(1.0 - theta)) / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed(1);
+        let mut b = SimRng::seed(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut a = SimRng::seed(1);
+        let mut fork = a.fork();
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| fork.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed(2);
+        let mean = SimDuration::from_micros(100);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exponential(mean).as_micros_f64()).sum();
+        let avg = total / n as f64;
+        assert!((avg - 100.0).abs() < 3.0, "sample mean {avg} too far from 100");
+    }
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let mut rng = SimRng::seed(3);
+        let median = SimDuration::from_micros(80);
+        let mut xs: Vec<f64> = (0..10_001).map(|_| rng.lognormal(median, 0.2).as_micros_f64()).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let sample_median = xs[5_000];
+        assert!((sample_median - 80.0).abs() < 2.0, "median {sample_median}");
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = SimRng::seed(4);
+        for _ in 0..1_000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = SimRng::seed(6);
+        let z = Zipf::new(10_000, 0.99);
+        let mut hits_top10 = 0u64;
+        let n = 20_000;
+        for _ in 0..n {
+            let k = z.sample(&mut rng);
+            assert!(k < 10_000);
+            if k < 10 {
+                hits_top10 += 1;
+            }
+        }
+        // With theta=0.99 the top 10 of 10k keys should draw a large share.
+        assert!(hits_top10 > n / 10, "zipf not skewed: {hits_top10}/{n} in top-10");
+    }
+
+    #[test]
+    fn zipf_large_domain_construction() {
+        let z = Zipf::new(100_000_000, 0.9);
+        let mut rng = SimRng::seed(7);
+        for _ in 0..100 {
+            assert!(z.sample(&mut rng) < 100_000_000);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the simulation substrate.
+
+use proptest::prelude::*;
+use reflex_sim::{Engine, Histogram, SimDuration, SimRng, SimTime, Zipf};
+
+proptest! {
+    /// Histogram percentiles are monotone in the percentile for any input.
+    #[test]
+    fn histogram_percentiles_monotone(values in prop::collection::vec(1u64..10_000_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        for v in &values {
+            h.record_nanos(*v);
+        }
+        let mut prev = 0u64;
+        for pct in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+            let v = h.percentile(pct).as_nanos();
+            prop_assert!(v >= prev, "p{pct} = {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    /// Percentiles stay within the observed min/max and carry bounded
+    /// relative error at the extremes.
+    #[test]
+    fn histogram_percentiles_bounded(values in prop::collection::vec(1u64..10_000_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for v in &values {
+            h.record_nanos(*v);
+            min = min.min(*v);
+            max = max.max(*v);
+        }
+        prop_assert!(h.percentile(0.0).as_nanos() >= min.saturating_sub(min / 32));
+        prop_assert!(h.percentile(100.0).as_nanos() <= max + max / 32 + 1);
+    }
+
+    /// Merging two histograms equals recording the union of their samples
+    /// (same counts, same percentile answers).
+    #[test]
+    fn histogram_merge_equals_union(
+        a in prop::collection::vec(1u64..1_000_000_000, 1..200),
+        b in prop::collection::vec(1u64..1_000_000_000, 1..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hu = Histogram::new();
+        for v in &a { ha.record_nanos(*v); hu.record_nanos(*v); }
+        for v in &b { hb.record_nanos(*v); hu.record_nanos(*v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        for pct in [50.0, 95.0, 99.0] {
+            prop_assert_eq!(ha.percentile(pct), hu.percentile(pct));
+        }
+        prop_assert_eq!(ha.mean(), hu.mean());
+    }
+
+    /// Engine: events fire in exactly time order regardless of insertion
+    /// order, with FIFO tie-breaking by insertion sequence.
+    #[test]
+    fn engine_orders_arbitrary_schedules(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut engine = Engine::new(Vec::<(u64, usize)>::new());
+        for (i, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<(u64, usize)>, ctx| {
+                w.push((ctx.now().as_nanos(), i));
+            });
+        }
+        engine.run_to_completion();
+        let fired = engine.world();
+        prop_assert_eq!(fired.len(), times.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// SimRng streams are reproducible and fork-independent.
+    #[test]
+    fn rng_reproducible(seed in any::<u64>()) {
+        let mut a = SimRng::seed(seed);
+        let mut b = SimRng::seed(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut f1 = a.fork();
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| f1.next_u64()).collect();
+        prop_assert_ne!(xs, ys);
+    }
+
+    /// Exponential samples are non-negative and bounded-mean-ish; Zipf
+    /// samples stay in range.
+    #[test]
+    fn distributions_well_formed(seed in any::<u64>(), n in 2u64..100_000, theta in 0.01f64..0.99) {
+        let mut rng = SimRng::seed(seed);
+        let mean = SimDuration::from_micros(50);
+        for _ in 0..64 {
+            let d = rng.exponential(mean);
+            prop_assert!(d.as_nanos() < 10_000_000_000, "absurd exponential draw");
+        }
+        let z = Zipf::new(n, theta);
+        for _ in 0..64 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Duration arithmetic: float round trips stay within a nanosecond.
+    #[test]
+    fn duration_float_round_trip(us in 0.0f64..1e9) {
+        let d = SimDuration::from_micros_f64(us);
+        let back = d.as_micros_f64();
+        prop_assert!((back - us).abs() <= 0.001, "{us} -> {back}");
+    }
+}

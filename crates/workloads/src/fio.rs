@@ -1,0 +1,182 @@
+//! FIO — the flexible I/O tester (paper Figure 7a).
+//!
+//! A [`FioJob`] is a closed-loop workload: `threads` application threads
+//! each keep `queue_depth` I/Os outstanding against a [`Backend`]. The
+//! latency-throughput curve of Figure 7a is produced by sweeping
+//! `(threads, queue_depth)`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use reflex_flash::IoType;
+use reflex_sim::{Histogram, SimDuration, SimRng, SimTime};
+
+use crate::backend::Backend;
+
+/// A closed-loop FIO-style job description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FioJob {
+    /// Application threads.
+    pub threads: u32,
+    /// Outstanding I/Os per thread.
+    pub queue_depth: u32,
+    /// Request size in bytes.
+    pub io_size: u32,
+    /// Percentage of reads (0–100).
+    pub read_pct: u8,
+    /// Warmup before measurement.
+    pub warmup: SimDuration,
+    /// Measured window.
+    pub runtime: SimDuration,
+}
+
+impl Default for FioJob {
+    fn default() -> Self {
+        FioJob {
+            threads: 1,
+            queue_depth: 32,
+            io_size: 4096,
+            read_pct: 100,
+            warmup: SimDuration::from_millis(50),
+            runtime: SimDuration::from_millis(300),
+        }
+    }
+}
+
+/// Results of a [`FioJob`] run.
+#[derive(Debug, Clone)]
+pub struct FioReport {
+    /// Latency histogram (all ops).
+    pub latency: Histogram,
+    /// Completed operations per second.
+    pub iops: f64,
+    /// Goodput in megabytes per second.
+    pub mb_per_sec: f64,
+}
+
+impl FioJob {
+    /// Runs the job against `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job has zero threads/queue depth, or more threads
+    /// than the backend has client threads.
+    pub fn run(&self, backend: &mut Backend, seed: u64) -> FioReport {
+        assert!(self.threads > 0 && self.queue_depth > 0, "degenerate job");
+        assert!(
+            self.threads as usize <= backend.client_threads(),
+            "job threads exceed backend client threads"
+        );
+        let mut rng = SimRng::seed(seed);
+        let mut heap: BinaryHeap<Reverse<(SimTime, usize, SimTime)>> = BinaryHeap::new();
+        // (completion, thread, issued_at)
+        let issue = |backend: &mut Backend,
+                         rng: &mut SimRng,
+                         heap: &mut BinaryHeap<Reverse<(SimTime, usize, SimTime)>>,
+                         now: SimTime,
+                         th: usize| {
+            let addr = backend.random_page_addr();
+            let op = if rng.below(100) < self.read_pct as u64 {
+                IoType::Read
+            } else {
+                IoType::Write
+            };
+            let done = backend.submit(now, th, op, addr, self.io_size);
+            heap.push(Reverse((done, th, now)));
+        };
+
+        for th in 0..self.threads as usize {
+            for q in 0..self.queue_depth {
+                let start = SimTime::from_nanos((th as u64 * self.queue_depth as u64
+                    + q as u64)
+                    * 500);
+                issue(backend, &mut rng, &mut heap, start, th);
+            }
+        }
+
+        let measure_start = SimTime::ZERO + self.warmup;
+        let end = measure_start + self.runtime;
+        let mut latency = Histogram::new();
+        let mut completed = 0u64;
+        while let Some(Reverse((done, th, issued_at))) = heap.pop() {
+            if done >= end {
+                break;
+            }
+            if done >= measure_start {
+                completed += 1;
+                if issued_at >= measure_start {
+                    latency.record(done.saturating_since(issued_at));
+                }
+            }
+            issue(backend, &mut rng, &mut heap, done, th);
+        }
+        let secs = self.runtime.as_secs_f64();
+        FioReport {
+            latency,
+            iops: completed as f64 / secs,
+            mb_per_sec: completed as f64 * self.io_size as f64 / secs / 1e6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendProfile;
+    use reflex_flash::device_a;
+
+    #[test]
+    fn local_fio_scales_with_threads() {
+        let run = |threads: u32| {
+            let mut b = Backend::new(BackendProfile::local_nvme(), device_a(), threads, 11);
+            FioJob { threads, queue_depth: 32, ..FioJob::default() }.run(&mut b, 1)
+        };
+        let one = run(1);
+        let five = run(5);
+        assert!(five.iops > 2.5 * one.iops, "local FIO scaling {} -> {}", one.iops, five.iops);
+        // Five threads approach the device's 1M read-only IOPS.
+        assert!(
+            (750_000.0..1_050_000.0).contains(&five.iops),
+            "5-thread local FIO {}",
+            five.iops
+        );
+    }
+
+    #[test]
+    fn reflex_fio_caps_at_10gbe() {
+        let mut b = Backend::new(BackendProfile::reflex_remote(), device_a(), 6, 12);
+        let rep = FioJob { threads: 6, queue_depth: 48, ..FioJob::default() }.run(&mut b, 2);
+        // 10GbE ~ 1.25GB/s minus framing: ~1150-1200 MB/s of 4KB payloads.
+        assert!(
+            (1_000.0..1_250.0).contains(&rep.mb_per_sec),
+            "reflex FIO MB/s {}",
+            rep.mb_per_sec
+        );
+    }
+
+    #[test]
+    fn iscsi_fio_is_roughly_4x_slower_than_reflex() {
+        let mut ir = Backend::new(BackendProfile::iscsi_remote(), device_a(), 6, 13);
+        let iscsi = FioJob { threads: 6, queue_depth: 48, ..FioJob::default() }.run(&mut ir, 3);
+        let mut rr = Backend::new(BackendProfile::reflex_remote(), device_a(), 6, 13);
+        let reflex = FioJob { threads: 6, queue_depth: 48, ..FioJob::default() }.run(&mut rr, 3);
+        let ratio = reflex.iops / iscsi.iops;
+        assert!(
+            (3.0..6.0).contains(&ratio),
+            "reflex/iscsi FIO throughput ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_queue_depth() {
+        let mut b = Backend::new(BackendProfile::local_nvme(), device_a(), 1, 14);
+        let shallow = FioJob { queue_depth: 1, ..FioJob::default() }.run(&mut b, 4);
+        let mut b = Backend::new(BackendProfile::local_nvme(), device_a(), 1, 14);
+        let deep = FioJob { queue_depth: 64, ..FioJob::default() }.run(&mut b, 4);
+        assert!(
+            deep.latency.p95() > shallow.latency.p95(),
+            "deeper queues must queue"
+        );
+        assert!(deep.iops > shallow.iops, "deeper queues must add throughput");
+    }
+}

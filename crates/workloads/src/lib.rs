@@ -1,0 +1,27 @@
+//! # reflex-workloads — application workloads from the paper's evaluation
+//!
+//! Models the legacy Linux applications of §5.6 at the I/O level, running
+//! against three storage data paths (local NVMe driver, ReFlex remote
+//! block device, iSCSI):
+//!
+//! * [`FioJob`] — the flexible I/O tester (Figure 7a),
+//! * [`run_flashx`] — FlashX graph analytics: WCC, PageRank, BFS, SCC
+//!   (Figure 7b),
+//! * [`run_db_bench`] — RocksDB `db_bench`: bulkload, randomread,
+//!   readwhilewriting (Figure 7c),
+//!
+//! all driven through a calibrated [`Backend`] model over the simulated
+//! Flash device.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backend;
+mod fio;
+mod flashx;
+mod lsm;
+
+pub use backend::{Backend, BackendProfile};
+pub use fio::{FioJob, FioReport};
+pub use flashx::{run_flashx, FlashXConfig, GraphAlgo, GraphSpec};
+pub use lsm::{run_db_bench, DbBenchmark, LsmConfig};

@@ -1,0 +1,59 @@
+//! Device calibration: the control plane's §3.2.1 procedure, end to end.
+//!
+//! Sweeps the simulated device with several read/write ratios, finds the
+//! max IOPS each ratio sustains at the target tail latency, fits the
+//! linear cost model `C(write)` by least squares, and prints the resulting
+//! cost model and capacity table — what a ReFlex deployment would run when
+//! a new device (or a worn one) is attached.
+//!
+//! Run with: `cargo run --release --example device_calibration`
+
+use reflex::core::sweep_device;
+use reflex::flash::{device_a, device_b, device_c};
+use reflex::qos::{fit_cost_model, max_iops_at_latency, RatioCapacity};
+use reflex::sim::SimDuration;
+
+fn main() {
+    let target_us = 1_000.0;
+    for profile in [device_a(), device_b(), device_c()] {
+        println!("=== {} ===", profile.name);
+        let max_tokens = profile.token_rate();
+        let mut observations = Vec::new();
+        for read_pct in [50u8, 75, 90, 95, 100] {
+            let r = read_pct as f64 / 100.0;
+            // Initial cost guess only scales the sweep range.
+            let guess = profile.write_cost_tokens();
+            let cost = r + (1.0 - r) * guess;
+            let offered: Vec<f64> =
+                (1..=12).map(|i| max_tokens / cost * i as f64 / 10.0).collect();
+            let sweep =
+                sweep_device(&profile, read_pct, &offered, SimDuration::from_millis(250), 3);
+            if let Some(iops) = max_iops_at_latency(&sweep, target_us) {
+                println!("  r={read_pct:>3}%  max {iops:>9.0} IOPS at p95 <= {target_us}us");
+                observations.push(RatioCapacity { read_pct, max_iops: iops });
+            }
+        }
+        match fit_cost_model(&observations) {
+            Ok(fit) => {
+                println!(
+                    "  fitted: C(write) = {:.1} tokens, capacity = {:.0} tokens/s, \
+                     C(read,100%) = {:.2}, rms err {:.1}%",
+                    fit.write_cost,
+                    fit.token_rate,
+                    fit.read_only_cost,
+                    fit.rms_rel_error * 100.0
+                );
+                let model = fit.to_cost_model(4096);
+                println!(
+                    "  cost model: read {}mt, read-only {}mt, write {}mt per 4KB page",
+                    model.read_cost(reflex::qos::LoadMix::Mixed).as_millitokens(),
+                    model.read_cost(reflex::qos::LoadMix::ReadOnly).as_millitokens(),
+                    model.write_cost().as_millitokens()
+                );
+            }
+            Err(e) => println!("  calibration failed: {e}"),
+        }
+        println!();
+    }
+    println!("Paper-published write costs: device A = 10, B = 20, C = 16 tokens.");
+}

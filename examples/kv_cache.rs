@@ -1,0 +1,66 @@
+//! A Flash-backed key-value cache on remote Flash — the datacenter use
+//! case that motivates the paper (§1: "NVMe Flash … the preferred storage
+//! medium for many data-intensive, online services").
+//!
+//! A KV cache keeps its hash index and hottest values in RAM and the bulk
+//! of the values on ReFlex-served remote Flash: every GET that misses RAM
+//! is one 4KB read at a Zipfian-popular address (the in-RAM head flattens
+//! the skew that reaches Flash); SETs rewrite values. The cache registers
+//! an SLO so that co-located batch tenants cannot ruin its tail latency.
+//!
+//! Run with: `cargo run --release --example kv_cache`
+
+use reflex::core::{AddrPattern, Testbed, WorkloadSpec};
+use reflex::qos::{SloSpec, TenantClass, TenantId};
+use reflex::sim::SimDuration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut tb = Testbed::builder().seed(55).build();
+
+    // The cache: 90K GETs/s + 10K SETs/s over Zipf(0.99)-popular values,
+    // guaranteed 500us p95 reads.
+    let slo = SloSpec::new(100_000, 90, SimDuration::from_micros(500));
+    let mut cache = WorkloadSpec::open_loop(
+        "kv-cache",
+        TenantId(1),
+        TenantClass::LatencyCritical(slo),
+        100_000.0,
+    );
+    cache.read_pct = 90;
+    // Zipf(0.9): what reaches Flash after the RAM tier absorbs the very
+    // hottest keys. (At raw Zipf(0.99) the single hottest value would put
+    // ~10% of all reads on one Flash channel and the tail degrades — run
+    // it yourself to see why caches keep their head in RAM.)
+    cache.addr_pattern = AddrPattern::Zipfian { theta_permille: 900 };
+    cache.namespace = (0, 64 << 30); // 64GB value log
+    cache.conns = 16;
+    cache.client_threads = 4;
+    tb.add_workload(cache)?;
+
+    // A co-located batch job scanning cold data as fast as it is allowed.
+    let mut batch = WorkloadSpec::closed_loop("batch-scan", TenantId(2), TenantClass::BestEffort, 32);
+    batch.read_pct = 70;
+    batch.conns = 8;
+    batch.client_threads = 4;
+    batch.namespace = (64 << 30, 256 << 30);
+    tb.add_workload(batch)?;
+
+    tb.run(SimDuration::from_millis(100));
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(400));
+    let report = tb.report();
+
+    let kv = report.workload("kv-cache");
+    let batch = report.workload("batch-scan");
+    println!("kv-cache  : {:>8.0} ops/s  GET p50 {:>4.0}us  p95 {:>4.0}us  p99 {:>4.0}us",
+        kv.iops,
+        kv.read_latency.p50().as_micros_f64(),
+        kv.p95_read_us(),
+        kv.read_latency.p99().as_micros_f64());
+    println!("batch-scan: {:>8.0} ops/s (best-effort leftover)", batch.iops);
+    println!("token use : {:>8.0} tokens/s of the 500us budget", report.token_usage_per_sec);
+    assert!(kv.p95_read_us() < 500.0, "cache SLO must hold");
+    println!("\nThe cache's 500us p95 holds despite the scan — Zipfian hot \
+              values and a mixed batch competitor included.");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: one latency-critical tenant accessing remote Flash through
+//! ReFlex over simulated 10GbE, with latency and throughput reported.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use reflex::core::{Testbed, WorkloadSpec};
+use reflex::qos::{SloSpec, TenantClass, TenantId};
+use reflex::sim::SimDuration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A server with one dataplane thread on simulated device A, one IX
+    // client machine, 10GbE fabric — the paper's testbed in miniature.
+    let mut tb = Testbed::builder().seed(42).build();
+
+    // Register a tenant with an SLO: 100K IOPS of 4KB reads with p95 read
+    // latency under 500us, and offer exactly that load.
+    let slo = SloSpec::new(100_000, 100, SimDuration::from_micros(500));
+    let mut spec = WorkloadSpec::open_loop(
+        "app",
+        TenantId(1),
+        TenantClass::LatencyCritical(slo),
+        100_000.0,
+    );
+    spec.conns = 8;
+    spec.client_threads = 2;
+    tb.add_workload(spec)?;
+
+    // Warm up, then measure.
+    tb.run(SimDuration::from_millis(100));
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(400));
+
+    let report = tb.report();
+    let app = report.workload("app");
+    println!("tenant        : {}", app.name);
+    println!("throughput    : {:.0} IOPS", app.iops);
+    println!("read latency  : mean {:.0}us  p50 {:.0}us  p95 {:.0}us  p99 {:.0}us",
+        app.mean_read_us(),
+        app.read_latency.p50().as_micros_f64(),
+        app.p95_read_us(),
+        app.read_latency.p99().as_micros_f64());
+    println!("errors        : {}", app.errors);
+    println!("token usage   : {:.0} tokens/s", report.token_usage_per_sec);
+    for (i, t) in report.threads.iter().enumerate() {
+        println!(
+            "server core {i} : {:.1}% busy ({:.1}% QoS scheduling)",
+            t.busy_fraction * 100.0,
+            t.sched_fraction * 100.0
+        );
+    }
+    assert!(app.p95_read_us() < 500.0, "SLO should be met");
+    println!("\nSLO met: p95 {:.0}us <= 500us", app.p95_read_us());
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Global control plane integration: placement decisions from the
+//! [`ClusterPlanner`] drive real testbeds, demonstrating why SLO-aware
+//! placement matters (paper §4.3 future work).
+
+use reflex::core::{
+    CapacityProfile, ClusterPlanner, ServerDescriptor, ServerId, Testbed, WorkloadSpec,
+};
+use reflex::qos::{CostModel, SloSpec, TenantClass, TenantId};
+use reflex::sim::SimDuration;
+
+fn device_a_server(id: u32) -> ServerDescriptor {
+    ServerDescriptor::new(
+        ServerId(id),
+        CapacityProfile::device_a_default(),
+        CostModel::for_device_a(),
+    )
+}
+
+/// Runs one ReFlex testbed hosting the given LC tenants (each offered its
+/// full reservation) plus one best-effort filler; returns (worst LC p95,
+/// BE throughput).
+fn run_server(tenants: &[(u32, SloSpec)], seed: u64) -> (f64, f64) {
+    let mut tb = Testbed::builder().seed(seed).build();
+    for (id, slo) in tenants {
+        let mut spec = WorkloadSpec::open_loop(
+            &format!("t{id}"),
+            TenantId(*id),
+            TenantClass::LatencyCritical(*slo),
+            slo.iops as f64,
+        );
+        spec.read_pct = slo.read_pct;
+        spec.conns = 8;
+        spec.client_threads = 4;
+        tb.add_workload(spec).expect("planner checked admission");
+    }
+    let mut be = WorkloadSpec::closed_loop("be", TenantId(999), TenantClass::BestEffort, 16);
+    be.read_pct = 90;
+    be.conns = 8;
+    be.client_threads = 4;
+    tb.add_workload(be).expect("BE accepted");
+
+    tb.run(SimDuration::from_millis(100));
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(300));
+    let report = tb.report();
+    let worst_p95 = report
+        .workloads
+        .iter()
+        .filter(|w| w.name != "be")
+        .map(|w| w.p95_read_us())
+        .fold(0.0f64, f64::max);
+    (worst_p95, report.workload("be").iops)
+}
+
+#[test]
+fn planner_decisions_hold_up_in_simulation() {
+    let mut planner = ClusterPlanner::new(vec![device_a_server(0), device_a_server(1)]);
+    let strict = SloSpec::new(60_000, 100, SimDuration::from_micros(400));
+    let relaxed = SloSpec::new(150_000, 95, SimDuration::from_millis(2));
+
+    let s1 = planner.place(TenantId(1), strict).expect("fits");
+    let s2 = planner.place(TenantId(2), relaxed).expect("fits");
+    assert_ne!(s1, s2, "planner should separate the latency classes");
+
+    // Drive each placement: both servers meet their tenants' SLOs.
+    let (p95_strict, _) = run_server(&[(1, strict)], 101);
+    assert!(p95_strict < 400.0, "strict tenant p95 {p95_strict:.0}us");
+    let (p95_relaxed, _) = run_server(&[(2, relaxed)], 102);
+    assert!(p95_relaxed < 2_000.0, "relaxed tenant p95 {p95_relaxed:.0}us");
+}
+
+#[test]
+fn colocating_mixed_classes_wastes_best_effort_throughput() {
+    // Counterfactual: the strict and relaxed tenants forced onto ONE
+    // server. The strict SLO caps the whole server's token budget, so the
+    // best-effort filler collapses versus the separated placement.
+    let strict = SloSpec::new(60_000, 100, SimDuration::from_micros(400));
+    let relaxed_small = SloSpec::new(40_000, 95, SimDuration::from_millis(2));
+
+    // Separated: the relaxed server runs at its 2ms budget.
+    let (_, be_separated) = run_server(&[(2, relaxed_small)], 103);
+    // Mixed: the relaxed tenant shares with a strict one at a 400us budget.
+    let (_, be_mixed) = run_server(&[(1, strict), (2, relaxed_small)], 103);
+    assert!(
+        be_separated > be_mixed * 1.5,
+        "separated BE {be_separated:.0} should dwarf mixed BE {be_mixed:.0}"
+    );
+}
+
+#[test]
+fn cluster_capacity_grows_with_servers() {
+    let mut small = ClusterPlanner::new(vec![device_a_server(0)]);
+    let mut big = ClusterPlanner::new(vec![device_a_server(0), device_a_server(1)]);
+    let slo = SloSpec::new(100_000, 90, SimDuration::from_micros(500));
+    let mut placed_small = 0;
+    let mut placed_big = 0;
+    for i in 0..10 {
+        if small.place(TenantId(i), slo).is_ok() {
+            placed_small += 1;
+        }
+        if big.place(TenantId(i), slo).is_ok() {
+            placed_big += 1;
+        }
+    }
+    assert!(placed_big >= 2 * placed_small, "{placed_small} vs {placed_big}");
+}
