@@ -69,7 +69,12 @@ impl LocalRig {
         let mut device = FlashDevice::new(profile, rng.fork());
         device.precondition();
         let qps = (0..threads).map(|_| device.create_queue_pair()).collect();
-        LocalRig { device, qps, rng, per_req_cpu: SPDK_PER_REQ_CPU }
+        LocalRig {
+            device,
+            qps,
+            rng,
+            per_req_cpu: SPDK_PER_REQ_CPU,
+        }
     }
 
     /// Overrides the per-request software cost (for ablations).
@@ -120,7 +125,10 @@ impl LocalRig {
             id += 1;
         }
         for &qp in &self.qps {
-            for c in self.device.poll_completions(SimTime::from_secs(600), qp, usize::MAX) {
+            for c in self
+                .device
+                .poll_completions(SimTime::from_secs(600), qp, usize::MAX)
+            {
                 completion_of.insert(c.id, c.completed_at);
             }
         }
@@ -128,7 +136,9 @@ impl LocalRig {
         let mut write_latency = Histogram::new();
         let mut completed_in_window = 0u64;
         for (cid, at, op) in issued {
-            let Some(&fin) = completion_of.get(&cid) else { continue };
+            let Some(&fin) = completion_of.get(&cid) else {
+                continue;
+            };
             // Throughput: completions that landed inside the window.
             if fin >= start_measure && fin < end {
                 completed_in_window += 1;
@@ -151,12 +161,7 @@ impl LocalRig {
 
     /// Closed-loop measurement at queue depth 1 per thread — the unloaded
     /// latency configuration of Table 2.
-    pub fn run_unloaded(
-        &mut self,
-        read_pct: u8,
-        io_size: u32,
-        ops: u32,
-    ) -> LocalReport {
+    pub fn run_unloaded(&mut self, read_pct: u8, io_size: u32, ops: u32) -> LocalReport {
         let mut read_latency = Histogram::new();
         let mut write_latency = Histogram::new();
         let qp = self.qps[0];

@@ -126,7 +126,11 @@ impl BaselineServer {
     ) -> Self {
         let workers = (0..config.threads)
             .map(|i| Worker {
-                queue: if i == 0 { NicQueueId(0) } else { fabric.add_queue(machine) },
+                queue: if i == 0 {
+                    NicQueueId(0)
+                } else {
+                    fabric.add_queue(machine)
+                },
                 qp: device.create_queue_pair(),
                 busy: SimTime::ZERO,
                 busy_total: SimDuration::ZERO,
@@ -187,13 +191,18 @@ impl ServerHarness for BaselineServer {
         tenant: TenantId,
         client: MachineId,
     ) -> Result<(usize, NicQueueId), AdmissionError> {
-        let &worker = self.tenants.get(&tenant).ok_or(AdmissionError::Unknown(tenant))?;
+        let &worker = self
+            .tenants
+            .get(&tenant)
+            .ok_or(AdmissionError::Unknown(tenant))?;
         self.conn_binding.insert(conn, (tenant, client, worker));
         Ok((worker, self.workers[worker].queue))
     }
 
     fn route(&self, conn: ConnId) -> Option<NicQueueId> {
-        self.conn_binding.get(&conn).map(|&(_, _, w)| self.workers[w].queue)
+        self.conn_binding
+            .get(&conn)
+            .map(|&(_, _, w)| self.workers[w].queue)
     }
 
     fn thread_of_conn(&self, conn: ConnId) -> Option<usize> {
@@ -219,12 +228,15 @@ impl ServerHarness for BaselineServer {
             let msgs = fabric.poll_queue(cursor, self.machine, self.workers[i].queue, 16);
             for d in msgs {
                 let rx_cpu = self.config.rx_cpu;
-                let overhead =
-                    self.rng.lognormal(self.config.request_overhead_median, sigma);
+                let overhead = self
+                    .rng
+                    .lognormal(self.config.request_overhead_median, sigma);
                 let w = &mut self.workers[i];
                 w.busy += rx_cpu;
                 w.busy_total += rx_cpu;
-                let Ok(header) = ReflexHeader::decode(&d.payload) else { continue };
+                let Ok(header) = ReflexHeader::decode(&d.payload) else {
+                    continue;
+                };
                 let Some(&(_tenant, client, _)) = self.conn_binding.get(&d.conn) else {
                     continue;
                 };
@@ -261,12 +273,15 @@ impl ServerHarness for BaselineServer {
             let comps = device.poll_completions(cursor, self.workers[i].qp, 16);
             for c in comps {
                 let tx_cpu = self.config.tx_cpu;
-                let overhead =
-                    self.rng.lognormal(self.config.response_overhead_median, sigma);
+                let overhead = self
+                    .rng
+                    .lognormal(self.config.response_overhead_median, sigma);
                 let w = &mut self.workers[i];
                 w.busy += tx_cpu;
                 w.busy_total += tx_cpu;
-                let Some(req) = w.inflight.remove(&c.id) else { continue };
+                let Some(req) = w.inflight.remove(&c.id) else {
+                    continue;
+                };
                 let ok = c.status == reflex_flash::NvmeStatus::Success;
                 let header = ReflexHeader {
                     opcode: if ok { Opcode::Response } else { Opcode::Error },
@@ -277,7 +292,14 @@ impl ServerHarness for BaselineServer {
                 };
                 let payload = if ok && req.op.is_read() { req.len } else { 0 };
                 let send_at = self.workers[i].busy + overhead;
-                fabric.send(send_at, self.machine, req.client, req.conn, payload, header.encode());
+                fabric.send(
+                    send_at,
+                    self.machine,
+                    req.client,
+                    req.conn,
+                    payload,
+                    header.encode(),
+                );
                 progress = true;
             }
 

@@ -7,10 +7,7 @@ use reflex_net::StackProfile;
 use reflex_qos::{TenantClass, TenantId};
 use reflex_sim::SimDuration;
 
-fn baseline_testbed(
-    config: BaselineConfig,
-    client: StackProfile,
-) -> Testbed<BaselineServer> {
+fn baseline_testbed(config: BaselineConfig, client: StackProfile) -> Testbed<BaselineServer> {
     TestbedBuilder::new()
         .server_stack(StackProfile::linux_tcp())
         .client_machines(vec![client])
@@ -31,7 +28,11 @@ fn unloaded(config: BaselineConfig, client: StackProfile, read_pct: u8) -> (f64,
     let report = tb.report();
     let w = report.workload("probe");
     assert_eq!(w.errors, 0, "probe must not error");
-    let hist = if read_pct == 100 { &w.read_latency } else { &w.write_latency };
+    let hist = if read_pct == 100 {
+        &w.read_latency
+    } else {
+        &w.write_latency
+    };
     (hist.mean().as_micros_f64(), hist.p95().as_micros_f64())
 }
 
@@ -58,14 +59,25 @@ fn libaio_unloaded_read_latency_matches_table2() {
     // (~150) because the interrupt-coalescing interplay between two Linux
     // endpoints is not modelled — the ordering vs the IX client and vs
     // ReFlex is what matters (recorded in EXPERIMENTS.md).
-    let (avg_linux, p95_linux) =
-        unloaded(BaselineConfig::libaio(), StackProfile::linux_tcp(), 100);
-    assert!((135.0..205.0).contains(&avg_linux), "libaio/linux read avg {avg_linux}");
-    assert!((150.0..240.0).contains(&p95_linux), "libaio/linux read p95 {p95_linux}");
+    let (avg_linux, p95_linux) = unloaded(BaselineConfig::libaio(), StackProfile::linux_tcp(), 100);
+    assert!(
+        (135.0..205.0).contains(&avg_linux),
+        "libaio/linux read avg {avg_linux}"
+    );
+    assert!(
+        (150.0..240.0).contains(&p95_linux),
+        "libaio/linux read p95 {p95_linux}"
+    );
 
     let (avg_ix, p95_ix) = unloaded(BaselineConfig::libaio(), StackProfile::ix_tcp(), 100);
-    assert!((108.0..135.0).contains(&avg_ix), "libaio/ix read avg {avg_ix}");
-    assert!((125.0..160.0).contains(&p95_ix), "libaio/ix read p95 {p95_ix}");
+    assert!(
+        (108.0..135.0).contains(&avg_ix),
+        "libaio/ix read avg {avg_ix}"
+    );
+    assert!(
+        (125.0..160.0).contains(&p95_ix),
+        "libaio/ix read p95 {p95_ix}"
+    );
 }
 
 #[test]
@@ -96,8 +108,7 @@ fn libaio_throughput_caps_near_75k_per_core() {
 #[test]
 fn iscsi_throughput_caps_near_70k_per_core() {
     let mut tb = baseline_testbed(BaselineConfig::iscsi(), StackProfile::ix_tcp());
-    let mut spec =
-        WorkloadSpec::open_loop("load", TenantId(1), TenantClass::BestEffort, 200_000.0);
+    let mut spec = WorkloadSpec::open_loop("load", TenantId(1), TenantClass::BestEffort, 200_000.0);
     spec.io_size = 1024;
     spec.conns = 32;
     spec.client_threads = 8;

@@ -39,12 +39,16 @@ fn sched_round(c: &mut Criterion) {
             let mut now = SimTime::ZERO;
             let mut i = 0u64;
             b.iter(|| {
-                now = now + SimDuration::from_micros(10);
+                now += SimDuration::from_micros(10);
                 i += 1;
                 sched
                     .enqueue(
                         TenantId((i % tenants as u64) as u32),
-                        CostedRequest { op: IoType::Read, len: 4096, payload: i },
+                        CostedRequest {
+                            op: IoType::Read,
+                            len: 4096,
+                            payload: i,
+                        },
                     )
                     .expect("registered");
                 sched.schedule(now, LoadMix::Mixed)
@@ -94,7 +98,7 @@ fn device_submit(c: &mut Criterion) {
             |(mut d, qp)| {
                 let mut t = SimTime::ZERO;
                 for i in 0..512u64 {
-                    t = t + SimDuration::from_micros(2);
+                    t += SimDuration::from_micros(2);
                     let addr = (i * 7919 % 100_000) * 4096;
                     d.submit(t, qp, NvmeCommand::read(CmdId(i), addr, 4096))
                         .expect("deep sq");
@@ -123,8 +127,184 @@ fn header_codec(c: &mut Criterion) {
     });
 }
 
+/// Faithful replica of the pre-timer-wheel event queue: a `BinaryHeap` of
+/// `Scheduled` nodes carrying the boxed closure inline (moved on every heap
+/// sift), plus a per-dispatch pending `Vec` merged after each handler —
+/// exactly the structure the seed engine used. Kept here as the reference
+/// point for the `engine_dispatch` comparison.
+mod baseline_heap {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    use reflex_sim::{SimDuration, SimTime};
+
+    pub type Event<W> = Box<dyn FnOnce(&mut W, &mut Ctx<W>)>;
+
+    struct Scheduled<W> {
+        at: SimTime,
+        seq: u64,
+        action: Event<W>,
+    }
+
+    impl<W> PartialEq for Scheduled<W> {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl<W> Eq for Scheduled<W> {}
+    impl<W> PartialOrd for Scheduled<W> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<W> Ord for Scheduled<W> {
+        // Max-heap inverted so the earliest (time, seq) pops first.
+        fn cmp(&self, other: &Self) -> Ordering {
+            (other.at, other.seq).cmp(&(self.at, self.seq))
+        }
+    }
+
+    pub struct Ctx<W> {
+        now: SimTime,
+        pending: Vec<(SimTime, Event<W>)>,
+    }
+
+    impl<W> Ctx<W> {
+        pub fn schedule_after(&mut self, delay: SimDuration, event: Event<W>) {
+            self.pending.push((self.now + delay, event));
+        }
+    }
+
+    pub struct Engine<W> {
+        world: W,
+        seq: u64,
+        heap: BinaryHeap<Scheduled<W>>,
+    }
+
+    impl<W> Engine<W> {
+        pub fn new(world: W) -> Self {
+            Engine {
+                world,
+                seq: 0,
+                heap: BinaryHeap::new(),
+            }
+        }
+
+        pub fn world(&self) -> &W {
+            &self.world
+        }
+
+        pub fn schedule_at(&mut self, at: SimTime, action: Event<W>) {
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Scheduled { at, seq, action });
+        }
+
+        pub fn run_to_completion(&mut self) {
+            while let Some(Scheduled { at, action, .. }) = self.heap.pop() {
+                let mut ctx = Ctx {
+                    now: at,
+                    pending: Vec::new(),
+                };
+                action(&mut self.world, &mut ctx);
+                // Two-phase insert exactly like the old engine: handlers
+                // stage into a pending Vec, merged after dispatch.
+                for (when, ev) in ctx.pending {
+                    self.schedule_at(when, ev);
+                }
+            }
+        }
+    }
+}
+
+/// Shared churn world: a `width`-wide event population with LCG-driven
+/// delays, mostly inside a ~4ms horizon with an occasional far (8ms)
+/// outlier. Width models how many events the testbed keeps in flight —
+/// a loaded multi-tenant run holds thousands.
+struct ChurnWorld {
+    rng: u64,
+    dispatched: u64,
+    budget: u64,
+    width: u64,
+}
+
+impl ChurnWorld {
+    fn new(budget: u64, width: u64) -> Self {
+        ChurnWorld {
+            rng: 0x9e3779b97f4a7c15,
+            dispatched: 0,
+            budget,
+            width,
+        }
+    }
+
+    fn draw_delay(&mut self) -> Option<SimDuration> {
+        if self.dispatched + self.width > self.budget {
+            return None; // let the population drain
+        }
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let nanos = if self.rng.is_multiple_of(61) {
+            8_000_000 + self.rng % 1_000_000 // beyond the near-wheel horizon
+        } else {
+            200 + self.rng % 2_000_000
+        };
+        Some(SimDuration::from_nanos(nanos))
+    }
+}
+
+/// One timer event on the real engine; re-schedules itself until the
+/// world's budget is spent.
+fn wheel_chain_event(w: &mut ChurnWorld, ctx: &mut reflex_sim::Ctx<'_, ChurnWorld>) {
+    w.dispatched += 1;
+    if let Some(delay) = w.draw_delay() {
+        ctx.schedule_after(delay, wheel_chain_event);
+    }
+}
+
+/// The same event against the baseline heap engine.
+fn heap_chain_event(w: &mut ChurnWorld, ctx: &mut baseline_heap::Ctx<ChurnWorld>) {
+    w.dispatched += 1;
+    if let Some(delay) = w.draw_delay() {
+        ctx.schedule_after(delay, Box::new(heap_chain_event));
+    }
+}
+
+fn engine_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_dispatch");
+    for width in [64u64, 4096, 32768] {
+        let budget = (width * 10).max(40_000);
+        group.bench_function(format!("timer_wheel_{width}w"), |b| {
+            b.iter(|| {
+                let mut e = reflex_sim::Engine::new(ChurnWorld::new(budget, width));
+                for i in 0..width {
+                    e.schedule_at(SimTime::from_nanos(i * 100), wheel_chain_event);
+                }
+                e.run_to_completion();
+                assert!(e.world().dispatched >= budget - width);
+                e.world().dispatched
+            })
+        });
+        group.bench_function(format!("baseline_binary_heap_{width}w"), |b| {
+            b.iter(|| {
+                let mut e = baseline_heap::Engine::new(ChurnWorld::new(budget, width));
+                for i in 0..width {
+                    e.schedule_at(SimTime::from_nanos(i * 100), Box::new(heap_chain_event));
+                }
+                e.run_to_completion();
+                assert!(e.world().dispatched >= budget - width);
+                e.world().dispatched
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
+    engine_dispatch,
     sched_round,
     bucket_ops,
     histogram_ops,

@@ -12,17 +12,15 @@
 //!
 //! Run: `cargo run --release -p reflex-bench --bin ablations`
 
+use reflex_bench::sweep::{PointOutcome, Sweep};
 use reflex_bench::{run_testbed, MEASURE, WARMUP};
 use reflex_core::{ServerConfig, Testbed, WorkloadSpec};
 use reflex_qos::{CostModel, SchedulerParams, SloSpec, TenantClass, TenantId, Tokens};
 use reflex_sim::SimDuration;
 
 fn scenario_specs() -> Vec<WorkloadSpec> {
-    let slo = TenantClass::LatencyCritical(SloSpec::new(
-        120_000,
-        100,
-        SimDuration::from_micros(500),
-    ));
+    let slo =
+        TenantClass::LatencyCritical(SloSpec::new(120_000, 100, SimDuration::from_micros(500)));
     let mut lc = WorkloadSpec::open_loop("lc-reader", TenantId(1), slo, 120_000.0);
     lc.conns = 8;
     lc.client_threads = 4;
@@ -33,7 +31,12 @@ fn scenario_specs() -> Vec<WorkloadSpec> {
     vec![lc, be]
 }
 
-fn run_with(server: ServerConfig, cost_model: Option<CostModel>) -> (f64, f64, f64) {
+fn run_with(
+    knob: &str,
+    value: String,
+    server: ServerConfig,
+    cost_model: Option<CostModel>,
+) -> PointOutcome {
     let mut builder = Testbed::builder().seed(111).server(server);
     if let Some(m) = cost_model {
         builder = builder.cost_model(m);
@@ -41,56 +44,99 @@ fn run_with(server: ServerConfig, cost_model: Option<CostModel>) -> (f64, f64, f
     let report = run_testbed(builder.build(), scenario_specs(), WARMUP, MEASURE);
     let lc = report.workload("lc-reader");
     let be = report.workload("be-writer");
-    (lc.iops, lc.p95_read_us(), be.iops)
+    let p95 = lc.p95_read_us();
+    PointOutcome::new(p95)
+        .with_row(format!(
+            "{knob}\t{value}\t{:.0}\t{p95:.0}\t{:.0}",
+            lc.iops / 1e3,
+            be.iops / 1e3
+        ))
+        .with_metric("lc_kiops", lc.iops / 1e3)
+        .with_metric("lc_p95_us", p95)
+        .with_metric("be_kiops", be.iops / 1e3)
+        .with_events(report.engine_events)
 }
 
 fn main() {
+    let mut sweep = Sweep::new("ablations");
+
+    let curve = sweep.curve("batch_max");
+    for batch in [4usize, 16, 64, 256] {
+        curve.point(move || {
+            let mut server = ServerConfig::default();
+            server.dataplane.batch_max = batch;
+            run_with("batch_max", batch.to_string(), server, None)
+        });
+    }
+
+    let curve = sweep.curve("neg_limit");
+    for neg in [-5i64, -50, -500, -5_000] {
+        curve.point(move || {
+            let server = ServerConfig {
+                sched_params: SchedulerParams {
+                    neg_limit: Tokens::from_tokens(neg),
+                    ..SchedulerParams::default()
+                },
+                ..ServerConfig::default()
+            };
+            run_with("neg_limit", neg.to_string(), server, None)
+        });
+    }
+
+    let curve = sweep.curve("donate_fraction");
+    for frac in [0.0f64, 0.5, 0.9, 1.0] {
+        curve.point(move || {
+            let server = ServerConfig {
+                sched_params: SchedulerParams {
+                    donate_fraction: frac,
+                    ..SchedulerParams::default()
+                },
+                ..ServerConfig::default()
+            };
+            run_with("donate_fraction", frac.to_string(), server, None)
+        });
+    }
+
+    let curve = sweep.curve("cost_model");
+    curve.point(|| {
+        // Cost model ablation: writes cost the same as reads (1 token).
+        let unit = CostModel::new(
+            4096,
+            Tokens::from_tokens(1),
+            Tokens::from_millitokens(500),
+            Tokens::from_tokens(1),
+        );
+        run_with(
+            "cost_model",
+            "unit-writes".into(),
+            ServerConfig::default(),
+            Some(unit),
+        )
+    });
+    curve.point(|| {
+        run_with(
+            "cost_model",
+            "calibrated".into(),
+            ServerConfig::default(),
+            None,
+        )
+    });
+
+    let result = sweep.run();
     println!("# Ablations on the Figure-5-style scenario (LC reader vs BE writer)");
     println!("knob\tvalue\tlc_kiops\tlc_p95_us\tbe_kiops");
-
-    for batch in [4usize, 16, 64, 256] {
-        let mut server = ServerConfig::default();
-        server.dataplane.batch_max = batch;
-        let (iops, p95, be) = run_with(server, None);
-        println!("batch_max\t{batch}\t{:.0}\t{p95:.0}\t{:.0}", iops / 1e3, be / 1e3);
+    for (i, label) in ["batch_max", "neg_limit", "donate_fraction", "cost_model"]
+        .iter()
+        .enumerate()
+    {
+        if i > 0 {
+            println!();
+        }
+        for p in &result.curve(label).points {
+            for row in &p.rows {
+                println!("{row}");
+            }
+        }
     }
-    println!();
-
-    for neg in [-5i64, -50, -500, -5_000] {
-        let server = ServerConfig {
-            sched_params: SchedulerParams {
-                neg_limit: Tokens::from_tokens(neg),
-                ..SchedulerParams::default()
-            },
-            ..ServerConfig::default()
-        };
-        let (iops, p95, be) = run_with(server, None);
-        println!("neg_limit\t{neg}\t{:.0}\t{p95:.0}\t{:.0}", iops / 1e3, be / 1e3);
-    }
-    println!();
-
-    for frac in [0.0f64, 0.5, 0.9, 1.0] {
-        let server = ServerConfig {
-            sched_params: SchedulerParams {
-                donate_fraction: frac,
-                ..SchedulerParams::default()
-            },
-            ..ServerConfig::default()
-        };
-        let (iops, p95, be) = run_with(server, None);
-        println!("donate_fraction\t{frac}\t{:.0}\t{p95:.0}\t{:.0}", iops / 1e3, be / 1e3);
-    }
-    println!();
-
-    // Cost model ablation: writes cost the same as reads (1 token).
-    let unit = CostModel::new(
-        4096,
-        Tokens::from_tokens(1),
-        Tokens::from_millitokens(500),
-        Tokens::from_tokens(1),
-    );
-    let (iops, p95, be) = run_with(ServerConfig::default(), Some(unit));
-    println!("cost_model\tunit-writes\t{:.0}\t{p95:.0}\t{:.0}", iops / 1e3, be / 1e3);
-    let (iops, p95, be) = run_with(ServerConfig::default(), None);
-    println!("cost_model\tcalibrated\t{:.0}\t{p95:.0}\t{:.0}", iops / 1e3, be / 1e3);
+    result.write_json_or_warn();
 }

@@ -8,6 +8,7 @@
 //! Run: `cargo run --release -p reflex-bench --bin ext_features`
 
 use reflex_bench::run_testbed;
+use reflex_bench::sweep::{PointOutcome, Sweep};
 use reflex_core::{ServerConfig, Testbed, WorkloadSpec};
 use reflex_dataplane::DataplaneConfig;
 use reflex_net::{LinkConfig, StackProfile};
@@ -19,7 +20,10 @@ fn unloaded(client: StackProfile, server: StackProfile, dp: DataplaneConfig) -> 
         .seed(121)
         .client_machines(vec![client])
         .server_stack(server)
-        .server(ServerConfig { dataplane: dp, ..ServerConfig::default() })
+        .server(ServerConfig {
+            dataplane: dp,
+            ..ServerConfig::default()
+        })
         .build();
     let slo = SloSpec::new(20_000, 100, SimDuration::from_micros(500));
     let spec = WorkloadSpec::closed_loop("p", TenantId(1), TenantClass::LatencyCritical(slo), 1);
@@ -37,7 +41,10 @@ fn peak(client: StackProfile, server: StackProfile, dp: DataplaneConfig) -> f64 
         .seed(122)
         .client_machines(vec![client.clone(), client])
         .server_stack(server)
-        .server(ServerConfig { dataplane: dp, ..ServerConfig::default() })
+        .server(ServerConfig {
+            dataplane: dp,
+            ..ServerConfig::default()
+        })
         .link(LinkConfig::forty_gbe())
         .build();
     let specs = (0..2u32)
@@ -67,7 +74,11 @@ fn peak(client: StackProfile, server: StackProfile, dp: DataplaneConfig) -> f64 
 fn sharded(shards: u32) -> f64 {
     let tb = Testbed::builder()
         .seed(123)
-        .server(ServerConfig { threads: 2, max_threads: 2, ..ServerConfig::default() })
+        .server(ServerConfig {
+            threads: 2,
+            max_threads: 2,
+            ..ServerConfig::default()
+        })
         .client_machines(vec![StackProfile::ix_tcp(), StackProfile::ix_tcp()])
         .link(LinkConfig::forty_gbe())
         .build();
@@ -86,32 +97,69 @@ fn sharded(shards: u32) -> f64 {
     report.workload("big").iops
 }
 
+fn tcp_udp_stacks(udp: bool) -> (StackProfile, StackProfile, DataplaneConfig) {
+    if udp {
+        (
+            StackProfile::ix_udp(),
+            StackProfile::dataplane_raw_udp(),
+            DataplaneConfig::udp(),
+        )
+    } else {
+        (
+            StackProfile::ix_tcp(),
+            StackProfile::dataplane_raw(),
+            DataplaneConfig::default(),
+        )
+    }
+}
+
 fn main() {
+    // Each of the six simulations is its own point; the combined
+    // tcp=/udp= rows are assembled from point metrics after the run.
+    let mut sweep = Sweep::new("ext_features");
+    let curve = sweep.curve("unloaded_read_us");
+    for udp in [false, true] {
+        curve.point(move || {
+            let (client, server, dp) = tcp_udp_stacks(udp);
+            PointOutcome::new(0.0).with_metric("value", unloaded(client, server, dp))
+        });
+    }
+    let curve = sweep.curve("one_core_1kb_iops");
+    for udp in [false, true] {
+        curve.point(move || {
+            let (client, server, dp) = tcp_udp_stacks(udp);
+            PointOutcome::new(0.0).with_metric("value", peak(client, server, dp))
+        });
+    }
+    let curve = sweep.curve("one_tenant_iops");
+    for shards in [1u32, 2] {
+        curve.point(move || PointOutcome::new(0.0).with_metric("value", sharded(shards)));
+    }
+    let result = sweep.run();
+    let value = |curve: &str, idx: usize| {
+        result.curve(curve).points[idx]
+            .metric("value")
+            .expect("value metric")
+    };
+
     println!("# Extension measurements (future-work features implemented)");
     println!("## UDP transport (paper: 'both tail latency and throughput will improve')");
-    let tcp_lat = unloaded(
-        StackProfile::ix_tcp(),
-        StackProfile::dataplane_raw(),
-        DataplaneConfig::default(),
+    println!(
+        "unloaded_read_us\ttcp={:.1}\tudp={:.1}",
+        value("unloaded_read_us", 0),
+        value("unloaded_read_us", 1)
     );
-    let udp_lat = unloaded(
-        StackProfile::ix_udp(),
-        StackProfile::dataplane_raw_udp(),
-        DataplaneConfig::udp(),
+    println!(
+        "one_core_1kb_iops\ttcp={:.0}\tudp={:.0}",
+        value("one_core_1kb_iops", 0),
+        value("one_core_1kb_iops", 1)
     );
-    println!("unloaded_read_us\ttcp={tcp_lat:.1}\tudp={udp_lat:.1}");
-    let tcp_peak = peak(
-        StackProfile::ix_tcp(),
-        StackProfile::dataplane_raw(),
-        DataplaneConfig::default(),
-    );
-    let udp_peak = peak(
-        StackProfile::ix_udp(),
-        StackProfile::dataplane_raw_udp(),
-        DataplaneConfig::udp(),
-    );
-    println!("one_core_1kb_iops\ttcp={tcp_peak:.0}\tudp={udp_peak:.0}");
 
     println!("\n## Sharded tenants (paper §4.1 limitation removed)");
-    println!("one_tenant_iops\t1_shard={:.0}\t2_shards={:.0}", sharded(1), sharded(2));
+    println!(
+        "one_tenant_iops\t1_shard={:.0}\t2_shards={:.0}",
+        value("one_tenant_iops", 0),
+        value("one_tenant_iops", 1)
+    );
+    result.write_json_or_warn();
 }

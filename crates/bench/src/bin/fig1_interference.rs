@@ -7,28 +7,48 @@
 //!
 //! Run: `cargo run --release -p reflex-bench --bin fig1_interference`
 
-use reflex_core::sweep_device;
+use reflex_bench::sweep::{PointOutcome, Sweep};
+use reflex_core::sweep_device_point;
 use reflex_flash::device_a;
 use reflex_sim::SimDuration;
 
 fn main() {
     let profile = device_a();
-    println!("# Figure 1: p95 read latency vs total IOPS (4KB, device A)");
-    println!("read_pct\ttotal_kiops\tp95_read_us");
+    let mut sweep = Sweep::new("fig1_interference");
     for read_pct in [100u8, 99, 95, 90, 75, 50] {
         // Sweep up to just past each ratio's saturation point.
         let r = read_pct as f64 / 100.0;
         let cost = r + (1.0 - r) * profile.write_cost_tokens();
         let read_only_bonus = if read_pct == 100 { 1.55 } else { 1.0 };
         let max_iops = profile.token_rate() / cost * read_only_bonus;
-        let offered: Vec<f64> = (1..=13).map(|i| max_iops * i as f64 / 11.0).collect();
-        let sweep =
-            sweep_device(&profile, read_pct, &offered, SimDuration::from_millis(400), 11);
-        for p in sweep {
-            println!("{read_pct}\t{:.0}\t{:.0}", p.iops / 1e3, p.p95_read_us);
-            if p.p95_read_us > 5_000.0 {
-                break; // past the knee; the paper's y-axis stops at 2ms
-            }
+        let curve = sweep.curve(format!("{read_pct}%rd"));
+        curve.cutoff_p95_us(5_000.0); // past the knee; the paper's y-axis stops at 2ms
+        for (k, i) in (1..=13).enumerate() {
+            let iops = max_iops * i as f64 / 11.0;
+            let profile = profile.clone();
+            curve.point(move || {
+                let p = sweep_device_point(
+                    &profile,
+                    read_pct,
+                    4096,
+                    iops,
+                    SimDuration::from_millis(400),
+                    11,
+                    k,
+                );
+                PointOutcome::new(p.p95_read_us)
+                    .with_row(format!(
+                        "{read_pct}\t{:.0}\t{:.0}",
+                        p.iops / 1e3,
+                        p.p95_read_us
+                    ))
+                    .with_metric("iops", p.iops)
+            });
         }
     }
+    let result = sweep.run();
+    println!("# Figure 1: p95 read latency vs total IOPS (4KB, device A)");
+    println!("read_pct\ttotal_kiops\tp95_read_us");
+    result.print_tsv();
+    result.write_json_or_warn();
 }

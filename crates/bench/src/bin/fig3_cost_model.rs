@@ -8,13 +8,18 @@
 //!
 //! Run: `cargo run --release -p reflex-bench --bin fig3_cost_model`
 
-use reflex_core::sweep_device_sized;
+use reflex_bench::sweep::{PointOutcome, Sweep, SweepResult};
+use reflex_core::sweep_device_point;
 use reflex_flash::{device_a, device_b, device_c, DeviceProfile};
 use reflex_qos::{fit_cost_model, max_iops_at_latency, CostModel, LoadMix, RatioCapacity};
 use reflex_sim::SimDuration;
 
 fn weighted(model: &CostModel, read_pct: u8, io_size: u32, iops: f64, read_only: bool) -> f64 {
-    let mix = if read_only { LoadMix::ReadOnly } else { LoadMix::Mixed };
+    let mix = if read_only {
+        LoadMix::ReadOnly
+    } else {
+        LoadMix::Mixed
+    };
     let r = read_pct as f64 / 100.0;
     let read_cost = model.read_cost(mix).as_tokens_f64();
     let write_cost = model.write_cost().as_tokens_f64();
@@ -22,54 +27,101 @@ fn weighted(model: &CostModel, read_pct: u8, io_size: u32, iops: f64, read_only:
     iops * pages * (r * read_cost + (1.0 - r) * write_cost)
 }
 
-fn run_device(profile: &DeviceProfile, published_write_cost: f64) {
-    let model = CostModel::for_profile(profile);
-    println!("# Device {} (published C(write) = {published_write_cost})", profile.name);
-    println!("curve\tweighted_ktokens\tp95_read_us");
+/// (read_pct, io_size) curves as in Figure 3.
+const CURVES: [(u8, u32); 8] = [
+    (100, 1024),
+    (100, 32 * 1024),
+    (100, 4096),
+    (99, 4096),
+    (95, 4096),
+    (90, 4096),
+    (75, 4096),
+    (50, 4096),
+];
 
-    // (read_pct, io_size) curves as in Figure 3.
-    let curves: [(u8, u32); 8] = [
-        (100, 1024),
-        (100, 32 * 1024),
-        (100, 4096),
-        (99, 4096),
-        (95, 4096),
-        (90, 4096),
-        (75, 4096),
-        (50, 4096),
-    ];
-    let mut observations = Vec::new();
-    for (read_pct, io_size) in curves {
+fn curve_label(device: &str, read_pct: u8, io_size: u32) -> String {
+    if io_size == 4096 {
+        format!("{device}/{read_pct}%rd(4KB)")
+    } else {
+        format!("{device}/{read_pct}%rd({}KB)", io_size / 1024)
+    }
+}
+
+fn add_device(sweep: &mut Sweep, profile: &DeviceProfile) {
+    let model = CostModel::for_profile(profile);
+    for (read_pct, io_size) in CURVES {
         let r = read_pct as f64 / 100.0;
         let pages = io_size.div_ceil(4096).max(1) as f64;
         let cost = pages * (r + (1.0 - r) * profile.write_cost_tokens());
         let bonus = if read_pct == 100 { 1.5 } else { 1.0 };
         let max_iops = profile.token_rate() / cost * bonus;
-        let offered: Vec<f64> = (1..=12).map(|i| max_iops * i as f64 / 10.0).collect();
-        let sweep = sweep_device_sized(
-            profile,
-            read_pct,
-            io_size,
-            &offered,
-            SimDuration::from_millis(300),
-            13,
-        );
-        let label = if io_size == 4096 {
-            format!("{read_pct}%rd(4KB)")
-        } else {
-            format!("{read_pct}%rd({}KB)", io_size / 1024)
-        };
-        for p in &sweep {
-            let tokens = weighted(&model, read_pct, io_size, p.iops, read_pct == 100);
-            println!("{label}\t{:.0}\t{:.0}", tokens / 1e3, p.p95_read_us);
-            if p.p95_read_us > 5_000.0 {
+        // No cutoff here: the cost-model fit needs the full sweep, so the
+        // serial harness's print-then-break rule is applied at print time.
+        let curve = sweep.curve(curve_label(&profile.name, read_pct, io_size));
+        let label = curve_label(&profile.name, read_pct, io_size);
+        let label = label.split_once('/').expect("device prefix").1.to_string();
+        for (k, i) in (1..=12).enumerate() {
+            let iops = max_iops * i as f64 / 10.0;
+            let profile = profile.clone();
+            let model = model.clone();
+            let label = label.clone();
+            curve.point(move || {
+                let p = sweep_device_point(
+                    &profile,
+                    read_pct,
+                    io_size,
+                    iops,
+                    SimDuration::from_millis(300),
+                    13,
+                    k,
+                );
+                let tokens = weighted(&model, read_pct, io_size, p.iops, read_pct == 100);
+                PointOutcome::new(p.p95_read_us)
+                    .with_row(format!(
+                        "{label}\t{:.0}\t{:.0}",
+                        tokens / 1e3,
+                        p.p95_read_us
+                    ))
+                    .with_metric("iops", p.iops)
+                    .with_metric("weighted_tokens", tokens)
+            });
+        }
+    }
+}
+
+fn print_device(result: &SweepResult, profile: &DeviceProfile, published_write_cost: f64) {
+    println!(
+        "# Device {} (published C(write) = {published_write_cost})",
+        profile.name
+    );
+    println!("curve\tweighted_ktokens\tp95_read_us");
+    let mut observations = Vec::new();
+    for (read_pct, io_size) in CURVES {
+        let curve = result.curve(&curve_label(&profile.name, read_pct, io_size));
+        for p in &curve.points {
+            for row in &p.rows {
+                println!("{row}");
+            }
+            if p.p95_us > 5_000.0 {
                 break;
             }
         }
-        // Collect knee observations for the fit (4KB mixed curves + RO).
+        // Collect knee observations for the fit (4KB mixed curves + RO),
+        // using the full sweep exactly like the serial harness did.
         if io_size == 4096 {
+            let sweep: Vec<reflex_qos::SweepPoint> = curve
+                .points
+                .iter()
+                .map(|p| reflex_qos::SweepPoint {
+                    iops: p.metric("iops").expect("iops metric"),
+                    p95_read_us: p.p95_us,
+                })
+                .collect();
             if let Some(iops) = max_iops_at_latency(&sweep, 1_000.0) {
-                observations.push(RatioCapacity { read_pct, max_iops: iops });
+                observations.push(RatioCapacity {
+                    read_pct,
+                    max_iops: iops,
+                });
             }
         }
     }
@@ -88,8 +140,15 @@ fn run_device(profile: &DeviceProfile, published_write_cost: f64) {
 }
 
 fn main() {
+    let devices = [(device_a(), 10.0), (device_b(), 20.0), (device_c(), 16.0)];
+    let mut sweep = Sweep::new("fig3_cost_model");
+    for (profile, _) in &devices {
+        add_device(&mut sweep, profile);
+    }
+    let result = sweep.run();
     println!("# Figure 3: latency vs weighted IOPS; curves should collapse per device");
-    run_device(&device_a(), 10.0);
-    run_device(&device_b(), 20.0);
-    run_device(&device_c(), 16.0);
+    for (profile, published) in &devices {
+        print_device(&result, profile, *published);
+    }
+    result.write_json_or_warn();
 }

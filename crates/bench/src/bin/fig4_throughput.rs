@@ -8,7 +8,8 @@
 //! Run: `cargo run --release -p reflex-bench --bin fig4_throughput`
 
 use reflex_baselines::{BaselineConfig, BaselineServer, LocalRig};
-use reflex_bench::{run_testbed, MEASURE, WARMUP};
+use reflex_bench::sweep::{PointOutcome, Sweep};
+use reflex_bench::{max_p95_read_us, run_testbed, MEASURE, WARMUP};
 use reflex_core::{ServerConfig, Testbed, TestbedBuilder, WorkloadSpec};
 use reflex_flash::device_a;
 use reflex_net::{LinkConfig, StackProfile};
@@ -32,27 +33,26 @@ fn load_specs(total_iops: f64, clients: usize) -> Vec<WorkloadSpec> {
         .collect()
 }
 
-fn reflex_point(threads: u32, offered: f64) -> (f64, f64) {
+fn reflex_point(threads: u32, offered: f64) -> (f64, f64, u64) {
     // Two IX client machines and a 40GbE link so the network never caps
     // the 1KB experiment (the paper notes the 10GbE bottleneck explicitly
     // and uses 1KB requests to stress server IOPS instead).
     let tb = Testbed::builder()
         .seed(31)
-        .server(ServerConfig { threads, max_threads: threads, ..ServerConfig::default() })
+        .server(ServerConfig {
+            threads,
+            max_threads: threads,
+            ..ServerConfig::default()
+        })
         .client_machines(vec![StackProfile::ix_tcp(), StackProfile::ix_tcp()])
         .link(LinkConfig::forty_gbe())
         .build();
     let report = run_testbed(tb, load_specs(offered, 2), WARMUP, MEASURE);
     let total: f64 = report.workloads.iter().map(|w| w.iops).sum();
-    let p95 = report
-        .workloads
-        .iter()
-        .map(|w| w.p95_read_us())
-        .fold(0.0f64, f64::max);
-    (total, p95)
+    (total, max_p95_read_us(&report), report.engine_events)
 }
 
-fn libaio_point(workers: u32, offered: f64) -> (f64, f64) {
+fn libaio_point(workers: u32, offered: f64) -> (f64, f64, u64) {
     let config = BaselineConfig::libaio().with_threads(workers);
     let tb = TestbedBuilder::new()
         .seed(32)
@@ -64,18 +64,13 @@ fn libaio_point(workers: u32, offered: f64) -> (f64, f64) {
         });
     let report = run_testbed(tb, load_specs(offered, 2), WARMUP, MEASURE);
     let total: f64 = report.workloads.iter().map(|w| w.iops).sum();
-    let p95 = report
-        .workloads
-        .iter()
-        .map(|w| w.p95_read_us())
-        .fold(0.0f64, f64::max);
-    (total, p95)
+    (total, max_p95_read_us(&report), report.engine_events)
 }
 
-fn local_point(threads: u32, offered: f64) -> (f64, f64) {
+fn local_point(threads: u32, offered: f64) -> (f64, f64, u64) {
     let mut rig = LocalRig::new(device_a(), threads, 34);
     let rep = rig.run_open_loop(offered, 100, 1024, WARMUP, MEASURE);
-    (rep.iops, rep.latency_p95_us())
+    (rep.iops, rep.latency_p95_us(), 0)
 }
 
 trait P95Ext {
@@ -88,42 +83,40 @@ impl P95Ext for reflex_baselines::LocalReport {
 }
 
 fn main() {
+    let fracs = [0.2, 0.4, 0.6, 0.75, 0.9, 1.0, 1.1];
+    type Point = fn(u32, f64) -> (f64, f64, u64);
+    let curves: [(&str, u32, f64, Point); 6] = [
+        ("Local-1T", 1, 900_000.0, local_point),
+        ("Local-2T", 2, 1_150_000.0, local_point),
+        ("ReFlex-1T", 1, 900_000.0, reflex_point),
+        ("ReFlex-2T", 2, 1_150_000.0, reflex_point),
+        ("Libaio-1T", 1, 85_000.0, libaio_point),
+        ("Libaio-2T", 2, 170_000.0, libaio_point),
+    ];
+
+    let mut sweep = Sweep::new("fig4_throughput");
+    for (name, threads, peak, point) in curves {
+        let curve = sweep.curve(name);
+        curve.cutoff_p95_us(3_000.0);
+        for frac in fracs {
+            let offered = peak * frac;
+            curve.point(move || {
+                let (iops, p95, events) = point(threads, offered);
+                PointOutcome::new(p95)
+                    .with_row(format!(
+                        "{name}\t{:.0}\t{:.0}\t{p95:.0}",
+                        offered / 1e3,
+                        iops / 1e3
+                    ))
+                    .with_metric("offered_iops", offered)
+                    .with_metric("achieved_iops", iops)
+                    .with_events(events)
+            });
+        }
+    }
+    let result = sweep.run();
     println!("# Figure 4: p95 latency vs throughput, 1KB read-only");
     println!("curve\toffered_kiops\tachieved_kiops\tp95_us");
-
-    let fracs = [0.2, 0.4, 0.6, 0.75, 0.9, 1.0, 1.1];
-    for (name, peak, f) in [
-        ("Local-1T", 900_000.0, local_point as fn(u32, f64) -> (f64, f64)),
-        ("Local-2T", 1_150_000.0, local_point),
-    ] {
-        let threads = if name.ends_with("1T") { 1 } else { 2 };
-        for frac in fracs {
-            let offered = peak * frac;
-            let (iops, p95) = f(threads, offered);
-            println!("{name}\t{:.0}\t{:.0}\t{p95:.0}", offered / 1e3, iops / 1e3);
-            if p95 > 3_000.0 {
-                break;
-            }
-        }
-    }
-    for (name, threads, peak) in [("ReFlex-1T", 1u32, 900_000.0), ("ReFlex-2T", 2, 1_150_000.0)] {
-        for frac in fracs {
-            let offered = peak * frac;
-            let (iops, p95) = reflex_point(threads, offered);
-            println!("{name}\t{:.0}\t{:.0}\t{p95:.0}", offered / 1e3, iops / 1e3);
-            if p95 > 3_000.0 {
-                break;
-            }
-        }
-    }
-    for (name, workers, peak) in [("Libaio-1T", 1u32, 85_000.0), ("Libaio-2T", 2, 170_000.0)] {
-        for frac in fracs {
-            let offered = peak * frac;
-            let (iops, p95) = libaio_point(workers, offered);
-            println!("{name}\t{:.0}\t{:.0}\t{p95:.0}", offered / 1e3, iops / 1e3);
-            if p95 > 3_000.0 {
-                break;
-            }
-        }
-    }
+    result.print_tsv();
+    result.write_json_or_warn();
 }

@@ -8,6 +8,7 @@
 //!
 //! Run: `cargo run --release -p reflex-bench --bin fig5_qos`
 
+use reflex_bench::sweep::{PointOutcome, Sweep};
 use reflex_bench::{run_testbed, MEASURE, WARMUP};
 use reflex_core::{CapacityProfile, LoadPattern, Testbed, WorkloadSpec};
 use reflex_qos::{SloSpec, TenantClass, TenantId};
@@ -47,7 +48,7 @@ fn tenant_specs(scenario: u8) -> Vec<WorkloadSpec> {
     specs
 }
 
-fn run(scenario: u8, qos: bool) {
+fn run(scenario: u8, qos: bool) -> PointOutcome {
     let mut builder = Testbed::builder().seed(41);
     if !qos {
         builder = builder.capacity(CapacityProfile::unlimited());
@@ -55,29 +56,49 @@ fn run(scenario: u8, qos: bool) {
     let tb = builder.build();
     let report = run_testbed(tb, tenant_specs(scenario), WARMUP, MEASURE);
     let sched = if qos { "enabled" } else { "disabled" };
+    let mut out =
+        PointOutcome::new(reflex_bench::max_p95_read_us(&report)).with_events(report.engine_events);
     for w in &report.workloads {
         let qd_note = match w.name.as_str() {
             "C" | "D" => "closed-loop",
             _ => "open-loop",
         };
-        println!(
-            "{scenario}\t{sched}\t{}\t{:.0}\t{:.0}\t{qd_note}",
-            w.name,
-            w.iops / 1e3,
-            w.p95_read_us()
-        );
+        out = out
+            .with_row(format!(
+                "{scenario}\t{sched}\t{}\t{:.0}\t{:.0}\t{qd_note}",
+                w.name,
+                w.iops / 1e3,
+                w.p95_read_us()
+            ))
+            .with_metric(format!("{}_kiops", w.name), w.iops / 1e3)
+            .with_metric(format!("{}_p95_us", w.name), w.p95_read_us());
     }
+    out
 }
 
 fn main() {
+    let mut sweep = Sweep::new("fig5_qos");
+    for scenario in [1u8, 2] {
+        for qos in [false, true] {
+            let label = format!("s{scenario}/{}", if qos { "sched" } else { "nosched" });
+            sweep.curve(label).point(move || run(scenario, qos));
+        }
+    }
+    let result = sweep.run();
     println!("# Figure 5: 4 tenants sharing one ReFlex server (device A)");
     println!("# LC SLOs: A=120K IOPS@100%r, B=70K@80%r, both p95<=500us");
     println!("scenario\tsched\ttenant\tkiops\tp95_read_us\tload");
     for scenario in [1u8, 2] {
         for qos in [false, true] {
-            run(scenario, qos);
+            let label = format!("s{scenario}/{}", if qos { "sched" } else { "nosched" });
+            for p in &result.curve(&label).points {
+                for row in &p.rows {
+                    println!("{row}");
+                }
+            }
         }
         println!();
     }
+    result.write_json_or_warn();
     let _ = LoadPattern::ClosedLoop { queue_depth: 1 }; // (doc reference)
 }

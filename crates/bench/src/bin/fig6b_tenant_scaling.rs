@@ -9,61 +9,82 @@
 //! Run: `cargo run --release -p reflex-bench --bin fig6b_tenant_scaling`
 
 use reflex_bench::run_testbed;
+use reflex_bench::sweep::{PointOutcome, Sweep};
 use reflex_core::{ServerConfig, Testbed, WorkloadSpec};
 use reflex_net::{LinkConfig, StackProfile};
 use reflex_qos::{TenantClass, TenantId};
 use reflex_sim::SimDuration;
 
+fn tenant_point(cores: u32, tenants: u32) -> PointOutcome {
+    let tb = Testbed::builder()
+        .seed(61)
+        .server(ServerConfig {
+            threads: cores,
+            max_threads: cores,
+            ..ServerConfig::default()
+        })
+        .client_machines(vec![StackProfile::ix_tcp(), StackProfile::ix_tcp()])
+        .link(LinkConfig::forty_gbe())
+        .build();
+    let specs: Vec<WorkloadSpec> = (0..tenants)
+        .map(|t| {
+            let mut spec = WorkloadSpec::open_loop(
+                &format!("t{t}"),
+                TenantId(t + 1),
+                TenantClass::BestEffort,
+                100.0,
+            );
+            spec.io_size = 1024;
+            spec.client_machine = (t % 2) as usize;
+            spec
+        })
+        .collect();
+    let report = run_testbed(
+        tb,
+        specs,
+        SimDuration::from_millis(100),
+        SimDuration::from_millis(300),
+    );
+    let achieved: f64 = report.workloads.iter().map(|w| w.iops).sum();
+    let busy = report
+        .threads
+        .iter()
+        .map(|t| t.busy_fraction)
+        .fold(0.0f64, f64::max);
+    PointOutcome::new(0.0)
+        .with_row(format!(
+            "{cores}\t{tenants}\t{:.0}\t{:.0}\t{busy:.2}",
+            tenants as f64 * 100.0 / 1e3,
+            achieved / 1e3
+        ))
+        .with_metric("achieved_kiops", achieved / 1e3)
+        .with_metric("busy_frac", busy)
+        .with_events(report.engine_events)
+}
+
 fn main() {
-    println!("# Figure 6b: tenants at 100 x 1KB-read IOPS each (1 conn per tenant)");
-    println!("cores\ttenants\toffered_kiops\tachieved_kiops\tbusy_frac");
-    for cores in [1u32, 2, 4] {
+    let core_counts = [1u32, 2, 4];
+    let mut sweep = Sweep::new("fig6b_tenant_scaling");
+    for cores in core_counts {
+        let curve = sweep.curve(format!("{cores}cores"));
         for tenants in [250u32, 500, 1_000, 2_000, 3_000, 4_500, 6_000] {
             // Keep the per-core tenant count meaningful: skip absurd points.
             if tenants / cores > 6_000 {
                 continue;
             }
-            let tb = Testbed::builder()
-                .seed(61)
-                .server(ServerConfig {
-                    threads: cores,
-                    max_threads: cores,
-                    ..ServerConfig::default()
-                })
-                .client_machines(vec![StackProfile::ix_tcp(), StackProfile::ix_tcp()])
-                .link(LinkConfig::forty_gbe())
-                .build();
-            let specs: Vec<WorkloadSpec> = (0..tenants)
-                .map(|t| {
-                    let mut spec = WorkloadSpec::open_loop(
-                        &format!("t{t}"),
-                        TenantId(t + 1),
-                        TenantClass::BestEffort,
-                        100.0,
-                    );
-                    spec.io_size = 1024;
-                    spec.client_machine = (t % 2) as usize;
-                    spec
-                })
-                .collect();
-            let report = run_testbed(
-                tb,
-                specs,
-                SimDuration::from_millis(100),
-                SimDuration::from_millis(300),
-            );
-            let achieved: f64 = report.workloads.iter().map(|w| w.iops).sum();
-            let busy = report
-                .threads
-                .iter()
-                .map(|t| t.busy_fraction)
-                .fold(0.0f64, f64::max);
-            println!(
-                "{cores}\t{tenants}\t{:.0}\t{:.0}\t{busy:.2}",
-                tenants as f64 * 100.0 / 1e3,
-                achieved / 1e3
-            );
+            curve.point(move || tenant_point(cores, tenants));
+        }
+    }
+    let result = sweep.run();
+    println!("# Figure 6b: tenants at 100 x 1KB-read IOPS each (1 conn per tenant)");
+    println!("cores\ttenants\toffered_kiops\tachieved_kiops\tbusy_frac");
+    for cores in core_counts {
+        for p in &result.curve(&format!("{cores}cores")).points {
+            for row in &p.rows {
+                println!("{row}");
+            }
         }
         println!();
     }
+    result.write_json_or_warn();
 }

@@ -8,53 +8,70 @@
 //! Run: `cargo run --release -p reflex-bench --bin fig6c_conn_scaling`
 
 use reflex_bench::run_testbed;
+use reflex_bench::sweep::{PointOutcome, Sweep};
 use reflex_core::{Testbed, WorkloadSpec};
 use reflex_net::{LinkConfig, StackProfile};
 use reflex_qos::{TenantClass, TenantId};
 use reflex_sim::SimDuration;
 
+fn conn_point(per_conn: f64, conns: u32) -> PointOutcome {
+    let offered = per_conn * conns as f64;
+    let tb = Testbed::builder()
+        .seed(71)
+        .client_machines(vec![
+            StackProfile::ix_tcp(),
+            StackProfile::ix_tcp(),
+            StackProfile::ix_tcp(),
+            StackProfile::ix_tcp(),
+        ])
+        .link(LinkConfig::forty_gbe())
+        .build();
+    let mut spec = WorkloadSpec::open_loop("tenant", TenantId(1), TenantClass::BestEffort, offered);
+    spec.io_size = 1024;
+    spec.conns = conns;
+    spec.client_threads = 16;
+    let report = run_testbed(
+        tb,
+        vec![spec],
+        SimDuration::from_millis(100),
+        SimDuration::from_millis(300),
+    );
+    let w = report.workload("tenant");
+    PointOutcome::new(w.p95_read_us())
+        .with_row(format!(
+            "{per_conn:.0}\t{conns}\t{:.0}\t{:.0}",
+            offered / 1e3,
+            w.iops / 1e3
+        ))
+        .with_metric("achieved_kiops", w.iops / 1e3)
+        .with_events(report.engine_events)
+}
+
 fn main() {
-    println!("# Figure 6c: connections for one tenant on one core (1KB reads)");
-    println!("iops_per_conn\tconns\toffered_kiops\tachieved_kiops");
-    for per_conn in [100.0f64, 500.0, 1_000.0] {
-        for conns in [10u32, 50, 100, 250, 500, 850, 1_500, 2_500, 5_000, 7_500, 10_000] {
-            let offered = per_conn * conns as f64;
+    let rates = [100.0f64, 500.0, 1_000.0];
+    let mut sweep = Sweep::new("fig6c_conn_scaling");
+    for per_conn in rates {
+        let curve = sweep.curve(format!("{per_conn:.0}iops_per_conn"));
+        for conns in [
+            10u32, 50, 100, 250, 500, 850, 1_500, 2_500, 5_000, 7_500, 10_000,
+        ] {
             // Skip points that are pure overkill (>2x core peak).
-            if offered > 1_800_000.0 {
+            if per_conn * conns as f64 > 1_800_000.0 {
                 continue;
             }
-            let tb = Testbed::builder()
-                .seed(71)
-                .client_machines(vec![
-                    StackProfile::ix_tcp(),
-                    StackProfile::ix_tcp(),
-                    StackProfile::ix_tcp(),
-                    StackProfile::ix_tcp(),
-                ])
-                .link(LinkConfig::forty_gbe())
-                .build();
-            let mut spec = WorkloadSpec::open_loop(
-                "tenant",
-                TenantId(1),
-                TenantClass::BestEffort,
-                offered,
-            );
-            spec.io_size = 1024;
-            spec.conns = conns;
-            spec.client_threads = 16;
-            let report = run_testbed(
-                tb,
-                vec![spec],
-                SimDuration::from_millis(100),
-                SimDuration::from_millis(300),
-            );
-            let w = report.workload("tenant");
-            println!(
-                "{per_conn:.0}\t{conns}\t{:.0}\t{:.0}",
-                offered / 1e3,
-                w.iops / 1e3
-            );
+            curve.point(move || conn_point(per_conn, conns));
+        }
+    }
+    let result = sweep.run();
+    println!("# Figure 6c: connections for one tenant on one core (1KB reads)");
+    println!("iops_per_conn\tconns\toffered_kiops\tachieved_kiops");
+    for per_conn in rates {
+        for p in &result.curve(&format!("{per_conn:.0}iops_per_conn")).points {
+            for row in &p.rows {
+                println!("{row}");
+            }
         }
         println!();
     }
+    result.write_json_or_warn();
 }

@@ -7,15 +7,35 @@
 //!
 //! Run: `cargo run --release -p reflex-bench --bin fig7a_fio`
 
+use reflex_bench::sweep::{PointOutcome, Sweep};
 use reflex_flash::device_a;
 use reflex_workloads::{Backend, BackendProfile, FioJob};
 
-type Sweep = (&'static str, BackendProfile, Vec<(u32, u32)>);
+fn fio_point(name: &str, profile: &BackendProfile, threads: u32, qd: u32) -> PointOutcome {
+    let mut backend = Backend::new(profile.clone(), device_a(), threads, 81);
+    let rep = FioJob {
+        threads,
+        queue_depth: qd,
+        ..FioJob::default()
+    }
+    .run(&mut backend, 7);
+    let p95 = rep.latency.p95().as_micros_f64();
+    PointOutcome::new(p95)
+        .with_row(format!(
+            "{name}\t{threads}\t{qd}\t{:.0}\t{:.0}\t{:.0}",
+            rep.mb_per_sec,
+            rep.iops / 1e3,
+            p95
+        ))
+        .with_metric("mb_per_sec", rep.mb_per_sec)
+        .with_metric("kiops", rep.iops / 1e3)
+}
+
+/// A backend's name, profile and (threads, queue-depth) ladder.
+type FioConfig = (&'static str, BackendProfile, Vec<(u32, u32)>);
 
 fn main() {
-    println!("# Figure 7a: FIO 4KB random read, p95 latency vs throughput");
-    println!("path\tthreads\tqd\tMB_s\tkiops\tp95_us");
-    let sweeps: [Sweep; 3] = [
+    let configs: [FioConfig; 3] = [
         (
             "local",
             BackendProfile::local_nvme(),
@@ -32,18 +52,25 @@ fn main() {
             vec![(1, 4), (1, 16), (2, 16), (3, 24), (4, 32), (5, 48), (6, 64)],
         ),
     ];
-    for (name, profile, points) in sweeps {
-        for (threads, qd) in points {
-            let mut backend = Backend::new(profile.clone(), device_a(), threads, 81);
-            let rep = FioJob { threads, queue_depth: qd, ..FioJob::default() }
-                .run(&mut backend, 7);
-            println!(
-                "{name}\t{threads}\t{qd}\t{:.0}\t{:.0}\t{:.0}",
-                rep.mb_per_sec,
-                rep.iops / 1e3,
-                rep.latency.p95().as_micros_f64()
-            );
+    let mut sweep = Sweep::new("fig7a_fio");
+    for (name, profile, points) in &configs {
+        let curve = sweep.curve(*name);
+        for &(threads, qd) in points {
+            let name = *name;
+            let profile = profile.clone();
+            curve.point(move || fio_point(name, &profile, threads, qd));
+        }
+    }
+    let result = sweep.run();
+    println!("# Figure 7a: FIO 4KB random read, p95 latency vs throughput");
+    println!("path\tthreads\tqd\tMB_s\tkiops\tp95_us");
+    for (name, _, _) in &configs {
+        for p in &result.curve(name).points {
+            for row in &p.rows {
+                println!("{row}");
+            }
         }
         println!();
     }
+    result.write_json_or_warn();
 }

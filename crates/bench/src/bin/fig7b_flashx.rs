@@ -7,24 +7,23 @@
 //!
 //! Run: `cargo run --release -p reflex-bench --bin fig7b_flashx`
 
+use reflex_bench::sweep::{PointOutcome, Sweep};
 use reflex_flash::device_a;
 use reflex_workloads::{run_flashx, Backend, BackendProfile, FlashXConfig, GraphAlgo};
 
-fn main() {
-    println!("# Figure 7b: FlashX end-to-end slowdown vs local Flash");
-    println!("algo\tlocal_s\treflex_s\tiscsi_s\treflex_slowdown\tiscsi_slowdown");
+fn algo_point(algo: GraphAlgo) -> PointOutcome {
     let config = FlashXConfig::default();
-    for algo in GraphAlgo::all() {
-        let mut runtimes = Vec::new();
-        for profile in [
-            BackendProfile::local_nvme(),
-            BackendProfile::reflex_remote(),
-            BackendProfile::iscsi_remote(),
-        ] {
-            let mut backend = Backend::new(profile, device_a(), 6, 91);
-            runtimes.push(run_flashx(algo, &config, &mut backend, 17).as_secs_f64());
-        }
-        println!(
+    let mut runtimes = Vec::new();
+    for profile in [
+        BackendProfile::local_nvme(),
+        BackendProfile::reflex_remote(),
+        BackendProfile::iscsi_remote(),
+    ] {
+        let mut backend = Backend::new(profile, device_a(), 6, 91);
+        runtimes.push(run_flashx(algo, &config, &mut backend, 17).as_secs_f64());
+    }
+    PointOutcome::new(0.0)
+        .with_row(format!(
             "{}\t{:.1}\t{:.1}\t{:.1}\t{:.3}\t{:.3}",
             algo.name(),
             runtimes[0],
@@ -32,6 +31,22 @@ fn main() {
             runtimes[2],
             runtimes[1] / runtimes[0],
             runtimes[2] / runtimes[0]
-        );
+        ))
+        .with_metric("local_s", runtimes[0])
+        .with_metric("reflex_s", runtimes[1])
+        .with_metric("iscsi_s", runtimes[2])
+        .with_metric("reflex_slowdown", runtimes[1] / runtimes[0])
+        .with_metric("iscsi_slowdown", runtimes[2] / runtimes[0])
+}
+
+fn main() {
+    let mut sweep = Sweep::new("fig7b_flashx");
+    for algo in GraphAlgo::all() {
+        sweep.curve(algo.name()).point(move || algo_point(algo));
     }
+    let result = sweep.run();
+    println!("# Figure 7b: FlashX end-to-end slowdown vs local Flash");
+    println!("algo\tlocal_s\treflex_s\tiscsi_s\treflex_slowdown\tiscsi_slowdown");
+    result.print_tsv();
+    result.write_json_or_warn();
 }

@@ -7,24 +7,23 @@
 //!
 //! Run: `cargo run --release -p reflex-bench --bin fig7c_rocksdb`
 
+use reflex_bench::sweep::{PointOutcome, Sweep};
 use reflex_flash::device_a;
 use reflex_workloads::{run_db_bench, Backend, BackendProfile, DbBenchmark, LsmConfig};
 
-fn main() {
-    println!("# Figure 7c: RocksDB db_bench slowdown vs local Flash (43GB DB)");
-    println!("bench\tlocal_s\treflex_s\tiscsi_s\treflex_slowdown\tiscsi_slowdown");
+fn bench_point(bench: DbBenchmark) -> PointOutcome {
     let config = LsmConfig::default();
-    for bench in DbBenchmark::all() {
-        let mut runtimes = Vec::new();
-        for profile in [
-            BackendProfile::local_nvme(),
-            BackendProfile::reflex_remote(),
-            BackendProfile::iscsi_remote(),
-        ] {
-            let mut backend = Backend::new(profile, device_a(), 6, 101);
-            runtimes.push(run_db_bench(bench, &config, &mut backend, 19).as_secs_f64());
-        }
-        println!(
+    let mut runtimes = Vec::new();
+    for profile in [
+        BackendProfile::local_nvme(),
+        BackendProfile::reflex_remote(),
+        BackendProfile::iscsi_remote(),
+    ] {
+        let mut backend = Backend::new(profile, device_a(), 6, 101);
+        runtimes.push(run_db_bench(bench, &config, &mut backend, 19).as_secs_f64());
+    }
+    PointOutcome::new(0.0)
+        .with_row(format!(
             "{}\t{:.1}\t{:.1}\t{:.1}\t{:.3}\t{:.3}",
             bench.name(),
             runtimes[0],
@@ -32,6 +31,22 @@ fn main() {
             runtimes[2],
             runtimes[1] / runtimes[0],
             runtimes[2] / runtimes[0]
-        );
+        ))
+        .with_metric("local_s", runtimes[0])
+        .with_metric("reflex_s", runtimes[1])
+        .with_metric("iscsi_s", runtimes[2])
+        .with_metric("reflex_slowdown", runtimes[1] / runtimes[0])
+        .with_metric("iscsi_slowdown", runtimes[2] / runtimes[0])
+}
+
+fn main() {
+    let mut sweep = Sweep::new("fig7c_rocksdb");
+    for bench in DbBenchmark::all() {
+        sweep.curve(bench.name()).point(move || bench_point(bench));
     }
+    let result = sweep.run();
+    println!("# Figure 7c: RocksDB db_bench slowdown vs local Flash (43GB DB)");
+    println!("bench\tlocal_s\treflex_s\tiscsi_s\treflex_slowdown\tiscsi_slowdown");
+    result.print_tsv();
+    result.write_json_or_warn();
 }

@@ -8,42 +8,73 @@
 //!
 //! Run: `cargo run --release -p reflex-bench --bin latency_breakdown`
 
+use reflex_bench::sweep::{PointOutcome, Sweep};
 use reflex_core::{Testbed, WorkloadSpec};
 use reflex_qos::{SloSpec, TenantClass, TenantId};
 use reflex_sim::SimDuration;
 
+fn breakdown_point(label: &str, offered: f64) -> PointOutcome {
+    let mut tb = Testbed::builder().seed(131).build();
+    let slo = SloSpec::new(450_000, 100, SimDuration::from_millis(2));
+    let mut spec = WorkloadSpec::open_loop(
+        "app",
+        TenantId(1),
+        TenantClass::LatencyCritical(slo),
+        offered,
+    );
+    spec.io_size = 1024;
+    spec.conns = 32;
+    spec.client_threads = 8;
+    tb.add_workload(spec).expect("admitted");
+    tb.run(SimDuration::from_millis(50));
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(200));
+    let report = tb.report();
+    let w = report.workload("app");
+    let b = tb.world().server().threads()[0].latency_breakdown();
+    let (rx_wait, rx_proc, sched_wait, device, tx) = b.means_us();
+    let server_total = rx_wait + rx_proc + sched_wait + device + tx;
+    let client_and_wire = w.mean_read_us() - server_total;
+    PointOutcome::new(w.p95_read_us())
+        .with_row(format!(
+            "\n## {label} ({offered:.0} IOPS offered, {:.0} achieved)",
+            w.iops
+        ))
+        .with_row("stage\tmean_us")
+        .with_row(format!("client+wire\t{client_and_wire:.1}"))
+        .with_row(format!("nic_batch_wait\t{rx_wait:.1}"))
+        .with_row(format!("rx_processing\t{rx_proc:.1}"))
+        .with_row(format!("qos_sched_wait\t{sched_wait:.1}"))
+        .with_row(format!("flash_device\t{device:.1}"))
+        .with_row(format!("completion_tx\t{tx:.1}"))
+        .with_row(format!(
+            "end_to_end_mean\t{:.1}\tp95\t{:.1}",
+            w.mean_read_us(),
+            w.p95_read_us()
+        ))
+        .with_metric("achieved_iops", w.iops)
+        .with_metric("client_wire_us", client_and_wire)
+        .with_metric("nic_batch_wait_us", rx_wait)
+        .with_metric("rx_processing_us", rx_proc)
+        .with_metric("qos_sched_wait_us", sched_wait)
+        .with_metric("flash_device_us", device)
+        .with_metric("completion_tx_us", tx)
+        .with_events(report.engine_events)
+}
+
 fn main() {
-    println!("# Server-side latency decomposition (Figure 2 stages)");
-    for (label, offered) in [("unloaded", 20_000.0f64), ("mid-load", 400_000.0), ("near-peak", 800_000.0)] {
-        let mut tb = Testbed::builder().seed(131).build();
-        let slo = SloSpec::new(450_000, 100, SimDuration::from_millis(2));
-        let mut spec = WorkloadSpec::open_loop(
-            "app",
-            TenantId(1),
-            TenantClass::LatencyCritical(slo),
-            offered,
-        );
-        spec.io_size = 1024;
-        spec.conns = 32;
-        spec.client_threads = 8;
-        tb.add_workload(spec).expect("admitted");
-        tb.run(SimDuration::from_millis(50));
-        tb.begin_measurement();
-        tb.run(SimDuration::from_millis(200));
-        let report = tb.report();
-        let w = report.workload("app");
-        let b = tb.world().server().threads()[0].latency_breakdown();
-        let (rx_wait, rx_proc, sched_wait, device, tx) = b.means_us();
-        let server_total = rx_wait + rx_proc + sched_wait + device + tx;
-        let client_and_wire = w.mean_read_us() - server_total;
-        println!("\n## {label} ({offered:.0} IOPS offered, {:.0} achieved)", w.iops);
-        println!("stage\tmean_us");
-        println!("client+wire\t{client_and_wire:.1}");
-        println!("nic_batch_wait\t{rx_wait:.1}");
-        println!("rx_processing\t{rx_proc:.1}");
-        println!("qos_sched_wait\t{sched_wait:.1}");
-        println!("flash_device\t{device:.1}");
-        println!("completion_tx\t{tx:.1}");
-        println!("end_to_end_mean\t{:.1}\tp95\t{:.1}", w.mean_read_us(), w.p95_read_us());
+    let points = [
+        ("unloaded", 20_000.0f64),
+        ("mid-load", 400_000.0),
+        ("near-peak", 800_000.0),
+    ];
+    let mut sweep = Sweep::new("latency_breakdown");
+    let curve = sweep.curve("breakdown");
+    for (label, offered) in points {
+        curve.point(move || breakdown_point(label, offered));
     }
+    let result = sweep.run();
+    println!("# Server-side latency decomposition (Figure 2 stages)");
+    result.print_tsv();
+    result.write_json_or_warn();
 }

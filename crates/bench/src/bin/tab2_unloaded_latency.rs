@@ -8,6 +8,7 @@
 
 use reflex_baselines::{BaselineConfig, BaselineServer, LocalRig};
 use reflex_bench::run_testbed;
+use reflex_bench::sweep::{PointOutcome, Sweep};
 use reflex_core::{Testbed, TestbedBuilder, WorkloadSpec};
 use reflex_flash::device_a;
 use reflex_net::StackProfile;
@@ -25,7 +26,10 @@ fn probe_spec(read_pct: u8) -> WorkloadSpec {
 }
 
 fn reflex_row(client: StackProfile, read_pct: u8) -> (f64, f64) {
-    let tb = Testbed::builder().client_machines(vec![client]).seed(21).build();
+    let tb = Testbed::builder()
+        .client_machines(vec![client])
+        .seed(21)
+        .build();
     let report = run_testbed(
         tb,
         vec![probe_spec(read_pct)],
@@ -33,7 +37,11 @@ fn reflex_row(client: StackProfile, read_pct: u8) -> (f64, f64) {
         SimDuration::from_millis(400),
     );
     let w = report.workload("probe");
-    let h = if read_pct == 100 { &w.read_latency } else { &w.write_latency };
+    let h = if read_pct == 100 {
+        &w.read_latency
+    } else {
+        &w.write_latency
+    };
     (h.mean().as_micros_f64(), h.p95().as_micros_f64())
 }
 
@@ -45,8 +53,7 @@ fn baseline_row(config: BaselineConfig, client: StackProfile, read_pct: u8) -> (
         .build_with(move |fabric, device, machine| {
             BaselineServer::new(machine, fabric, device, config, 23)
         });
-    let mut spec =
-        WorkloadSpec::closed_loop("probe", TenantId(1), TenantClass::BestEffort, 1);
+    let mut spec = WorkloadSpec::closed_loop("probe", TenantId(1), TenantClass::BestEffort, 1);
     spec.read_pct = read_pct;
     let report = run_testbed(
         tb,
@@ -55,42 +62,70 @@ fn baseline_row(config: BaselineConfig, client: StackProfile, read_pct: u8) -> (
         SimDuration::from_millis(400),
     );
     let w = report.workload("probe");
-    let h = if read_pct == 100 { &w.read_latency } else { &w.write_latency };
+    let h = if read_pct == 100 {
+        &w.read_latency
+    } else {
+        &w.write_latency
+    };
     (h.mean().as_micros_f64(), h.p95().as_micros_f64())
 }
 
 fn local_row(read_pct: u8) -> (f64, f64) {
     let mut rig = LocalRig::new(device_a(), 1, 24);
     let rep = rig.run_unloaded(read_pct, 4096, 3_000);
-    let h = if read_pct == 100 { &rep.read_latency } else { &rep.write_latency };
+    let h = if read_pct == 100 {
+        &rep.read_latency
+    } else {
+        &rep.write_latency
+    };
     (h.mean().as_micros_f64(), h.p95().as_micros_f64())
 }
 
+/// Renders one table row from a read-mode and a write-mode measurement.
+fn row_outcome(label: &str, run: impl Fn(u8) -> (f64, f64)) -> PointOutcome {
+    let (ra, rp) = run(100);
+    let (wa, wp) = run(0);
+    PointOutcome::new(rp)
+        .with_row(format!("{label}\t{ra:.0}\t{rp:.0}\t{wa:.0}\t{wp:.0}"))
+        .with_metric("read_avg_us", ra)
+        .with_metric("read_p95_us", rp)
+        .with_metric("write_avg_us", wa)
+        .with_metric("write_p95_us", wp)
+}
+
 fn main() {
+    let mut sweep = Sweep::new("tab2_unloaded_latency");
+    sweep
+        .curve("Local (SPDK)")
+        .point(|| row_outcome("Local (SPDK)       (78/90, 11/17)", local_row));
+    sweep.curve("iSCSI").point(|| {
+        row_outcome("iSCSI              (211/251, 155/215)", |pct| {
+            baseline_row(BaselineConfig::iscsi(), StackProfile::linux_tcp(), pct)
+        })
+    });
+    sweep.curve("Libaio (Linux)").point(|| {
+        row_outcome("Libaio (Linux)     (183/205, 180/205)", |pct| {
+            baseline_row(BaselineConfig::libaio(), StackProfile::linux_tcp(), pct)
+        })
+    });
+    sweep.curve("Libaio (IX)").point(|| {
+        row_outcome("Libaio (IX)        (121/139, 117/144)", |pct| {
+            baseline_row(BaselineConfig::libaio(), StackProfile::ix_tcp(), pct)
+        })
+    });
+    sweep.curve("ReFlex (Linux)").point(|| {
+        row_outcome("ReFlex (Linux)     (117/135, 58/64)", |pct| {
+            reflex_row(StackProfile::linux_tcp(), pct)
+        })
+    });
+    sweep.curve("ReFlex (IX)").point(|| {
+        row_outcome("ReFlex (IX)        (99/113, 31/34)", |pct| {
+            reflex_row(StackProfile::ix_tcp(), pct)
+        })
+    });
+    let result = sweep.run();
     println!("# Table 2: unloaded 4KB latency (us). Paper values in parens.");
     println!("config\tread_avg\tread_p95\twrite_avg\twrite_p95");
-
-    let (ra, rp) = local_row(100);
-    let (wa, wp) = local_row(0);
-    println!("Local (SPDK)       (78/90, 11/17)\t{ra:.0}\t{rp:.0}\t{wa:.0}\t{wp:.0}");
-
-    let (ra, rp) = baseline_row(BaselineConfig::iscsi(), StackProfile::linux_tcp(), 100);
-    let (wa, wp) = baseline_row(BaselineConfig::iscsi(), StackProfile::linux_tcp(), 0);
-    println!("iSCSI              (211/251, 155/215)\t{ra:.0}\t{rp:.0}\t{wa:.0}\t{wp:.0}");
-
-    let (ra, rp) = baseline_row(BaselineConfig::libaio(), StackProfile::linux_tcp(), 100);
-    let (wa, wp) = baseline_row(BaselineConfig::libaio(), StackProfile::linux_tcp(), 0);
-    println!("Libaio (Linux)     (183/205, 180/205)\t{ra:.0}\t{rp:.0}\t{wa:.0}\t{wp:.0}");
-
-    let (ra, rp) = baseline_row(BaselineConfig::libaio(), StackProfile::ix_tcp(), 100);
-    let (wa, wp) = baseline_row(BaselineConfig::libaio(), StackProfile::ix_tcp(), 0);
-    println!("Libaio (IX)        (121/139, 117/144)\t{ra:.0}\t{rp:.0}\t{wa:.0}\t{wp:.0}");
-
-    let (ra, rp) = reflex_row(StackProfile::linux_tcp(), 100);
-    let (wa, wp) = reflex_row(StackProfile::linux_tcp(), 0);
-    println!("ReFlex (Linux)     (117/135, 58/64)\t{ra:.0}\t{rp:.0}\t{wa:.0}\t{wp:.0}");
-
-    let (ra, rp) = reflex_row(StackProfile::ix_tcp(), 100);
-    let (wa, wp) = reflex_row(StackProfile::ix_tcp(), 0);
-    println!("ReFlex (IX)        (99/113, 31/34)\t{ra:.0}\t{rp:.0}\t{wa:.0}\t{wp:.0}");
+    result.print_tsv();
+    result.write_json_or_warn();
 }

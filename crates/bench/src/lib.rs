@@ -21,6 +21,8 @@
 
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use reflex_core::{ServerHarness, Testbed, TestbedReport, WorkloadSpec};
 use reflex_sim::SimDuration;
 
@@ -51,4 +53,23 @@ pub fn run_testbed<S: ServerHarness + 'static>(
     tb.begin_measurement();
     tb.run(measure);
     tb.report()
+}
+
+/// Worst p95 read latency (µs) across a report's workloads — the cutoff
+/// metric used by most figure sweeps.
+pub fn max_p95_read_us(report: &TestbedReport) -> f64 {
+    report
+        .workloads
+        .iter()
+        .map(reflex_core::WorkloadReport::p95_read_us)
+        .fold(0.0f64, f64::max)
+}
+
+/// Worst p95 write latency (µs) across a report's workloads.
+pub fn max_p95_write_us(report: &TestbedReport) -> f64 {
+    report
+        .workloads
+        .iter()
+        .map(reflex_core::WorkloadReport::p95_write_us)
+        .fold(0.0f64, f64::max)
 }

@@ -1,0 +1,514 @@
+//! Parallel sweep runner for the experiment harnesses.
+//!
+//! Every figure binary is a set of *curves* (a configuration) each swept
+//! over *load points*. Points are independent, deterministic simulations,
+//! so the [`Sweep`] fans them out across OS threads and re-assembles the
+//! results in declaration order — output is byte-identical to a serial
+//! run, only faster.
+//!
+//! The serial harnesses stopped a curve early once its p95 blew past a
+//! cutoff (`if p95 > cutoff { break }` after printing the breaching
+//! point). The parallel runner keeps that output rule by running all
+//! points speculatively and discarding everything after the first breach
+//! ([`Curve::cutoff_p95_us`]); a single-threaded run short-circuits
+//! instead — points past a breach are never executed, exactly like the
+//! old harness loops. Either way the kept points, and therefore the TSV,
+//! are identical.
+//!
+//! Thread count comes from `REFLEX_BENCH_THREADS` (default: all cores).
+//! Besides the binaries' TSV on stdout, [`SweepResult::write_json`] drops
+//! a machine-readable `BENCH_<name>.json` with per-point metrics, the
+//! wall-clock time and the engine event throughput.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One measured load point.
+///
+/// Built by the point's job closure: `p95_us` drives the curve's
+/// early-exit cutoff, `rows` are the pre-rendered TSV lines the binary
+/// prints for this point, and `metrics` land in `BENCH_<name>.json`.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// The cutoff metric, typically the worst p95 read latency in µs.
+    pub p95_us: f64,
+    /// Pre-rendered TSV rows (no trailing newline), printed in order.
+    pub rows: Vec<String>,
+    /// Named metrics for the JSON artifact, in insertion order.
+    pub metrics: Vec<(String, f64)>,
+    /// Engine events dispatched while producing this point.
+    pub engine_events: u64,
+}
+
+impl PointOutcome {
+    /// A point whose cutoff metric is `p95_us`.
+    pub fn new(p95_us: f64) -> Self {
+        PointOutcome {
+            p95_us,
+            rows: Vec::new(),
+            metrics: Vec::new(),
+            engine_events: 0,
+        }
+    }
+
+    /// Appends a TSV row.
+    #[must_use]
+    pub fn with_row(mut self, row: impl Into<String>) -> Self {
+        self.rows.push(row.into());
+        self
+    }
+
+    /// Appends a named metric for the JSON artifact.
+    #[must_use]
+    pub fn with_metric(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.metrics.push((name.into(), value));
+        self
+    }
+
+    /// Records how many engine events the point's simulation dispatched.
+    #[must_use]
+    pub fn with_events(mut self, events: u64) -> Self {
+        self.engine_events = events;
+        self
+    }
+
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+type Job = Box<dyn FnOnce() -> PointOutcome + Send>;
+
+/// A named curve: an ordered list of point jobs plus an optional cutoff.
+pub struct Curve {
+    label: String,
+    cutoff: Option<f64>,
+    jobs: Vec<Job>,
+}
+
+impl std::fmt::Debug for Curve {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Curve")
+            .field("label", &self.label)
+            .field("cutoff", &self.cutoff)
+            .field("points", &self.jobs.len())
+            .finish()
+    }
+}
+
+impl Curve {
+    /// Discard points after the first whose `p95_us` exceeds `cutoff`
+    /// (the breaching point itself is kept, matching the serial harnesses'
+    /// print-then-break behavior).
+    pub fn cutoff_p95_us(&mut self, cutoff: f64) -> &mut Self {
+        self.cutoff = Some(cutoff);
+        self
+    }
+
+    /// Adds the next load point. `job` must be a pure function of its
+    /// captures — it runs on an arbitrary thread at an arbitrary time.
+    pub fn point<F>(&mut self, job: F) -> &mut Self
+    where
+        F: FnOnce() -> PointOutcome + Send + 'static,
+    {
+        self.jobs.push(Box::new(job));
+        self
+    }
+}
+
+/// A declarative sweep: curves × points, executed in parallel.
+#[derive(Debug)]
+pub struct Sweep {
+    name: String,
+    curves: Vec<Curve>,
+}
+
+/// Thread count for sweeps: `REFLEX_BENCH_THREADS`, else all cores.
+pub fn bench_threads() -> usize {
+    std::env::var("REFLEX_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+impl Sweep {
+    /// Starts a sweep named `name` (the JSON artifact is
+    /// `BENCH_<name>.json`).
+    pub fn new(name: impl Into<String>) -> Self {
+        Sweep {
+            name: name.into(),
+            curves: Vec::new(),
+        }
+    }
+
+    /// Opens a new curve; add points to the returned handle.
+    pub fn curve(&mut self, label: impl Into<String>) -> &mut Curve {
+        self.curves.push(Curve {
+            label: label.into(),
+            cutoff: None,
+            jobs: Vec::new(),
+        });
+        self.curves.last_mut().expect("just pushed")
+    }
+
+    /// Runs every point on [`bench_threads`] threads.
+    pub fn run(self) -> SweepResult {
+        let threads = bench_threads();
+        self.run_with_threads(threads)
+    }
+
+    /// Runs every point on exactly `threads` threads (1 = fully serial).
+    ///
+    /// Kept points — and therefore the TSV — are identical for any thread
+    /// count; only wall clock (and whether discarded points actually ran)
+    /// varies.
+    pub fn run_with_threads(self, threads: usize) -> SweepResult {
+        let start = Instant::now();
+        let sizes: Vec<usize> = self.curves.iter().map(|c| c.jobs.len()).collect();
+        let mut jobs: Vec<Option<Job>> = Vec::new();
+        let mut specs = Vec::new();
+        for curve in self.curves {
+            jobs.extend(curve.jobs.into_iter().map(Some));
+            specs.push((curve.label, curve.cutoff));
+        }
+        let n = jobs.len();
+        let workers = threads.max(1).min(n.max(1));
+
+        if workers <= 1 {
+            // True early exit, exactly like the old serial harness loops:
+            // once a curve breaches its cutoff, its remaining points are
+            // never executed (but still counted as discarded).
+            let mut jobs = jobs.into_iter();
+            let mut curves = Vec::new();
+            let mut engine_events = 0u64;
+            for ((label, cutoff), size) in specs.into_iter().zip(sizes) {
+                let mut points = Vec::new();
+                let mut discarded = 0usize;
+                for job in jobs.by_ref().take(size) {
+                    let breached = cutoff.is_some_and(|c| {
+                        points.last().is_some_and(|p: &PointOutcome| p.p95_us > c)
+                    });
+                    if breached {
+                        discarded += 1;
+                        continue;
+                    }
+                    let outcome = (job.expect("job present"))();
+                    engine_events += outcome.engine_events;
+                    points.push(outcome);
+                }
+                curves.push(CurveResult {
+                    label,
+                    points,
+                    discarded,
+                });
+            }
+            let wall = start.elapsed();
+            return SweepResult {
+                name: self.name,
+                threads: 1,
+                wall,
+                engine_events,
+                curves,
+            };
+        }
+
+        let outcomes: Vec<PointOutcome> = {
+            let work = Mutex::new((0usize, jobs));
+            let slots: Vec<Mutex<Option<PointOutcome>>> =
+                (0..n).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let (i, job) = {
+                            let mut guard = work.lock().expect("sweep worker poisoned");
+                            let i = guard.0;
+                            if i >= n {
+                                break;
+                            }
+                            guard.0 += 1;
+                            (i, guard.1[i].take().expect("job claimed once"))
+                        };
+                        let outcome = job();
+                        *slots[i].lock().expect("slot poisoned") = Some(outcome);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|m| m.into_inner().expect("slot poisoned").expect("job ran"))
+                .collect()
+        };
+
+        let wall = start.elapsed();
+        let engine_events: u64 = outcomes.iter().map(|o| o.engine_events).sum();
+        let mut it = outcomes.into_iter();
+        let mut curves = Vec::new();
+        for ((label, cutoff), size) in specs.into_iter().zip(sizes) {
+            let all: Vec<PointOutcome> = it.by_ref().take(size).collect();
+            let kept = match cutoff {
+                // Keep everything up to and including the first breach.
+                Some(c) => {
+                    let breach = all.iter().position(|p| p.p95_us > c);
+                    breach.map_or(all.len(), |i| i + 1)
+                }
+                None => all.len(),
+            };
+            let discarded = all.len() - kept;
+            let mut points = all;
+            points.truncate(kept);
+            curves.push(CurveResult {
+                label,
+                points,
+                discarded,
+            });
+        }
+        SweepResult {
+            name: self.name,
+            threads: workers,
+            wall,
+            engine_events,
+            curves,
+        }
+    }
+}
+
+/// A curve's kept points after cutoff truncation.
+#[derive(Debug)]
+pub struct CurveResult {
+    /// The curve's label, as declared.
+    pub label: String,
+    /// Kept points, in declaration order.
+    pub points: Vec<PointOutcome>,
+    /// Points dropped past the cutoff. Parallel runs executed them
+    /// speculatively; serial runs never executed them at all.
+    pub discarded: usize,
+}
+
+/// Results of a [`Sweep::run`], in declaration order.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// Sweep name (JSON artifact stem).
+    pub name: String,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock time for the whole sweep.
+    pub wall: Duration,
+    /// Engine events dispatched across all executed points (parallel runs
+    /// include speculatively-run discarded points; serial runs do not).
+    pub engine_events: u64,
+    /// One entry per declared curve.
+    pub curves: Vec<CurveResult>,
+}
+
+impl SweepResult {
+    /// The curve with the given label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no curve has that label.
+    pub fn curve(&self, label: &str) -> &CurveResult {
+        self.curves
+            .iter()
+            .find(|c| c.label == label)
+            .unwrap_or_else(|| panic!("no curve labelled {label}"))
+    }
+
+    /// All kept rows, curve by curve, newline-terminated — the canonical
+    /// TSV body (binaries with richer layouts print from `curves`
+    /// directly).
+    pub fn tsv(&self) -> String {
+        let mut out = String::new();
+        for c in &self.curves {
+            for p in &c.points {
+                for r in &p.rows {
+                    out.push_str(r);
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Prints [`tsv`](Self::tsv) to stdout.
+    pub fn print_tsv(&self) {
+        print!("{}", self.tsv());
+    }
+
+    /// Engine events per wall-clock second across the sweep.
+    pub fn events_per_sec(&self) -> f64 {
+        self.engine_events as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Writes `BENCH_<name>.json` into the current directory and returns
+    /// its path. The sweep stays usable; call after printing the TSV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors creating or writing the file.
+    pub fn write_json(&self) -> std::io::Result<PathBuf> {
+        let path = PathBuf::from(format!("BENCH_{}.json", self.name));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(f, "{{")?;
+        writeln!(f, "  \"bench\": {},", json_str(&self.name))?;
+        writeln!(f, "  \"threads\": {},", self.threads)?;
+        writeln!(f, "  \"wall_secs\": {},", json_num(self.wall.as_secs_f64()))?;
+        writeln!(f, "  \"engine_events\": {},", self.engine_events)?;
+        writeln!(
+            f,
+            "  \"engine_events_per_sec\": {},",
+            json_num(self.events_per_sec())
+        )?;
+        writeln!(f, "  \"curves\": [")?;
+        for (ci, c) in self.curves.iter().enumerate() {
+            writeln!(f, "    {{")?;
+            writeln!(f, "      \"label\": {},", json_str(&c.label))?;
+            writeln!(f, "      \"discarded\": {},", c.discarded)?;
+            writeln!(f, "      \"points\": [")?;
+            for (pi, p) in c.points.iter().enumerate() {
+                write!(f, "        {{\"p95_us\": {}", json_num(p.p95_us))?;
+                if p.engine_events > 0 {
+                    write!(f, ", \"engine_events\": {}", p.engine_events)?;
+                }
+                for (name, value) in &p.metrics {
+                    write!(f, ", {}: {}", json_str(name), json_num(*value))?;
+                }
+                writeln!(f, "}}{}", if pi + 1 < c.points.len() { "," } else { "" })?;
+            }
+            writeln!(f, "      ]")?;
+            writeln!(
+                f,
+                "    }}{}",
+                if ci + 1 < self.curves.len() { "," } else { "" }
+            )?;
+        }
+        writeln!(f, "  ]")?;
+        writeln!(f, "}}")?;
+        f.flush()?;
+        Ok(path)
+    }
+
+    /// [`write_json`](Self::write_json), reporting failure on stderr
+    /// instead of returning it (harness binaries treat the artifact as
+    /// best-effort).
+    pub fn write_json_or_warn(&self) {
+        match self.write_json() {
+            Ok(path) => eprintln!(
+                "[{}] {} threads, {:.2}s wall, {:.2}M engine events/s -> {}",
+                self.name,
+                self.threads,
+                self.wall.as_secs_f64(),
+                self.events_per_sec() / 1e6,
+                path.display()
+            ),
+            Err(e) => eprintln!("[{}] could not write JSON artifact: {e}", self.name),
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_sweep() -> Sweep {
+        let mut sweep = Sweep::new("demo");
+        for curve_idx in 0..3u64 {
+            let c = sweep.curve(format!("curve{curve_idx}"));
+            c.cutoff_p95_us(500.0);
+            for point_idx in 0..6u64 {
+                c.point(move || {
+                    // Deterministic pseudo-latency ramp per curve.
+                    let p95 = (point_idx * 150 + curve_idx * 37) as f64;
+                    PointOutcome::new(p95)
+                        .with_row(format!("{curve_idx}\t{point_idx}\t{p95:.0}"))
+                        .with_metric("p", p95)
+                        .with_events(100)
+                });
+            }
+        }
+        sweep
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_byte_for_byte() {
+        let serial = demo_sweep().run_with_threads(1);
+        let parallel = demo_sweep().run_with_threads(4);
+        assert_eq!(serial.tsv(), parallel.tsv());
+        // Serial skips discarded points entirely, so it dispatches fewer
+        // (or equal) engine events than the speculative parallel run.
+        assert!(serial.engine_events <= parallel.engine_events);
+        // curve0/curve1 keep 5 points, curve2 breaches earlier and keeps 4;
+        // only kept points ran, 100 events each.
+        assert_eq!(serial.engine_events, (5 + 5 + 4) * 100);
+        assert_eq!(serial.curves.len(), parallel.curves.len());
+        for (s, p) in serial.curves.iter().zip(&parallel.curves) {
+            assert_eq!(s.points.len(), p.points.len());
+            assert_eq!(s.discarded, p.discarded);
+        }
+    }
+
+    #[test]
+    fn cutoff_keeps_first_breaching_point() {
+        let result = demo_sweep().run_with_threads(2);
+        // curve0: p95 = 0,150,300,450,600,750 -> first breach at index 4.
+        let c = result.curve("curve0");
+        assert_eq!(c.points.len(), 5);
+        assert_eq!(c.discarded, 1);
+        assert!(c.points[4].p95_us > 500.0);
+        assert!(c.points[3].p95_us <= 500.0);
+        // Discarded points still count toward engine events (they ran).
+        assert_eq!(result.engine_events, 3 * 6 * 100);
+    }
+
+    #[test]
+    fn no_cutoff_keeps_everything() {
+        let mut sweep = Sweep::new("nocut");
+        let c = sweep.curve("only");
+        for i in 0..4 {
+            c.point(move || PointOutcome::new(i as f64 * 1e6).with_row(format!("{i}")));
+        }
+        let result = sweep.run_with_threads(3);
+        assert_eq!(result.curve("only").points.len(), 4);
+        assert_eq!(result.tsv(), "0\n1\n2\n3\n");
+    }
+
+    #[test]
+    fn json_escaping_and_numbers() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+    }
+}

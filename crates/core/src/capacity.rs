@@ -111,9 +111,7 @@ impl CapacityProfile {
                 let scale = profile.token_rate() / 650_000.0;
                 // Unknown devices: scale the device-A shape by token rate.
                 let base = Self::device_a_default();
-                CapacityProfile::new(
-                    base.points.iter().map(|&(l, c)| (l, c * scale)).collect(),
-                )
+                CapacityProfile::new(base.points.iter().map(|&(l, c)| (l, c * scale)).collect())
             }
         }
     }
@@ -181,49 +179,73 @@ pub fn sweep_device_sized(
     duration: SimDuration,
     seed: u64,
 ) -> Vec<SweepPoint> {
-    let mut out = Vec::new();
-    for (k, &iops) in offered_iops.iter().enumerate() {
-        let mut sweep_profile = profile.clone();
-        sweep_profile.sq_depth = 1 << 20; // open loop keeps issuing past saturation
-        let mut dev = FlashDevice::new(sweep_profile, SimRng::seed(seed ^ (k as u64) << 16));
-        dev.precondition();
-        let qp = dev.create_queue_pair();
-        let mut rng = SimRng::seed(seed.wrapping_mul(31) ^ k as u64);
-        let warmup = SimTime::from_millis(100);
-        let end = warmup + duration;
-        let gap = SimDuration::from_secs_f64(1.0 / iops);
-        let mut now = SimTime::ZERO;
-        let mut issued: Vec<(CmdId, SimTime, IoType)> = Vec::new();
-        let mut id = 0u64;
-        while now < end {
-            now += rng.exponential(gap);
-            let addr = dev.random_page_addr();
-            let op = if rng.below(100) < read_pct as u64 { IoType::Read } else { IoType::Write };
-            let cmd = match op {
-                IoType::Read => NvmeCommand::read(CmdId(id), addr, io_size),
-                IoType::Write => NvmeCommand::write(CmdId(id), addr, io_size),
-            };
-            issued.push((CmdId(id), now, op));
-            id += 1;
-            let _ = dev.poll_completions(now, qp, usize::MAX);
-            dev.submit(now, qp, cmd).expect("sq deep enough for sweep");
-        }
-        let mut completion_of = std::collections::HashMap::new();
-        for c in dev.poll_completions(SimTime::from_secs(120), qp, usize::MAX) {
-            completion_of.insert(c.id, c.completed_at);
-        }
-        let mut hist = Histogram::new();
-        for (cid, at, op) in issued {
-            if op != IoType::Read || at < warmup {
-                continue;
-            }
-            if let Some(&fin) = completion_of.get(&cid) {
-                hist.record(fin.saturating_since(at));
-            }
-        }
-        out.push(SweepPoint { iops, p95_read_us: hist.p95().as_micros_f64() });
+    offered_iops
+        .iter()
+        .enumerate()
+        .map(|(k, &iops)| sweep_device_point(profile, read_pct, io_size, iops, duration, seed, k))
+        .collect()
+}
+
+/// One point of [`sweep_device_sized`]: measures a single offered load.
+///
+/// `k` is the point's index within the sweep; it perturbs the seed exactly
+/// like the batch call does, so sweeping point-by-point (e.g. from a
+/// parallel harness) reproduces the batch results bit-for-bit.
+pub fn sweep_device_point(
+    profile: &DeviceProfile,
+    read_pct: u8,
+    io_size: u32,
+    iops: f64,
+    duration: SimDuration,
+    seed: u64,
+    k: usize,
+) -> SweepPoint {
+    let mut sweep_profile = profile.clone();
+    sweep_profile.sq_depth = 1 << 20; // open loop keeps issuing past saturation
+    let mut dev = FlashDevice::new(sweep_profile, SimRng::seed(seed ^ (k as u64) << 16));
+    dev.precondition();
+    let qp = dev.create_queue_pair();
+    let mut rng = SimRng::seed(seed.wrapping_mul(31) ^ k as u64);
+    let warmup = SimTime::from_millis(100);
+    let end = warmup + duration;
+    let gap = SimDuration::from_secs_f64(1.0 / iops);
+    let mut now = SimTime::ZERO;
+    let mut issued: Vec<(CmdId, SimTime, IoType)> = Vec::new();
+    let mut id = 0u64;
+    while now < end {
+        now += rng.exponential(gap);
+        let addr = dev.random_page_addr();
+        let op = if rng.below(100) < read_pct as u64 {
+            IoType::Read
+        } else {
+            IoType::Write
+        };
+        let cmd = match op {
+            IoType::Read => NvmeCommand::read(CmdId(id), addr, io_size),
+            IoType::Write => NvmeCommand::write(CmdId(id), addr, io_size),
+        };
+        issued.push((CmdId(id), now, op));
+        id += 1;
+        let _ = dev.poll_completions(now, qp, usize::MAX);
+        dev.submit(now, qp, cmd).expect("sq deep enough for sweep");
     }
-    out
+    let mut completion_of = std::collections::HashMap::new();
+    for c in dev.poll_completions(SimTime::from_secs(120), qp, usize::MAX) {
+        completion_of.insert(c.id, c.completed_at);
+    }
+    let mut hist = Histogram::new();
+    for (cid, at, op) in issued {
+        if op != IoType::Read || at < warmup {
+            continue;
+        }
+        if let Some(&fin) = completion_of.get(&cid) {
+            hist.record(fin.saturating_since(at));
+        }
+    }
+    SweepPoint {
+        iops,
+        p95_read_us: hist.p95().as_micros_f64(),
+    }
 }
 
 /// Measures a fresh [`CapacityProfile`] for a device by sweeping a 90%-read
@@ -240,9 +262,16 @@ pub fn calibrate_capacity(
     let r = 0.9;
     let cost_per_io = r + (1.0 - r) * write_cost_tokens;
     let max_tokens = profile.token_rate();
-    let offered: Vec<f64> =
-        (1..=14).map(|i| max_tokens / cost_per_io * (i as f64) / 12.0).collect();
-    let sweep = sweep_device(profile, read_pct, &offered, SimDuration::from_millis(300), seed);
+    let offered: Vec<f64> = (1..=14)
+        .map(|i| max_tokens / cost_per_io * (i as f64) / 12.0)
+        .collect();
+    let sweep = sweep_device(
+        profile,
+        read_pct,
+        &offered,
+        SimDuration::from_millis(300),
+        seed,
+    );
     let mut points = Vec::new();
     let mut last_cap = 0.0f64;
     for &bound in latency_bounds_us {

@@ -161,8 +161,16 @@ impl WorkloadSpec {
     }
 
     /// A workload that replays a recorded trace.
-    pub fn from_trace(name: &str, tenant: TenantId, class: TenantClass, trace: Arc<[TraceOp]>) -> Self {
-        WorkloadSpec { trace: Some(trace), ..Self::open_loop(name, tenant, class, 1.0) }
+    pub fn from_trace(
+        name: &str,
+        tenant: TenantId,
+        class: TenantClass,
+        trace: Arc<[TraceOp]>,
+    ) -> Self {
+        WorkloadSpec {
+            trace: Some(trace),
+            ..Self::open_loop(name, tenant, class, 1.0)
+        }
     }
 
     /// A closed-loop workload (queue depth per connection).
@@ -254,6 +262,11 @@ impl WorkloadReport {
     /// p95 read latency in microseconds — the paper's headline metric.
     pub fn p95_read_us(&self) -> f64 {
         self.read_latency.p95().as_micros_f64()
+    }
+
+    /// p95 write latency in microseconds.
+    pub fn p95_write_us(&self) -> f64 {
+        self.write_latency.p95().as_micros_f64()
     }
 
     /// Mean read latency in microseconds.

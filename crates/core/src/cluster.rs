@@ -46,7 +46,12 @@ pub struct ServerDescriptor {
 impl ServerDescriptor {
     /// Describes a server with no tenants.
     pub fn new(id: ServerId, capacity: CapacityProfile, cost_model: CostModel) -> Self {
-        ServerDescriptor { id, capacity, cost_model, tenants: HashMap::new() }
+        ServerDescriptor {
+            id,
+            capacity,
+            cost_model,
+            tenants: HashMap::new(),
+        }
     }
 
     /// The strictest latency bound among placed tenants.
@@ -100,7 +105,10 @@ pub enum PlacementError {
 impl std::fmt::Display for PlacementError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PlacementError::NoCapacity { required, best_available } => write!(
+            PlacementError::NoCapacity {
+                required,
+                best_available,
+            } => write!(
                 f,
                 "no server can host the SLO: needs {required:.0} tokens/s, best {best_available:.0}"
             ),
@@ -147,7 +155,10 @@ impl ClusterPlanner {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), servers.len(), "duplicate server ids");
-        ClusterPlanner { servers, placements: HashMap::new() }
+        ClusterPlanner {
+            servers,
+            placements: HashMap::new(),
+        }
     }
 
     /// The server descriptors.
@@ -164,7 +175,10 @@ impl ClusterPlanner {
     /// bound) minus reservations — the quantity placement tries to
     /// preserve.
     pub fn total_headroom(&self) -> f64 {
-        self.servers.iter().map(|s| s.headroom_tokens_per_sec()).sum()
+        self.servers
+            .iter()
+            .map(|s| s.headroom_tokens_per_sec())
+            .sum()
     }
 
     /// Places an LC tenant on the server that (a) can honour the SLO and
@@ -180,9 +194,8 @@ impl ClusterPlanner {
         if self.placements.contains_key(&id) {
             return Err(PlacementError::Duplicate(id));
         }
-        let required = |s: &ServerDescriptor| {
-            slo.token_rate(&s.cost_model, 4096).as_tokens_per_sec_f64()
-        };
+        let required =
+            |s: &ServerDescriptor| slo.token_rate(&s.cost_model, 4096).as_tokens_per_sec_f64();
 
         let mut best: Option<(usize, (f64, f64))> = None;
         let mut best_available = 0.0f64;
@@ -208,9 +221,8 @@ impl ClusterPlanner {
                 None => 0.0,
             };
             let loss = tightening_loss + req;
-            let affinity = (slo.p95_read_latency.as_micros_f64()
-                - new_strictest.as_micros_f64())
-            .abs();
+            let affinity =
+                (slo.p95_read_latency.as_micros_f64() - new_strictest.as_micros_f64()).abs();
             let score = (loss, affinity);
             match best {
                 Some((_, best_score)) if best_score <= score => {}
@@ -235,7 +247,10 @@ impl ClusterPlanner {
     ///
     /// [`PlacementError::Unknown`] for unplaced ids.
     pub fn remove(&mut self, id: TenantId) -> Result<(), PlacementError> {
-        let sid = self.placements.remove(&id).ok_or(PlacementError::Unknown(id))?;
+        let sid = self
+            .placements
+            .remove(&id)
+            .ok_or(PlacementError::Unknown(id))?;
         let server = self
             .servers
             .iter_mut()
@@ -277,18 +292,31 @@ mod tests {
         assert_ne!(s_relaxed, s_strict, "mixed latency classes should separate");
         // Another strict tenant joins the strict server; another relaxed
         // one joins the relaxed server.
-        assert_eq!(planner.place(TenantId(3), slo(50_000, 300)).unwrap(), s_strict);
-        assert_eq!(planner.place(TenantId(4), slo(100_000, 2_000)).unwrap(), s_relaxed);
+        assert_eq!(
+            planner.place(TenantId(3), slo(50_000, 300)).unwrap(),
+            s_strict
+        );
+        assert_eq!(
+            planner.place(TenantId(4), slo(100_000, 2_000)).unwrap(),
+            s_relaxed
+        );
     }
 
     #[test]
     fn capacity_is_respected() {
         let mut planner = cluster(1);
         // 330K tokens/s at 500us on device A; 280K fits, another 280K not.
-        planner.place(TenantId(1), SloSpec::new(100_000, 80, SimDuration::from_micros(500)))
+        planner
+            .place(
+                TenantId(1),
+                SloSpec::new(100_000, 80, SimDuration::from_micros(500)),
+            )
             .expect("280K of 330K");
         let err = planner
-            .place(TenantId(2), SloSpec::new(100_000, 80, SimDuration::from_micros(500)))
+            .place(
+                TenantId(2),
+                SloSpec::new(100_000, 80, SimDuration::from_micros(500)),
+            )
             .unwrap_err();
         assert!(matches!(err, PlacementError::NoCapacity { .. }), "{err}");
     }
@@ -297,10 +325,16 @@ mod tests {
     fn second_server_absorbs_overflow() {
         let mut planner = cluster(2);
         let a = planner
-            .place(TenantId(1), SloSpec::new(100_000, 80, SimDuration::from_micros(500)))
+            .place(
+                TenantId(1),
+                SloSpec::new(100_000, 80, SimDuration::from_micros(500)),
+            )
             .unwrap();
         let b = planner
-            .place(TenantId(2), SloSpec::new(100_000, 80, SimDuration::from_micros(500)))
+            .place(
+                TenantId(2),
+                SloSpec::new(100_000, 80, SimDuration::from_micros(500)),
+            )
             .unwrap();
         assert_ne!(a, b, "overflow should spill to the other server");
     }
@@ -308,14 +342,24 @@ mod tests {
     #[test]
     fn removal_frees_capacity() {
         let mut planner = cluster(1);
-        planner.place(TenantId(1), SloSpec::new(100_000, 80, SimDuration::from_micros(500)))
+        planner
+            .place(
+                TenantId(1),
+                SloSpec::new(100_000, 80, SimDuration::from_micros(500)),
+            )
             .unwrap();
         assert!(planner
-            .place(TenantId(2), SloSpec::new(100_000, 80, SimDuration::from_micros(500)))
+            .place(
+                TenantId(2),
+                SloSpec::new(100_000, 80, SimDuration::from_micros(500))
+            )
             .is_err());
         planner.remove(TenantId(1)).unwrap();
         planner
-            .place(TenantId(2), SloSpec::new(100_000, 80, SimDuration::from_micros(500)))
+            .place(
+                TenantId(2),
+                SloSpec::new(100_000, 80, SimDuration::from_micros(500)),
+            )
             .expect("freed capacity is reusable");
         assert!(planner.remove(TenantId(1)).is_err());
     }

@@ -64,9 +64,14 @@ pub trait ServerHarness {
         shards: u32,
     ) -> Result<Vec<usize>, AdmissionError> {
         if shards == 1 {
-            return self.register_tenant(id, class, acl, io_size).map(|t| vec![t]);
+            return self
+                .register_tenant(id, class, acl, io_size)
+                .map(|t| vec![t]);
         }
-        Err(AdmissionError::NotAdmissible { required: shards as f64, available: 1.0 })
+        Err(AdmissionError::NotAdmissible {
+            required: shards as f64,
+            available: 1.0,
+        })
     }
 
     /// Binds a client connection to a tenant; returns (thread, queue).

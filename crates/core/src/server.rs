@@ -71,7 +71,10 @@ pub enum AdmissionError {
 impl std::fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AdmissionError::NotAdmissible { required, available } => write!(
+            AdmissionError::NotAdmissible {
+                required,
+                available,
+            } => write!(
                 f,
                 "SLO not admissible: needs {required:.0} tokens/s, {available:.0} available"
             ),
@@ -155,7 +158,11 @@ impl ReflexServer {
         for i in 0..config.max_threads {
             // Thread 0 polls the machine's default queue 0; later threads
             // get dedicated queues.
-            let queue = if i == 0 { NicQueueId(0) } else { fabric.add_queue(machine) };
+            let queue = if i == 0 {
+                NicQueueId(0)
+            } else {
+                fabric.add_queue(machine)
+            };
             let qp = device.create_queue_pair();
             threads.push(DataplaneThread::new(
                 i,
@@ -235,15 +242,19 @@ impl ReflexServer {
         self.tenants
             .values()
             .filter_map(|t| {
-                t.class
-                    .slo()
-                    .map(|s| s.token_rate(&self.cost_model, t.io_size).as_tokens_per_sec_f64())
+                t.class.slo().map(|s| {
+                    s.token_rate(&self.cost_model, t.io_size)
+                        .as_tokens_per_sec_f64()
+                })
             })
             .sum()
     }
 
     fn be_count(&self) -> usize {
-        self.tenants.values().filter(|t| !t.class.is_latency_critical()).count()
+        self.tenants
+            .values()
+            .filter(|t| !t.class.is_latency_critical())
+            .count()
     }
 
     /// The token rate the scheduler generates in total: the device capacity
@@ -288,7 +299,9 @@ impl ReflexServer {
             .strictest_slo()
             .map_or(slo.p95_read_latency, |s| s.min(slo.p95_read_latency));
         let capacity = self.capacity.tokens_per_sec_at(strictest);
-        let required = slo.token_rate(&self.cost_model, io_size).as_tokens_per_sec_f64();
+        let required = slo
+            .token_rate(&self.cost_model, io_size)
+            .as_tokens_per_sec_f64();
         let reserved = self.lc_reserved_tokens_per_sec();
         if reserved + required > capacity {
             return Err(AdmissionError::NotAdmissible {
@@ -324,8 +337,14 @@ impl ReflexServer {
         // reservation) spread across threads.
         let thread = (0..self.active_threads)
             .min_by(|&a, &b| {
-                let ra = self.threads[a].scheduler().lc_reserved_rate().as_millitokens_per_sec();
-                let rb = self.threads[b].scheduler().lc_reserved_rate().as_millitokens_per_sec();
+                let ra = self.threads[a]
+                    .scheduler()
+                    .lc_reserved_rate()
+                    .as_millitokens_per_sec();
+                let rb = self.threads[b]
+                    .scheduler()
+                    .lc_reserved_rate()
+                    .as_millitokens_per_sec();
                 let (la, ba) = self.threads[a].scheduler().tenant_counts();
                 let (lb, bb) = self.threads[b].scheduler().tenant_counts();
                 ra.cmp(&rb).then((la + ba).cmp(&(lb + bb))).then(a.cmp(&b))
@@ -376,7 +395,9 @@ impl ReflexServer {
             "more shards than active threads"
         );
         if shards == 1 {
-            return self.register_tenant(id, class, acl, io_size).map(|t| vec![t]);
+            return self
+                .register_tenant(id, class, acl, io_size)
+                .map(|t| vec![t]);
         }
         if self.tenants.contains_key(&id) {
             return Err(AdmissionError::Duplicate(id));
@@ -393,7 +414,11 @@ impl ReflexServer {
             let shard_class = match &class {
                 TenantClass::LatencyCritical(slo) => {
                     let base = slo.iops / shards as u64;
-                    let iops = if k == 0 { base + slo.iops % shards as u64 } else { base };
+                    let iops = if k == 0 {
+                        base + slo.iops % shards as u64
+                    } else {
+                        base
+                    };
                     TenantClass::LatencyCritical(SloSpec::new(
                         iops.max(1),
                         slo.read_pct,
@@ -448,7 +473,10 @@ impl ReflexServer {
         let old_rate = info
             .class
             .slo()
-            .map(|s| s.token_rate(&self.cost_model, io_size).as_tokens_per_sec_f64())
+            .map(|s| {
+                s.token_rate(&self.cost_model, io_size)
+                    .as_tokens_per_sec_f64()
+            })
             .unwrap_or(0.0);
         let strictest = self
             .tenants
@@ -459,7 +487,9 @@ impl ReflexServer {
             .min()
             .expect("at least the new bound");
         let capacity = self.capacity.tokens_per_sec_at(strictest);
-        let required = new_slo.token_rate(&self.cost_model, io_size).as_tokens_per_sec_f64();
+        let required = new_slo
+            .token_rate(&self.cost_model, io_size)
+            .as_tokens_per_sec_f64();
         let reserved_others = self.lc_reserved_tokens_per_sec() - old_rate;
         if reserved_others + required > capacity {
             return Err(AdmissionError::NotAdmissible {
@@ -475,7 +505,11 @@ impl ReflexServer {
                 .enumerate()
                 .map(|(k, &(thread, shard_id))| {
                     let base = new_slo.iops / n;
-                    let iops = if k == 0 { base + new_slo.iops % n } else { base };
+                    let iops = if k == 0 {
+                        base + new_slo.iops % n
+                    } else {
+                        base
+                    };
                     (thread, shard_id, iops.max(1))
                 })
                 .collect()
@@ -499,7 +533,10 @@ impl ReflexServer {
     ///
     /// [`AdmissionError::Unknown`] for unknown ids.
     pub fn unregister_tenant(&mut self, id: TenantId) -> Result<(), AdmissionError> {
-        let info = self.tenants.remove(&id).ok_or(AdmissionError::Unknown(id))?;
+        let info = self
+            .tenants
+            .remove(&id)
+            .ok_or(AdmissionError::Unknown(id))?;
         for &(thread, shard_id) in &info.shards {
             let _ = self.threads[thread].unregister_tenant(shard_id);
         }
@@ -522,7 +559,10 @@ impl ReflexServer {
         tenant: TenantId,
         client: MachineId,
     ) -> Result<(usize, NicQueueId), AdmissionError> {
-        let info = self.tenants.get_mut(&tenant).ok_or(AdmissionError::Unknown(tenant))?;
+        let info = self
+            .tenants
+            .get_mut(&tenant)
+            .ok_or(AdmissionError::Unknown(tenant))?;
         // Spread connections round-robin across the tenant's shards.
         let (thread, shard_id) = info.shards[info.shard_rr % info.shards.len()];
         info.shard_rr += 1;
@@ -537,7 +577,9 @@ impl ReflexServer {
     /// The NIC queue currently serving `conn` (clients re-query after
     /// rebalancing; stale sends are forwarded by the old thread).
     pub fn route(&self, conn: ConnId) -> Option<NicQueueId> {
-        self.conn_route.get(&conn).map(|&(t, _)| self.threads[t].nic_queue())
+        self.conn_route
+            .get(&conn)
+            .map(|&(t, _)| self.threads[t].nic_queue())
     }
 
     /// The dataplane thread currently serving `conn`.
@@ -577,7 +619,10 @@ impl ReflexServer {
     /// Panics if `to` is not an active thread.
     pub fn move_tenant(&mut self, id: TenantId, to: usize) -> Result<(), AdmissionError> {
         assert!(to < self.active_threads, "target thread inactive");
-        let info = self.tenants.get_mut(&id).ok_or(AdmissionError::Unknown(id))?;
+        let info = self
+            .tenants
+            .get_mut(&id)
+            .ok_or(AdmissionError::Unknown(id))?;
         assert!(info.shards.len() == 1, "sharded tenants are not moved");
         let from = info.thread;
         if from == to {
@@ -709,7 +754,12 @@ impl ReflexServer {
         // Rebalance: move tenants from the most loaded thread until the
         // reserved rates are roughly even.
         let busiest = (0..new_idx)
-            .max_by_key(|&i| self.threads[i].scheduler().lc_reserved_rate().as_millitokens_per_sec())
+            .max_by_key(|&i| {
+                self.threads[i]
+                    .scheduler()
+                    .lc_reserved_rate()
+                    .as_millitokens_per_sec()
+            })
             .expect("threads exist");
         let mut movable: Vec<TenantId> = self
             .tenants

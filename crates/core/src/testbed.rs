@@ -14,7 +14,7 @@ use reflex_dataplane::WireMsg;
 use reflex_flash::{DeviceProfile, DeviceStats, FlashDevice};
 use reflex_net::{Fabric, LinkConfig, MachineId, Opcode, ReflexHeader, StackProfile};
 use reflex_qos::{CostModel, TenantId};
-use reflex_sim::{Ctx, Engine, SimDuration, SimRng, SimTime, Zipf};
+use reflex_sim::{Ctx, Engine, EventHandle, SimDuration, SimRng, SimTime, Zipf};
 
 use crate::capacity::CapacityProfile;
 use crate::client::{
@@ -69,8 +69,11 @@ pub struct World<S: ServerHarness = ReflexServer> {
     outstanding: HashMap<u64, OutstandingReq>,
     cookie_seq: u64,
     rng: SimRng,
-    thread_wake: Vec<Option<SimTime>>,
-    client_wake: Vec<Option<SimTime>>,
+    // Pending wake per server thread / client machine: the instant plus a
+    // handle to the scheduled event, so re-arming to an earlier instant
+    // cancels the old wake instead of leaving a dead event in the queue.
+    thread_wake: Vec<Option<(SimTime, EventHandle)>>,
+    client_wake: Vec<Option<(SimTime, EventHandle)>>,
     measure_start: Option<SimTime>,
     busy_snapshot: Vec<SimDuration>,
     sched_snapshot: Vec<SimDuration>,
@@ -114,10 +117,15 @@ impl<S: ServerHarness + 'static> World<S> {
 
     fn ensure_thread_wake(&mut self, ctx: &mut Ctx<World<S>>, thread: usize, at: SimTime) {
         let at = at.max(ctx.now());
-        let better = self.thread_wake[thread].is_none_or(|p| at < p);
-        if better {
-            self.thread_wake[thread] = Some(at);
-            ctx.schedule_at(at, move |w: &mut World<S>, ctx| w.pump_event(thread, ctx));
+        if let Some((pending, _)) = self.thread_wake[thread] {
+            if at >= pending {
+                return; // an earlier (or equal) wake is already armed
+            }
+        }
+        let handle =
+            ctx.schedule_at_handle(at, move |w: &mut World<S>, ctx| w.pump_event(thread, ctx));
+        if let Some((_, stale)) = self.thread_wake[thread].replace((at, handle)) {
+            ctx.cancel(stale);
         }
     }
 
@@ -127,19 +135,24 @@ impl<S: ServerHarness + 'static> World<S> {
             return;
         };
         let at = at.max(ctx.now());
-        let better = self.client_wake[client].is_none_or(|p| at < p);
-        if better {
-            self.client_wake[client] = Some(at);
-            ctx.schedule_at(at, move |w: &mut World<S>, ctx| w.client_poll_event(client, ctx));
+        if let Some((pending, _)) = self.client_wake[client] {
+            if at >= pending {
+                return;
+            }
+        }
+        let handle = ctx.schedule_at_handle(at, move |w: &mut World<S>, ctx| {
+            w.client_poll_event(client, ctx)
+        });
+        if let Some((_, stale)) = self.client_wake[client].replace((at, handle)) {
+            ctx.cancel(stale);
         }
     }
 
     fn pump_event(&mut self, thread: usize, ctx: &mut Ctx<World<S>>) {
-        match self.thread_wake[thread] {
-            Some(t) if t == ctx.now() => self.thread_wake[thread] = None,
-            _ => return, // stale wake
-        }
-        let wake = self.server.pump_thread(thread, ctx.now(), &mut self.fabric, &mut self.device);
+        self.thread_wake[thread] = None;
+        let wake = self
+            .server
+            .pump_thread(thread, ctx.now(), &mut self.fabric, &mut self.device);
         if let Some(at) = wake {
             self.ensure_thread_wake(ctx, thread, at);
         }
@@ -162,10 +175,7 @@ impl<S: ServerHarness + 'static> World<S> {
     }
 
     fn client_poll_event(&mut self, client: usize, ctx: &mut Ctx<World<S>>) {
-        match self.client_wake[client] {
-            Some(t) if t == ctx.now() => self.client_wake[client] = None,
-            _ => return,
-        }
+        self.client_wake[client] = None;
         let machine = self.clients[client].machine;
         let deliveries = self.fabric.poll(ctx.now(), machine, usize::MAX);
         for d in deliveries {
@@ -310,7 +320,14 @@ impl<S: ServerHarness + 'static> World<S> {
         }
         self.outstanding.insert(
             cookie,
-            OutstandingReq { workload: w_idx, conn_idx, sent_at: now, is_read, len: io_size, measured },
+            OutstandingReq {
+                workload: w_idx,
+                conn_idx,
+                sent_at: now,
+                is_read,
+                len: io_size,
+                measured,
+            },
         );
         if let Some(thread) = self.server.thread_of_conn(conn) {
             self.ensure_thread_wake(ctx, thread, arrival);
@@ -336,10 +353,18 @@ impl<S: ServerHarness + 'static> World<S> {
             // ±10% uniform jitter around the nominal gap.
             ArrivalProcess::Paced => mean.mul_f64(0.9 + 0.2 * self.rng.f64()),
         };
-        ctx.schedule_after(gap, move |w: &mut World<S>, ctx| w.open_loop_gen_event(w_idx, ctx));
+        ctx.schedule_after(gap, move |w: &mut World<S>, ctx| {
+            w.open_loop_gen_event(w_idx, ctx)
+        });
     }
 
-    fn trace_replay_event(&mut self, w_idx: usize, pos: usize, started: SimTime, ctx: &mut Ctx<World<S>>) {
+    fn trace_replay_event(
+        &mut self,
+        w_idx: usize,
+        pos: usize,
+        started: SimTime,
+        ctx: &mut Ctx<World<S>>,
+    ) {
         let w = &self.workloads[w_idx];
         if w.stopped {
             return;
@@ -360,7 +385,9 @@ impl<S: ServerHarness + 'static> World<S> {
 
     fn control_event(&mut self, interval: SimDuration, ctx: &mut Ctx<World<S>>) {
         let _ = self.server.control_tick(ctx.now(), interval);
-        ctx.schedule_after(interval, move |w: &mut World<S>, ctx| w.control_event(interval, ctx));
+        ctx.schedule_after(interval, move |w: &mut World<S>, ctx| {
+            w.control_event(interval, ctx)
+        });
     }
 }
 
@@ -391,6 +418,9 @@ pub struct TestbedReport {
     pub device: DeviceStats,
     /// Tenants the control plane flagged for SLO renegotiation.
     pub renegotiations: Vec<TenantId>,
+    /// Total events dispatched by the engine since the testbed was built
+    /// (a proxy for simulation work; sweep harnesses report events/sec).
+    pub engine_events: u64,
 }
 
 impl TestbedReport {
@@ -540,7 +570,10 @@ impl TestbedBuilder {
         S: ServerHarness + 'static,
         F: FnOnce(&mut Fabric<WireMsg>, &mut FlashDevice, MachineId) -> S,
     {
-        assert!(!self.client_stacks.is_empty(), "need at least one client machine");
+        assert!(
+            !self.client_stacks.is_empty(),
+            "need at least one client machine"
+        );
         let mut rng = SimRng::seed(self.seed);
         let mut fabric = Fabric::new(self.link, rng.fork());
         let mut device = FlashDevice::new(self.device.clone(), rng.fork());
@@ -548,7 +581,10 @@ impl TestbedBuilder {
         let clients: Vec<ClientMachine> = self
             .client_stacks
             .into_iter()
-            .map(|stack| ClientMachine { machine: fabric.add_machine(stack.clone()), stack })
+            .map(|stack| ClientMachine {
+                machine: fabric.add_machine(stack.clone()),
+                stack,
+            })
             .collect();
         let server_machine = fabric.add_machine(self.server_stack.clone());
         let server = make_server(&mut fabric, &mut device, server_machine);
@@ -578,7 +614,10 @@ impl TestbedBuilder {
         engine.schedule_at(SimTime::ZERO + interval, move |w: &mut World<S>, ctx| {
             w.control_event(interval, ctx)
         });
-        Testbed { engine, measure_begin: SimTime::ZERO }
+        Testbed {
+            engine,
+            measure_begin: SimTime::ZERO,
+        }
     }
 }
 
@@ -629,7 +668,9 @@ impl<S: ServerHarness + 'static> Testbed<S> {
         // on any profile.
         let capacity = world.device.profile().capacity_bytes;
         if spec.namespace.0 >= capacity {
-            return Err(TestbedError::InvalidSpec("namespace beyond device capacity".into()));
+            return Err(TestbedError::InvalidSpec(
+                "namespace beyond device capacity".into(),
+            ));
         }
         spec.namespace.1 = spec.namespace.1.min(capacity - spec.namespace.0);
         let acl = reflex_dataplane::AclEntry {
@@ -642,11 +683,17 @@ impl<S: ServerHarness + 'static> Testbed<S> {
         if spec.shards > 1 {
             // Sharded registration goes through the concrete ReFlex path;
             // harness servers without sharding treat it as an error.
+            world.server.register_tenant_sharded(
+                spec.tenant,
+                spec.class,
+                acl,
+                spec.io_size,
+                spec.shards,
+            )?;
+        } else {
             world
                 .server
-                .register_tenant_sharded(spec.tenant, spec.class, acl, spec.io_size, spec.shards)?;
-        } else {
-            world.server.register_tenant(spec.tenant, spec.class, acl, spec.io_size)?;
+                .register_tenant(spec.tenant, spec.class, acl, spec.io_size)?;
         }
 
         let client_machine = world.clients[spec.client_machine].machine;
@@ -665,7 +712,10 @@ impl<S: ServerHarness + 'static> Testbed<S> {
         let zipf = match spec.addr_pattern {
             AddrPattern::Zipfian { theta_permille } => {
                 let slots = (spec.namespace.1 / spec.io_size as u64).max(2);
-                Some(Zipf::new(slots, f64::from(theta_permille.clamp(1, 999)) / 1000.0))
+                Some(Zipf::new(
+                    slots,
+                    f64::from(theta_permille.clamp(1, 999)) / 1000.0,
+                ))
             }
             _ => None,
         };
@@ -680,26 +730,30 @@ impl<S: ServerHarness + 'static> Testbed<S> {
         if let Some(trace) = &spec.trace {
             let start = self.engine.now();
             let first_at = trace.first().expect("validated non-empty").at;
-            self.engine.schedule_at(start + first_at, move |w: &mut World<S>, ctx| {
-                w.trace_replay_event(w_idx, 0, start, ctx)
-            });
+            self.engine
+                .schedule_at(start + first_at, move |w: &mut World<S>, ctx| {
+                    w.trace_replay_event(w_idx, 0, start, ctx)
+                });
             return Ok(());
         }
         match spec.pattern {
             LoadPattern::OpenLoop { iops } => {
-                let offset = world.rng.exponential(SimDuration::from_secs_f64(1.0 / iops));
-                self.engine.schedule_at(
-                    self.engine.now() + offset,
-                    move |w: &mut World<S>, ctx| w.open_loop_gen_event(w_idx, ctx),
-                );
+                let offset = world
+                    .rng
+                    .exponential(SimDuration::from_secs_f64(1.0 / iops));
+                self.engine
+                    .schedule_at(self.engine.now() + offset, move |w: &mut World<S>, ctx| {
+                        w.open_loop_gen_event(w_idx, ctx)
+                    });
             }
             LoadPattern::ClosedLoop { queue_depth } => {
                 for conn_idx in 0..spec.conns as usize {
                     for q in 0..queue_depth {
                         // Stagger initial issues by a microsecond each so
                         // connections do not start in lockstep.
-                        let offset =
-                            SimDuration::from_nanos((conn_idx as u64 * queue_depth as u64 + q as u64) * 1_000);
+                        let offset = SimDuration::from_nanos(
+                            (conn_idx as u64 * queue_depth as u64 + q as u64) * 1_000,
+                        );
                         self.engine.schedule_at(
                             self.engine.now() + offset,
                             move |w: &mut World<S>, ctx| w.issue_request(w_idx, conn_idx, ctx),
@@ -721,10 +775,12 @@ impl<S: ServerHarness + 'static> Testbed<S> {
         for w in &mut world.workloads {
             w.reset_measurement();
         }
-        world.busy_snapshot =
-            (0..world.server.max_threads()).map(|i| world.server.busy_time(i)).collect();
-        world.sched_snapshot =
-            (0..world.server.max_threads()).map(|i| world.server.sched_time(i)).collect();
+        world.busy_snapshot = (0..world.server.max_threads())
+            .map(|i| world.server.busy_time(i))
+            .collect();
+        world.sched_snapshot = (0..world.server.max_threads())
+            .map(|i| world.server.sched_time(i))
+            .collect();
         world.spent_snapshot = world.server.tenants_spent_millitokens();
     }
 
@@ -742,13 +798,29 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             world.workloads.iter().map(|w| w.report(window)).collect();
         let mut threads = Vec::new();
         for i in 0..world.server.active_threads() {
-            let busy0 = world.busy_snapshot.get(i).copied().unwrap_or(SimDuration::ZERO);
-            let sched0 = world.sched_snapshot.get(i).copied().unwrap_or(SimDuration::ZERO);
+            let busy0 = world
+                .busy_snapshot
+                .get(i)
+                .copied()
+                .unwrap_or(SimDuration::ZERO);
+            let sched0 = world
+                .sched_snapshot
+                .get(i)
+                .copied()
+                .unwrap_or(SimDuration::ZERO);
             let secs = window.as_secs_f64().max(1e-12);
             threads.push(ThreadReport {
-                busy_fraction: world.server.busy_time(i).saturating_sub(busy0).as_secs_f64()
+                busy_fraction: world
+                    .server
+                    .busy_time(i)
+                    .saturating_sub(busy0)
+                    .as_secs_f64()
                     / secs,
-                sched_fraction: world.server.sched_time(i).saturating_sub(sched0).as_secs_f64()
+                sched_fraction: world
+                    .server
+                    .sched_time(i)
+                    .saturating_sub(sched0)
+                    .as_secs_f64()
                     / secs,
                 stats: world.server.thread_stats(i),
             });
@@ -759,8 +831,7 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             let before = world.spent_snapshot.get(id).copied().unwrap_or(0);
             spent_delta += now_mt - before;
         }
-        let token_usage_per_sec =
-            spent_delta as f64 / 1_000.0 / window.as_secs_f64().max(1e-12);
+        let token_usage_per_sec = spent_delta as f64 / 1_000.0 / window.as_secs_f64().max(1e-12);
         TestbedReport {
             window,
             workloads,
@@ -768,6 +839,7 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             token_usage_per_sec,
             device: world.device.stats(),
             renegotiations: world.server.renegotiations(),
+            engine_events: self.engine.dispatched(),
         }
     }
 }

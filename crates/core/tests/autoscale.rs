@@ -2,7 +2,7 @@
 //! high, it allocates resources for additional threads and rebalances
 //! tenants. If load is low, it deallocates threads."
 
-use reflex_core::{ServerConfig, ServerHarness, Testbed, WorkloadSpec};
+use reflex_core::{ServerConfig, Testbed, WorkloadSpec};
 use reflex_net::{LinkConfig, StackProfile};
 use reflex_qos::{TenantClass, TenantId};
 use reflex_sim::SimDuration;
@@ -67,7 +67,8 @@ fn idle_server_scales_back_down() {
         })
         .build();
     // A trickle of load: three threads are overkill.
-    let mut spec = WorkloadSpec::open_loop("trickle", TenantId(1), TenantClass::BestEffort, 5_000.0);
+    let mut spec =
+        WorkloadSpec::open_loop("trickle", TenantId(1), TenantClass::BestEffort, 5_000.0);
     spec.conns = 2;
     tb.add_workload(spec).expect("accepted");
     tb.run(SimDuration::from_millis(300));
@@ -102,7 +103,10 @@ fn rebalanced_connections_are_not_dropped() {
     tb.add_workload(blast_spec(0, 500_000.0)).expect("accepted");
     tb.add_workload(blast_spec(1, 500_000.0)).expect("accepted");
     tb.run(SimDuration::from_millis(150));
-    assert!(tb.world().server().active_threads() == 2, "scale-up expected");
+    assert!(
+        tb.world().server().active_threads() == 2,
+        "scale-up expected"
+    );
     // Stop issuing: run the queues dry and compare totals.
     tb.world_mut().stop_all_workloads();
     tb.run(SimDuration::from_millis(400));

@@ -2,15 +2,17 @@
 //! (Table 2 ReFlex rows), per-core throughput (§5.3), SLO enforcement
 //! (Figure 5 behaviours), admission control and determinism.
 
-use reflex_core::{
-    CapacityProfile, LoadPattern, ServerConfig, Testbed, TestbedError, WorkloadSpec,
-};
+use reflex_core::{CapacityProfile, ServerConfig, Testbed, TestbedError, WorkloadSpec};
 use reflex_net::StackProfile;
 use reflex_qos::{SloSpec, TenantClass, TenantId};
 use reflex_sim::SimDuration;
 
 fn lc(iops: u64, read_pct: u8, p95_us: u64) -> TenantClass {
-    TenantClass::LatencyCritical(SloSpec::new(iops, read_pct, SimDuration::from_micros(p95_us)))
+    TenantClass::LatencyCritical(SloSpec::new(
+        iops,
+        read_pct,
+        SimDuration::from_micros(p95_us),
+    ))
 }
 
 #[test]
@@ -49,7 +51,10 @@ fn reflex_unloaded_write_latency_ix_client() {
 #[test]
 fn reflex_unloaded_latency_linux_client_slightly_higher() {
     let run = |stack: StackProfile, seed: u64| {
-        let mut tb = Testbed::builder().client_machines(vec![stack]).seed(seed).build();
+        let mut tb = Testbed::builder()
+            .client_machines(vec![stack])
+            .seed(seed)
+            .build();
         let spec = WorkloadSpec::closed_loop("probe", TenantId(1), lc(20_000, 100, 500), 1);
         tb.add_workload(spec).expect("admitted");
         tb.run(SimDuration::from_millis(50));
@@ -61,7 +66,10 @@ fn reflex_unloaded_latency_linux_client_slightly_higher() {
     let linux = run(StackProfile::linux_tcp(), 7);
     // Paper: 117 vs 99 — Linux client adds ~18us.
     let delta = linux - ix;
-    assert!((10.0..40.0).contains(&delta), "linux-client delta {delta}us (ix {ix}, linux {linux})");
+    assert!(
+        (10.0..40.0).contains(&delta),
+        "linux-client delta {delta}us (ix {ix}, linux {linux})"
+    );
 }
 
 #[test]
@@ -107,12 +115,8 @@ fn slo_enforced_against_write_heavy_interference() {
     lc_spec.client_threads = 4;
     tb.add_workload(lc_spec).expect("LC admitted");
 
-    let mut be_spec = WorkloadSpec::open_loop(
-        "be-writer",
-        TenantId(2),
-        TenantClass::BestEffort,
-        200_000.0,
-    );
+    let mut be_spec =
+        WorkloadSpec::open_loop("be-writer", TenantId(2), TenantClass::BestEffort, 200_000.0);
     be_spec.read_pct = 25;
     be_spec.conns = 16;
     be_spec.client_threads = 4;
@@ -147,17 +151,12 @@ fn without_qos_interference_destroys_tail_latency() {
         .seed(9)
         .capacity(CapacityProfile::unlimited())
         .build();
-    let mut lc_spec =
-        WorkloadSpec::open_loop("lc", TenantId(1), lc(120_000, 100, 500), 120_000.0);
+    let mut lc_spec = WorkloadSpec::open_loop("lc", TenantId(1), lc(120_000, 100, 500), 120_000.0);
     lc_spec.conns = 16;
     lc_spec.client_threads = 4;
     tb.add_workload(lc_spec).expect("admitted");
-    let mut be_spec = WorkloadSpec::open_loop(
-        "be-writer",
-        TenantId(2),
-        TenantClass::BestEffort,
-        200_000.0,
-    );
+    let mut be_spec =
+        WorkloadSpec::open_loop("be-writer", TenantId(2), TenantClass::BestEffort, 200_000.0);
     be_spec.read_pct = 25;
     be_spec.conns = 16;
     be_spec.client_threads = 4;
@@ -198,15 +197,24 @@ fn admission_control_rejects_oversubscription() {
         "oversubscription must be rejected"
     );
     // A modest third tenant still fits (40K more -> 320K total).
-    tb.add_workload(WorkloadSpec::open_loop("c", TenantId(3), lc(40_000, 100, 500), 10_000.0))
-        .expect("40K more fits in 330K");
+    tb.add_workload(WorkloadSpec::open_loop(
+        "c",
+        TenantId(3),
+        lc(40_000, 100, 500),
+        10_000.0,
+    ))
+    .expect("40K more fits in 330K");
 }
 
 #[test]
 fn multi_thread_server_scales_throughput() {
     let mut tb = Testbed::builder()
         .seed(11)
-        .server(ServerConfig { threads: 2, max_threads: 2, ..ServerConfig::default() })
+        .server(ServerConfig {
+            threads: 2,
+            max_threads: 2,
+            ..ServerConfig::default()
+        })
         .client_machines(vec![StackProfile::ix_tcp(), StackProfile::ix_tcp()])
         .link(reflex_net::LinkConfig::forty_gbe())
         .build();
@@ -240,8 +248,7 @@ fn multi_thread_server_scales_throughput() {
 fn identical_seeds_give_identical_results() {
     let run = || {
         let mut tb = Testbed::builder().seed(123).build();
-        let mut spec =
-            WorkloadSpec::open_loop("x", TenantId(1), lc(100_000, 90, 1_000), 90_000.0);
+        let mut spec = WorkloadSpec::open_loop("x", TenantId(1), lc(100_000, 90, 1_000), 90_000.0);
         spec.read_pct = 90;
         spec.conns = 8;
         tb.add_workload(spec).expect("admitted");

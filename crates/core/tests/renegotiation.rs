@@ -30,7 +30,10 @@ fn renegotiation_cures_a_flagged_tenant() {
     // reads cost 1/2 token: the 20K-token reservation buys ~40K IOPS —
     // still well short of the offered 60K.
     let throttled = before.workload("greedy").iops;
-    assert!(throttled < 45_000.0, "rate limiting should hold: {throttled:.0}");
+    assert!(
+        throttled < 45_000.0,
+        "rate limiting should hold: {throttled:.0}"
+    );
 
     // The operator accepts the renegotiation: raise the SLO to 70K.
     let new_slo = SloSpec::new(70_000, 100, SimDuration::from_micros(500));
@@ -107,6 +110,14 @@ fn renegotiating_unknown_or_be_tenants_fails() {
     ))
     .expect("accepted");
     let slo = SloSpec::new(1_000, 100, SimDuration::from_millis(1));
-    assert!(tb.world_mut().server_mut().renegotiate_tenant(TenantId(1), slo).is_err());
-    assert!(tb.world_mut().server_mut().renegotiate_tenant(TenantId(9), slo).is_err());
+    assert!(tb
+        .world_mut()
+        .server_mut()
+        .renegotiate_tenant(TenantId(1), slo)
+        .is_err());
+    assert!(tb
+        .world_mut()
+        .server_mut()
+        .renegotiate_tenant(TenantId(9), slo)
+        .is_err());
 }

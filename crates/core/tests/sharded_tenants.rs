@@ -10,16 +10,16 @@ use reflex_sim::SimDuration;
 fn blast(shards: u32, threads: u32) -> f64 {
     let mut tb = Testbed::builder()
         .seed(81)
-        .server(ServerConfig { threads, max_threads: threads, ..ServerConfig::default() })
+        .server(ServerConfig {
+            threads,
+            max_threads: threads,
+            ..ServerConfig::default()
+        })
         .client_machines(vec![StackProfile::ix_tcp(), StackProfile::ix_tcp()])
         .link(LinkConfig::forty_gbe())
         .build();
-    let mut spec = WorkloadSpec::open_loop(
-        "big",
-        TenantId(1),
-        TenantClass::BestEffort,
-        1_200_000.0,
-    );
+    let mut spec =
+        WorkloadSpec::open_loop("big", TenantId(1), TenantClass::BestEffort, 1_200_000.0);
     spec.io_size = 1024;
     spec.conns = 64;
     spec.client_threads = 16;
@@ -51,7 +51,11 @@ fn one_tenant_exceeds_single_core_with_shards() {
 fn sharded_lc_tenant_keeps_its_slo() {
     let mut tb = Testbed::builder()
         .seed(82)
-        .server(ServerConfig { threads: 2, max_threads: 2, ..ServerConfig::default() })
+        .server(ServerConfig {
+            threads: 2,
+            max_threads: 2,
+            ..ServerConfig::default()
+        })
         .build();
     // 200K IOPS, 100% read, 500us SLO: within capacity but beyond what a
     // busy single thread could comfortably schedule alongside others.
@@ -92,10 +96,13 @@ fn sharded_lc_tenant_keeps_its_slo() {
 fn sharding_spreads_work_across_both_threads() {
     let mut tb = Testbed::builder()
         .seed(83)
-        .server(ServerConfig { threads: 2, max_threads: 2, ..ServerConfig::default() })
+        .server(ServerConfig {
+            threads: 2,
+            max_threads: 2,
+            ..ServerConfig::default()
+        })
         .build();
-    let mut spec =
-        WorkloadSpec::open_loop("wide", TenantId(1), TenantClass::BestEffort, 200_000.0);
+    let mut spec = WorkloadSpec::open_loop("wide", TenantId(1), TenantClass::BestEffort, 200_000.0);
     spec.conns = 8;
     spec.client_threads = 4;
     spec.shards = 2;
@@ -104,8 +111,11 @@ fn sharding_spreads_work_across_both_threads() {
     tb.begin_measurement();
     tb.run(SimDuration::from_millis(200));
     let report = tb.report();
-    let rx: Vec<u64> =
-        report.threads.iter().map(|t| t.stats.map(|s| s.rx_msgs).unwrap_or(0)).collect();
+    let rx: Vec<u64> = report
+        .threads
+        .iter()
+        .map(|t| t.stats.map(|s| s.rx_msgs).unwrap_or(0))
+        .collect();
     assert_eq!(rx.len(), 2);
     let ratio = rx[0] as f64 / rx[1].max(1) as f64;
     assert!(

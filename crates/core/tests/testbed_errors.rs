@@ -7,8 +7,13 @@ use reflex_sim::SimDuration;
 #[test]
 fn duplicate_tenant_ids_rejected() {
     let mut tb = Testbed::builder().seed(1).build();
-    tb.add_workload(WorkloadSpec::open_loop("a", TenantId(1), TenantClass::BestEffort, 1_000.0))
-        .expect("first registration fine");
+    tb.add_workload(WorkloadSpec::open_loop(
+        "a",
+        TenantId(1),
+        TenantClass::BestEffort,
+        1_000.0,
+    ))
+    .expect("first registration fine");
     let err = tb.add_workload(WorkloadSpec::open_loop(
         "b",
         TenantId(1),
@@ -36,19 +41,31 @@ fn invalid_specs_rejected_with_reasons() {
 
     let mut s = base();
     s.io_size = 0;
-    assert!(matches!(tb.add_workload(s), Err(TestbedError::InvalidSpec(_))));
+    assert!(matches!(
+        tb.add_workload(s),
+        Err(TestbedError::InvalidSpec(_))
+    ));
 
     let mut s = base();
     s.conns = 0;
-    assert!(matches!(tb.add_workload(s), Err(TestbedError::InvalidSpec(_))));
+    assert!(matches!(
+        tb.add_workload(s),
+        Err(TestbedError::InvalidSpec(_))
+    ));
 
     let mut s = base();
     s.pattern = LoadPattern::ClosedLoop { queue_depth: 0 };
-    assert!(matches!(tb.add_workload(s), Err(TestbedError::InvalidSpec(_))));
+    assert!(matches!(
+        tb.add_workload(s),
+        Err(TestbedError::InvalidSpec(_))
+    ));
 
     let mut s = base();
     s.namespace = (u64::MAX - 4096, 8192);
-    assert!(matches!(tb.add_workload(s), Err(TestbedError::InvalidSpec(_))));
+    assert!(matches!(
+        tb.add_workload(s),
+        Err(TestbedError::InvalidSpec(_))
+    ));
 }
 
 #[test]
@@ -64,8 +81,13 @@ fn rejected_workload_leaves_no_tenant_behind() {
     ));
     assert!(err.is_err());
     // ...and the id is immediately reusable.
-    tb.add_workload(WorkloadSpec::open_loop("ok", TenantId(1), TenantClass::BestEffort, 1_000.0))
-        .expect("id was not leaked by the failed registration");
+    tb.add_workload(WorkloadSpec::open_loop(
+        "ok",
+        TenantId(1),
+        TenantClass::BestEffort,
+        1_000.0,
+    ))
+    .expect("id was not leaked by the failed registration");
 }
 
 #[test]

@@ -66,12 +66,7 @@ fn trace_timing_is_respected() {
         });
     }
     let mut tb = Testbed::builder().seed(142).build();
-    let spec = WorkloadSpec::from_trace(
-        "bursts",
-        TenantId(1),
-        TenantClass::BestEffort,
-        ops.into(),
-    );
+    let spec = WorkloadSpec::from_trace("bursts", TenantId(1), TenantClass::BestEffort, ops.into());
     tb.begin_measurement();
     tb.add_workload(spec).expect("accepted");
     tb.run(SimDuration::from_millis(100));
@@ -94,8 +89,18 @@ fn malformed_traces_are_rejected() {
     let mut tb = Testbed::builder().seed(143).build();
     // Decreasing offsets.
     let bad: Arc<[TraceOp]> = vec![
-        TraceOp { at: SimDuration::from_micros(10), is_read: true, addr: 0, len: 4096 },
-        TraceOp { at: SimDuration::from_micros(5), is_read: true, addr: 0, len: 4096 },
+        TraceOp {
+            at: SimDuration::from_micros(10),
+            is_read: true,
+            addr: 0,
+            len: 4096,
+        },
+        TraceOp {
+            at: SimDuration::from_micros(5),
+            is_read: true,
+            addr: 0,
+            len: 4096,
+        },
     ]
     .into();
     let spec = WorkloadSpec::from_trace("bad", TenantId(1), TenantClass::BestEffort, bad);

@@ -13,7 +13,10 @@ fn unloaded_read(client: StackProfile, server_stack: StackProfile, dp: Dataplane
         .seed(61)
         .client_machines(vec![client])
         .server_stack(server_stack)
-        .server(ServerConfig { dataplane: dp, ..ServerConfig::default() })
+        .server(ServerConfig {
+            dataplane: dp,
+            ..ServerConfig::default()
+        })
         .build();
     let slo = SloSpec::new(20_000, 100, SimDuration::from_micros(500));
     tb.add_workload(WorkloadSpec::closed_loop(
@@ -45,7 +48,11 @@ fn udp_cuts_unloaded_latency() {
         udp + 1.0 < tcp,
         "udp ({udp:.1}us) should beat tcp ({tcp:.1}us)"
     );
-    assert!(tcp - udp < 15.0, "udp saving implausibly large: {}", tcp - udp);
+    assert!(
+        tcp - udp < 15.0,
+        "udp saving implausibly large: {}",
+        tcp - udp
+    );
 }
 
 #[test]
@@ -55,7 +62,10 @@ fn udp_raises_per_core_throughput() {
             .seed(62)
             .client_machines(vec![client.clone(), client])
             .server_stack(server_stack)
-            .server(ServerConfig { dataplane: dp, ..ServerConfig::default() })
+            .server(ServerConfig {
+                dataplane: dp,
+                ..ServerConfig::default()
+            })
             .link(reflex_net::LinkConfig::forty_gbe())
             .build();
         for i in 0..2u32 {

@@ -125,11 +125,33 @@ mod tests {
     fn syscall_variants_are_constructible_and_distinct() {
         let slo = SloSpec::new(1_000, 90, SimDuration::from_micros(500));
         let calls = [
-            Syscall::Register { id: TenantId(1), slo: Some(slo), cookie: 9 },
-            Syscall::Register { id: TenantId(2), slo: None, cookie: 10 },
-            Syscall::Read { handle: TenantHandle(1), buf: BufHandle(3), addr: 4096, len: 4096, cookie: 11 },
-            Syscall::Write { handle: TenantHandle(1), buf: BufHandle(4), addr: 0, len: 1024, cookie: 12 },
-            Syscall::Unregister { handle: TenantHandle(1) },
+            Syscall::Register {
+                id: TenantId(1),
+                slo: Some(slo),
+                cookie: 9,
+            },
+            Syscall::Register {
+                id: TenantId(2),
+                slo: None,
+                cookie: 10,
+            },
+            Syscall::Read {
+                handle: TenantHandle(1),
+                buf: BufHandle(3),
+                addr: 4096,
+                len: 4096,
+                cookie: 11,
+            },
+            Syscall::Write {
+                handle: TenantHandle(1),
+                buf: BufHandle(4),
+                addr: 0,
+                len: 1024,
+                cookie: 12,
+            },
+            Syscall::Unregister {
+                handle: TenantHandle(1),
+            },
         ];
         let mut reprs: Vec<String> = calls.iter().map(|c| format!("{c:?}")).collect();
         reprs.sort();
@@ -139,7 +161,10 @@ mod tests {
 
     #[test]
     fn event_variants_carry_status() {
-        let e = EventCond::Response { cookie: 1, status: AbiStatus::AccessDenied };
+        let e = EventCond::Response {
+            cookie: 1,
+            status: AbiStatus::AccessDenied,
+        };
         match e {
             EventCond::Response { status, .. } => assert_eq!(status, AbiStatus::AccessDenied),
             _ => unreachable!(),

@@ -41,8 +41,7 @@ impl ConnPressure {
     pub fn factor(&self, conns: u32) -> f64 {
         let warm = self.warm_penalty * (conns as f64 / self.warm_conns as f64).min(1.0);
         let spill = if conns > self.spill_threshold {
-            self.spill_penalty * (conns - self.spill_threshold) as f64
-                / self.spill_threshold as f64
+            self.spill_penalty * (conns - self.spill_threshold) as f64 / self.spill_threshold as f64
         } else {
             0.0
         };
@@ -173,14 +172,20 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = DataplaneConfig::default();
-        c.batch_max = 0;
+        let c = DataplaneConfig {
+            batch_max: 0,
+            ..DataplaneConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = DataplaneConfig::default();
-        c.rx_msg_cost = SimDuration::ZERO;
+        let c = DataplaneConfig {
+            rx_msg_cost: SimDuration::ZERO,
+            ..DataplaneConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = DataplaneConfig::default();
-        c.max_sched_interval = SimDuration::ZERO;
+        let c = DataplaneConfig {
+            max_sched_interval: SimDuration::ZERO,
+            ..DataplaneConfig::default()
+        };
         assert!(c.validate().is_err());
         assert!(DataplaneConfig::default().validate().is_ok());
     }

@@ -278,8 +278,8 @@ impl DataplaneThread {
     /// core, but never beyond the control plane's SLO-derived bound.
     fn sched_interval(&self) -> SimDuration {
         let (lc, be) = self.sched.tenant_counts();
-        let round_cost = self.config.sched_base_cost
-            + self.config.sched_per_tenant_cost * (lc + be) as u64;
+        let round_cost =
+            self.config.sched_base_cost + self.config.sched_per_tenant_cost * (lc + be) as u64;
         (round_cost * 2)
             .max(self.config.min_sched_interval)
             .min(self.max_sched_interval)
@@ -387,11 +387,11 @@ impl DataplaneThread {
         // Fence-buffered requests follow the queued ones (order preserved:
         // scheduler queue first, then post-barrier buffer).
         let mut all = leftovers;
-        all.extend(
-            buffered
-                .into_iter()
-                .map(|(op, len, ctx)| CostedRequest { op, len, payload: ctx }),
-        );
+        all.extend(buffered.into_iter().map(|(op, len, ctx)| CostedRequest {
+            op,
+            len,
+            payload: ctx,
+        }));
         Ok(all)
     }
 
@@ -502,32 +502,51 @@ impl DataplaneThread {
     fn user_handle_event(event: &EventCond, ctx: &ReqCtx) -> (ReflexHeader, u32) {
         let ok = matches!(
             event,
-            EventCond::Response { status: AbiStatus::Ok, .. }
-                | EventCond::Written { status: AbiStatus::Ok, .. }
+            EventCond::Response {
+                status: AbiStatus::Ok,
+                ..
+            } | EventCond::Written {
+                status: AbiStatus::Ok,
+                ..
+            }
         );
         let opcode = if ok { Opcode::Response } else { Opcode::Error };
         let payload = if ok && ctx.op.is_read() { ctx.len } else { 0 };
         (
-            ReflexHeader { opcode, tenant: 0, cookie: ctx.cookie, addr: ctx.addr, len: ctx.len },
+            ReflexHeader {
+                opcode,
+                tenant: 0,
+                cookie: ctx.cookie,
+                addr: ctx.addr,
+                len: ctx.len,
+            },
             payload,
         )
     }
 
-    fn send_error(
-        &mut self,
-        fabric: &mut Fabric<WireMsg>,
-        ctx: ReqCtx,
-        status: AbiStatus,
-    ) {
+    fn send_error(&mut self, fabric: &mut Fabric<WireMsg>, ctx: ReqCtx, status: AbiStatus) {
         let event = match ctx.op {
-            IoType::Read => EventCond::Response { cookie: ctx.cookie, status },
-            IoType::Write => EventCond::Written { cookie: ctx.cookie, status },
+            IoType::Read => EventCond::Response {
+                cookie: ctx.cookie,
+                status,
+            },
+            IoType::Write => EventCond::Written {
+                cookie: ctx.cookie,
+                status,
+            },
         };
         let (header, payload) = Self::user_handle_event(&event, &ctx);
         let factor = self.config.conn_pressure.factor(self.connection_count());
         self.charge(self.config.tx_msg_cost.mul_f64(factor));
         self.stats.tx_msgs += 1;
-        fabric.send(self.core_busy, self.machine, ctx.client, ctx.conn, payload, header.encode());
+        fabric.send(
+            self.core_busy,
+            self.machine,
+            ctx.client,
+            ctx.conn,
+            payload,
+            header.encode(),
+        );
     }
 
     fn handle_rx(
@@ -607,8 +626,12 @@ impl DataplaneThread {
 
         // Kernel side of the syscall: ACL check, then per-tenant queueing.
         let (op, addr, len, cookie) = match syscall {
-            Syscall::Read { addr, len, cookie, .. } => (IoType::Read, addr, len, cookie),
-            Syscall::Write { addr, len, cookie, .. } => (IoType::Write, addr, len, cookie),
+            Syscall::Read {
+                addr, len, cookie, ..
+            } => (IoType::Read, addr, len, cookie),
+            Syscall::Write {
+                addr, len, cookie, ..
+            } => (IoType::Write, addr, len, cookie),
             // Register/unregister arrive via the control plane in this
             // reproduction; they never appear on the data path.
             Syscall::Register { .. } | Syscall::Unregister { .. } => return,
@@ -625,7 +648,11 @@ impl DataplaneThread {
             rx_started,
             enqueued: self.core_busy,
         };
-        let acl = self.acl.get(&tenant).cloned().expect("bound conn implies ACL entry");
+        let acl = self
+            .acl
+            .get(&tenant)
+            .cloned()
+            .expect("bound conn implies ACL entry");
         if let Err(status) = acl.check(op, addr, len) {
             self.stats.acl_rejections += 1;
             self.send_error(fabric, ctx, status);
@@ -639,7 +666,14 @@ impl DataplaneThread {
         }
         ordering.inflight += 1;
         self.sched
-            .enqueue(tenant, CostedRequest { op, len, payload: ctx })
+            .enqueue(
+                tenant,
+                CostedRequest {
+                    op,
+                    len,
+                    payload: ctx,
+                },
+            )
             .expect("bound conn implies registered tenant");
     }
 
@@ -656,13 +690,22 @@ impl DataplaneThread {
         let factor = self.config.conn_pressure.factor(self.connection_count());
         self.charge(self.config.tx_msg_cost.mul_f64(factor));
         self.stats.tx_msgs += 1;
-        fabric.send(self.core_busy, self.machine, ctx.client, ctx.conn, 0, header.encode());
+        fabric.send(
+            self.core_busy,
+            self.machine,
+            ctx.client,
+            ctx.conn,
+            0,
+            header.encode(),
+        );
     }
 
     /// Called when one of `tenant`'s I/Os completes: release a pending
     /// barrier (and the requests buffered behind it) once drained.
     fn note_completion(&mut self, fabric: &mut Fabric<WireMsg>, tenant: TenantId) {
-        let Some(ordering) = self.ordering.get_mut(&tenant) else { return };
+        let Some(ordering) = self.ordering.get_mut(&tenant) else {
+            return;
+        };
         ordering.inflight = ordering.inflight.saturating_sub(1);
         if ordering.inflight == 0 && ordering.fence.is_some() && self.sched.queued_for(tenant) == 0
         {
@@ -672,7 +715,14 @@ impl DataplaneThread {
             self.ack_barrier(fabric, ctx);
             for (op, len, rctx) in buffered {
                 self.sched
-                    .enqueue(tenant, CostedRequest { op, len, payload: rctx })
+                    .enqueue(
+                        tenant,
+                        CostedRequest {
+                            op,
+                            len,
+                            payload: rctx,
+                        },
+                    )
                     .expect("tenant still registered");
             }
         }
@@ -701,7 +751,11 @@ impl DataplaneThread {
                 let payload = req.payload;
                 self.retry_submit.push_front((
                     tenant,
-                    CostedRequest { op: req.op, len: req.len, payload },
+                    CostedRequest {
+                        op: req.op,
+                        len: req.len,
+                        payload,
+                    },
                 ));
             }
             Err(SubmitError::EmptyCommand) => {
@@ -729,14 +783,27 @@ impl DataplaneThread {
             NvmeStatus::MediaError => AbiStatus::OutOfResources,
         };
         let event = match ctx.op {
-            IoType::Read => EventCond::Response { cookie: ctx.cookie, status },
-            IoType::Write => EventCond::Written { cookie: ctx.cookie, status },
+            IoType::Read => EventCond::Response {
+                cookie: ctx.cookie,
+                status,
+            },
+            IoType::Write => EventCond::Written {
+                cookie: ctx.cookie,
+                status,
+            },
         };
         let (header, payload) = Self::user_handle_event(&event, &ctx);
         let factor = self.config.conn_pressure.factor(self.connection_count());
         self.charge(self.config.tx_msg_cost.mul_f64(factor));
         self.stats.tx_msgs += 1;
-        fabric.send(self.core_busy, self.machine, ctx.client, ctx.conn, payload, header.encode());
+        fabric.send(
+            self.core_busy,
+            self.machine,
+            ctx.client,
+            ctx.conn,
+            payload,
+            header.encode(),
+        );
         if ctx.op.is_read() {
             if let Some(h) = self.tenant_read_latency.get_mut(&ctx.tenant) {
                 h.record(self.core_busy.saturating_since(ctx.arrived));
@@ -748,8 +815,14 @@ impl DataplaneThread {
             b.rx_wait_ns += ctx.rx_started.saturating_since(ctx.arrived).as_nanos();
             b.rx_proc_ns += ctx.enqueued.saturating_since(ctx.rx_started).as_nanos();
             b.sched_wait_ns += submitted_at.saturating_since(ctx.enqueued).as_nanos();
-            b.device_ns += completed.completed_at.saturating_since(submitted_at).as_nanos();
-            b.tx_ns += self.core_busy.saturating_since(completed.completed_at).as_nanos();
+            b.device_ns += completed
+                .completed_at
+                .saturating_since(submitted_at)
+                .as_nanos();
+            b.tx_ns += self
+                .core_busy
+                .saturating_since(completed.completed_at)
+                .as_nanos();
         }
         // Barrier release happens after the response is on the wire so the
         // client observes completions in order.
@@ -775,8 +848,12 @@ impl DataplaneThread {
             let factor = self.config.conn_pressure.factor(self.connection_count());
 
             // Step 1: NIC RX batch (bounded, adaptive).
-            let msgs =
-                fabric.poll_queue(self.core_busy, self.machine, self.nic_queue, self.config.batch_max);
+            let msgs = fabric.poll_queue(
+                self.core_busy,
+                self.machine,
+                self.nic_queue,
+                self.config.batch_max,
+            );
             for d in msgs {
                 let rx_started = self.core_busy.max(d.arrived_at);
                 self.charge(self.config.rx_msg_cost.mul_f64(factor));

@@ -20,9 +20,18 @@ struct Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    (any::<bool>(), 0u64..1_000_000, 100u64..100_000, prop::bool::weighted(0.05)).prop_map(
-        |(is_read, page, gap_ns, barrier)| Op { is_read, page, gap_ns, barrier },
+    (
+        any::<bool>(),
+        0u64..1_000_000,
+        100u64..100_000,
+        prop::bool::weighted(0.05),
     )
+        .prop_map(|(is_read, page, gap_ns, barrier)| Op {
+            is_read,
+            page,
+            gap_ns,
+            barrier,
+        })
 }
 
 proptest! {
@@ -68,7 +77,7 @@ proptest! {
         let mut sent = 0u64;
         let mut barriers = 0u64;
         for (i, op) in ops.iter().enumerate() {
-            now = now + SimDuration::from_nanos(op.gap_ns);
+            now += SimDuration::from_nanos(op.gap_ns);
             let cookie = i as u64;
             let header = if op.barrier {
                 barriers += 1;
@@ -100,7 +109,7 @@ proptest! {
             match wake {
                 Some(w) => t = w.max(t + SimDuration::from_nanos(1)),
                 None if answered.len() as u64 == sent => break,
-                None => t = t + SimDuration::from_millis(1),
+                None => t += SimDuration::from_millis(1),
             }
             if t > SimTime::from_secs(60) {
                 break;

@@ -7,7 +7,9 @@ use std::sync::Arc;
 use bytes::Bytes;
 use reflex_dataplane::{AclEntry, DataplaneConfig, DataplaneThread};
 use reflex_flash::{device_a, FlashDevice};
-use reflex_net::{ConnId, Fabric, LinkConfig, MachineId, NicQueueId, Opcode, ReflexHeader, StackProfile};
+use reflex_net::{
+    ConnId, Fabric, LinkConfig, MachineId, NicQueueId, Opcode, ReflexHeader, StackProfile,
+};
 use reflex_qos::{CostModel, SchedulerParams, SloSpec, TenantClass, TenantId};
 use reflex_sim::{SimDuration, SimRng, SimTime};
 
@@ -44,8 +46,16 @@ fn rig(class: TenantClass) -> Rig {
         .register_tenant(tenant, class, AclEntry::full(capacity), 4096)
         .expect("fresh tenant registers");
     let conn = fabric.new_conn();
-    thread.bind_connection(conn, tenant, client).expect("tenant exists");
-    Rig { fabric, device, thread, client, conn }
+    thread
+        .bind_connection(conn, tenant, client)
+        .expect("tenant exists");
+    Rig {
+        fabric,
+        device,
+        thread,
+        client,
+        conn,
+    }
 }
 
 fn lc_class(iops: u64) -> TenantClass {
@@ -76,8 +86,21 @@ fn drive(r: &mut Rig, want: usize, deadline: SimTime) -> Vec<(ReflexHeader, SimT
 #[test]
 fn read_request_round_trips() {
     let mut r = rig(lc_class(100_000));
-    let req = ReflexHeader { opcode: Opcode::Get, tenant: 1, cookie: 77, addr: 8192, len: 4096 };
-    r.fabric.send(SimTime::ZERO, r.client, r.thread.machine(), r.conn, 0, req.encode());
+    let req = ReflexHeader {
+        opcode: Opcode::Get,
+        tenant: 1,
+        cookie: 77,
+        addr: 8192,
+        len: 4096,
+    };
+    r.fabric.send(
+        SimTime::ZERO,
+        r.client,
+        r.thread.machine(),
+        r.conn,
+        0,
+        req.encode(),
+    );
 
     let responses = drive(&mut r, 1, SimTime::from_millis(10));
     assert_eq!(responses.len(), 1);
@@ -86,7 +109,10 @@ fn read_request_round_trips() {
     assert_eq!(h.cookie, 77);
     let latency = at.as_micros_f64();
     // Unloaded remote read: ~76us device + ~stack/wire overheads ≈ 85-120us.
-    assert!((80.0..140.0).contains(&latency), "unloaded remote read {latency}us");
+    assert!(
+        (80.0..140.0).contains(&latency),
+        "unloaded remote read {latency}us"
+    );
     let st = r.thread.stats();
     assert_eq!(st.rx_msgs, 1);
     assert_eq!(st.submitted, 1);
@@ -97,8 +123,21 @@ fn read_request_round_trips() {
 #[test]
 fn write_request_round_trips_faster_than_read() {
     let mut r = rig(lc_class(100_000));
-    let req = ReflexHeader { opcode: Opcode::Put, tenant: 1, cookie: 5, addr: 0, len: 4096 };
-    r.fabric.send(SimTime::ZERO, r.client, r.thread.machine(), r.conn, 4096, req.encode());
+    let req = ReflexHeader {
+        opcode: Opcode::Put,
+        tenant: 1,
+        cookie: 5,
+        addr: 0,
+        len: 4096,
+    };
+    r.fabric.send(
+        SimTime::ZERO,
+        r.client,
+        r.thread.machine(),
+        r.conn,
+        4096,
+        req.encode(),
+    );
     let responses = drive(&mut r, 1, SimTime::from_millis(10));
     assert_eq!(responses.len(), 1);
     let (h, at) = &responses[0];
@@ -113,18 +152,38 @@ fn acl_read_only_tenant_gets_error_for_writes() {
     let mut fabricless = rig(lc_class(10_000));
     // Rebind with a read-only ACL on a second tenant.
     let tenant = TenantId(2);
-    let acl = AclEntry { ns_start: 0, ns_len: 1 << 30, allow_read: true, allow_write: false, allowed_clients: None };
+    let acl = AclEntry {
+        ns_start: 0,
+        ns_len: 1 << 30,
+        allow_read: true,
+        allow_write: false,
+        allowed_clients: None,
+    };
     fabricless
         .thread
         .register_tenant(tenant, TenantClass::BestEffort, acl, 4096)
         .unwrap();
     let conn2 = fabricless.fabric.new_conn();
-    fabricless.thread.bind_connection(conn2, tenant, fabricless.client).unwrap();
-
-    let req = ReflexHeader { opcode: Opcode::Put, tenant: 2, cookie: 9, addr: 0, len: 4096 };
     fabricless
-        .fabric
-        .send(SimTime::ZERO, fabricless.client, fabricless.thread.machine(), conn2, 4096, req.encode());
+        .thread
+        .bind_connection(conn2, tenant, fabricless.client)
+        .unwrap();
+
+    let req = ReflexHeader {
+        opcode: Opcode::Put,
+        tenant: 2,
+        cookie: 9,
+        addr: 0,
+        len: 4096,
+    };
+    fabricless.fabric.send(
+        SimTime::ZERO,
+        fabricless.client,
+        fabricless.thread.machine(),
+        conn2,
+        4096,
+        req.encode(),
+    );
     let responses = drive(&mut fabricless, 1, SimTime::from_millis(5));
     assert_eq!(responses.len(), 1);
     assert_eq!(responses[0].0.opcode, Opcode::Error);
@@ -137,21 +196,56 @@ fn acl_read_only_tenant_gets_error_for_writes() {
 fn namespace_bounds_are_enforced() {
     let mut r = rig(lc_class(10_000));
     let tenant = TenantId(2);
-    let acl = AclEntry { ns_start: 4096, ns_len: 8192, allow_read: true, allow_write: true, allowed_clients: None };
-    r.thread.register_tenant(tenant, TenantClass::BestEffort, acl, 4096).unwrap();
+    let acl = AclEntry {
+        ns_start: 4096,
+        ns_len: 8192,
+        allow_read: true,
+        allow_write: true,
+        allowed_clients: None,
+    };
+    r.thread
+        .register_tenant(tenant, TenantClass::BestEffort, acl, 4096)
+        .unwrap();
     let conn2 = r.fabric.new_conn();
     r.thread.bind_connection(conn2, tenant, r.client).unwrap();
 
     // In-range read succeeds; out-of-range read errors.
-    let ok = ReflexHeader { opcode: Opcode::Get, tenant: 2, cookie: 1, addr: 4096, len: 4096 };
-    let bad = ReflexHeader { opcode: Opcode::Get, tenant: 2, cookie: 2, addr: 0, len: 4096 };
-    r.fabric.send(SimTime::ZERO, r.client, r.thread.machine(), conn2, 0, ok.encode());
-    r.fabric
-        .send(SimTime::from_micros(1), r.client, r.thread.machine(), conn2, 0, bad.encode());
+    let ok = ReflexHeader {
+        opcode: Opcode::Get,
+        tenant: 2,
+        cookie: 1,
+        addr: 4096,
+        len: 4096,
+    };
+    let bad = ReflexHeader {
+        opcode: Opcode::Get,
+        tenant: 2,
+        cookie: 2,
+        addr: 0,
+        len: 4096,
+    };
+    r.fabric.send(
+        SimTime::ZERO,
+        r.client,
+        r.thread.machine(),
+        conn2,
+        0,
+        ok.encode(),
+    );
+    r.fabric.send(
+        SimTime::from_micros(1),
+        r.client,
+        r.thread.machine(),
+        conn2,
+        0,
+        bad.encode(),
+    );
     let responses = drive(&mut r, 2, SimTime::from_millis(10));
     assert_eq!(responses.len(), 2);
-    let by_cookie: std::collections::HashMap<u64, Opcode> =
-        responses.iter().map(|(h, _)| (h.cookie, h.opcode)).collect();
+    let by_cookie: std::collections::HashMap<u64, Opcode> = responses
+        .iter()
+        .map(|(h, _)| (h.cookie, h.opcode))
+        .collect();
     assert_eq!(by_cookie[&1], Opcode::Response);
     assert_eq!(by_cookie[&2], Opcode::Error);
 }
@@ -160,8 +254,21 @@ fn namespace_bounds_are_enforced() {
 fn unbound_connection_is_dropped() {
     let mut r = rig(lc_class(10_000));
     let stray = r.fabric.new_conn();
-    let req = ReflexHeader { opcode: Opcode::Get, tenant: 1, cookie: 3, addr: 0, len: 4096 };
-    r.fabric.send(SimTime::ZERO, r.client, r.thread.machine(), stray, 0, req.encode());
+    let req = ReflexHeader {
+        opcode: Opcode::Get,
+        tenant: 1,
+        cookie: 3,
+        addr: 0,
+        len: 4096,
+    };
+    r.fabric.send(
+        SimTime::ZERO,
+        r.client,
+        r.thread.machine(),
+        stray,
+        0,
+        req.encode(),
+    );
     let responses = drive(&mut r, 1, SimTime::from_millis(2));
     assert!(responses.is_empty());
     assert_eq!(r.thread.stats().unbound_conns, 1);
@@ -190,7 +297,13 @@ fn pipelined_requests_are_batched_and_all_answered() {
     // unloaded latency, so the thread must batch RX and CQ processing.
     for i in 0..512u64 {
         let addr = (i * 7919 % 1_000_000) * 4096;
-        let req = ReflexHeader { opcode: Opcode::Get, tenant: 1, cookie: i, addr, len: 4096 };
+        let req = ReflexHeader {
+            opcode: Opcode::Get,
+            tenant: 1,
+            cookie: i,
+            addr,
+            len: 4096,
+        };
         r.fabric.send(
             SimTime::from_nanos(i * 1_000),
             r.client,
@@ -212,7 +325,13 @@ fn pipelined_requests_are_batched_and_all_answered() {
 fn thread_cpu_time_tracks_work() {
     let mut r = rig(lc_class(200_000));
     for i in 0..100u64 {
-        let req = ReflexHeader { opcode: Opcode::Get, tenant: 1, cookie: i, addr: i * 4096, len: 4096 };
+        let req = ReflexHeader {
+            opcode: Opcode::Get,
+            tenant: 1,
+            cookie: i,
+            addr: i * 4096,
+            len: 4096,
+        };
         r.fabric.send(
             SimTime::from_nanos(i * 2_000),
             r.client,
@@ -225,7 +344,10 @@ fn thread_cpu_time_tracks_work() {
     let _ = drive(&mut r, 100, SimTime::from_millis(50));
     let busy = r.thread.busy_time().as_micros_f64();
     // ~1.05us per request (rx+tx) plus scheduling: within [100, 200]us.
-    assert!((80.0..250.0).contains(&busy), "busy time {busy}us for 100 requests");
+    assert!(
+        (80.0..250.0).contains(&busy),
+        "busy time {busy}us for 100 requests"
+    );
     assert!(r.thread.sched_cpu_time() < r.thread.busy_time());
 }
 
@@ -256,12 +378,45 @@ fn barrier_orders_requests() {
     let server = r.thread.machine();
     // Write, then barrier, then read: the read must complete after the
     // barrier, which must complete after the write.
-    let w = ReflexHeader { opcode: Opcode::Put, tenant: 1, cookie: 1, addr: 0, len: 4096 };
-    let bar = ReflexHeader { opcode: Opcode::Barrier, tenant: 1, cookie: 2, addr: 0, len: 0 };
-    let rd = ReflexHeader { opcode: Opcode::Get, tenant: 1, cookie: 3, addr: 0, len: 4096 };
-    r.fabric.send(SimTime::ZERO, r.client, server, r.conn, 4096, w.encode());
-    r.fabric.send(SimTime::from_nanos(100), r.client, server, r.conn, 0, bar.encode());
-    r.fabric.send(SimTime::from_nanos(200), r.client, server, r.conn, 0, rd.encode());
+    let w = ReflexHeader {
+        opcode: Opcode::Put,
+        tenant: 1,
+        cookie: 1,
+        addr: 0,
+        len: 4096,
+    };
+    let bar = ReflexHeader {
+        opcode: Opcode::Barrier,
+        tenant: 1,
+        cookie: 2,
+        addr: 0,
+        len: 0,
+    };
+    let rd = ReflexHeader {
+        opcode: Opcode::Get,
+        tenant: 1,
+        cookie: 3,
+        addr: 0,
+        len: 4096,
+    };
+    r.fabric
+        .send(SimTime::ZERO, r.client, server, r.conn, 4096, w.encode());
+    r.fabric.send(
+        SimTime::from_nanos(100),
+        r.client,
+        server,
+        r.conn,
+        0,
+        bar.encode(),
+    );
+    r.fabric.send(
+        SimTime::from_nanos(200),
+        r.client,
+        server,
+        r.conn,
+        0,
+        rd.encode(),
+    );
 
     let responses = drive(&mut r, 3, SimTime::from_millis(20));
     assert_eq!(responses.len(), 3, "all three must be answered");
@@ -276,8 +431,21 @@ fn barrier_orders_requests() {
 #[test]
 fn barrier_with_nothing_outstanding_acks_immediately() {
     let mut r = rig(lc_class(100_000));
-    let bar = ReflexHeader { opcode: Opcode::Barrier, tenant: 1, cookie: 9, addr: 0, len: 0 };
-    r.fabric.send(SimTime::ZERO, r.client, r.thread.machine(), r.conn, 0, bar.encode());
+    let bar = ReflexHeader {
+        opcode: Opcode::Barrier,
+        tenant: 1,
+        cookie: 9,
+        addr: 0,
+        len: 0,
+    };
+    r.fabric.send(
+        SimTime::ZERO,
+        r.client,
+        r.thread.machine(),
+        r.conn,
+        0,
+        bar.encode(),
+    );
     let responses = drive(&mut r, 1, SimTime::from_millis(5));
     assert_eq!(responses.len(), 1);
     assert_eq!(responses[0].0.cookie, 9);
@@ -291,17 +459,62 @@ fn double_barrier_is_rejected() {
     let server = r.thread.machine();
     // Queue a slow write burst so the first barrier fences.
     for i in 0..16u64 {
-        let w = ReflexHeader { opcode: Opcode::Put, tenant: 1, cookie: i, addr: i * 4096, len: 4096 };
-        r.fabric.send(SimTime::from_nanos(i * 10), r.client, server, r.conn, 4096, w.encode());
+        let w = ReflexHeader {
+            opcode: Opcode::Put,
+            tenant: 1,
+            cookie: i,
+            addr: i * 4096,
+            len: 4096,
+        };
+        r.fabric.send(
+            SimTime::from_nanos(i * 10),
+            r.client,
+            server,
+            r.conn,
+            4096,
+            w.encode(),
+        );
     }
-    let b1 = ReflexHeader { opcode: Opcode::Barrier, tenant: 1, cookie: 100, addr: 0, len: 0 };
-    let b2 = ReflexHeader { opcode: Opcode::Barrier, tenant: 1, cookie: 101, addr: 0, len: 0 };
-    r.fabric.send(SimTime::from_micros(1), r.client, server, r.conn, 0, b1.encode());
-    r.fabric.send(SimTime::from_micros(2), r.client, server, r.conn, 0, b2.encode());
+    let b1 = ReflexHeader {
+        opcode: Opcode::Barrier,
+        tenant: 1,
+        cookie: 100,
+        addr: 0,
+        len: 0,
+    };
+    let b2 = ReflexHeader {
+        opcode: Opcode::Barrier,
+        tenant: 1,
+        cookie: 101,
+        addr: 0,
+        len: 0,
+    };
+    r.fabric.send(
+        SimTime::from_micros(1),
+        r.client,
+        server,
+        r.conn,
+        0,
+        b1.encode(),
+    );
+    r.fabric.send(
+        SimTime::from_micros(2),
+        r.client,
+        server,
+        r.conn,
+        0,
+        b2.encode(),
+    );
     let responses = drive(&mut r, 18, SimTime::from_millis(100));
-    let b2_resp = responses.iter().find(|(h, _)| h.cookie == 101).expect("b2 answered");
+    let b2_resp = responses
+        .iter()
+        .find(|(h, _)| h.cookie == 101)
+        .expect("b2 answered");
     assert_eq!(b2_resp.0.opcode, Opcode::Error, "second barrier must error");
-    let b1_resp = responses.iter().find(|(h, _)| h.cookie == 100).expect("b1 answered");
+    let b1_resp = responses
+        .iter()
+        .find(|(h, _)| h.cookie == 100)
+        .expect("b1 answered");
     assert_eq!(b1_resp.0.opcode, Opcode::Response);
 }
 
@@ -310,10 +523,30 @@ fn barrier_releases_buffered_requests_in_order() {
     let mut r = rig(lc_class(100_000));
     let server = r.thread.machine();
     // One write, a barrier, then a burst of reads buffered behind it.
-    let w = ReflexHeader { opcode: Opcode::Put, tenant: 1, cookie: 0, addr: 0, len: 4096 };
-    r.fabric.send(SimTime::ZERO, r.client, server, r.conn, 4096, w.encode());
-    let bar = ReflexHeader { opcode: Opcode::Barrier, tenant: 1, cookie: 1, addr: 0, len: 0 };
-    r.fabric.send(SimTime::from_nanos(50), r.client, server, r.conn, 0, bar.encode());
+    let w = ReflexHeader {
+        opcode: Opcode::Put,
+        tenant: 1,
+        cookie: 0,
+        addr: 0,
+        len: 4096,
+    };
+    r.fabric
+        .send(SimTime::ZERO, r.client, server, r.conn, 4096, w.encode());
+    let bar = ReflexHeader {
+        opcode: Opcode::Barrier,
+        tenant: 1,
+        cookie: 1,
+        addr: 0,
+        len: 0,
+    };
+    r.fabric.send(
+        SimTime::from_nanos(50),
+        r.client,
+        server,
+        r.conn,
+        0,
+        bar.encode(),
+    );
     for i in 0..8u64 {
         let rd = ReflexHeader {
             opcode: Opcode::Get,
@@ -322,14 +555,29 @@ fn barrier_releases_buffered_requests_in_order() {
             addr: i * 4096,
             len: 4096,
         };
-        r.fabric.send(SimTime::from_nanos(100 + i), r.client, server, r.conn, 0, rd.encode());
+        r.fabric.send(
+            SimTime::from_nanos(100 + i),
+            r.client,
+            server,
+            r.conn,
+            0,
+            rd.encode(),
+        );
     }
     let responses = drive(&mut r, 10, SimTime::from_millis(50));
     assert_eq!(responses.len(), 10);
-    let barrier_at = responses.iter().find(|(h, _)| h.cookie == 1).expect("barrier acked").1;
+    let barrier_at = responses
+        .iter()
+        .find(|(h, _)| h.cookie == 1)
+        .expect("barrier acked")
+        .1;
     for (h, at) in &responses {
         if h.cookie >= 10 {
-            assert!(*at > barrier_at, "read {} completed before the barrier", h.cookie);
+            assert!(
+                *at > barrier_at,
+                "read {} completed before the barrier",
+                h.cookie
+            );
             assert_eq!(h.opcode, Opcode::Response);
         }
     }
@@ -346,7 +594,9 @@ fn client_allowlists_gate_connection_open() {
         .unwrap();
     // The allowed client binds fine.
     let ok_conn = r.fabric.new_conn();
-    r.thread.bind_connection(ok_conn, tenant, r.client).expect("allowed client");
+    r.thread
+        .bind_connection(ok_conn, tenant, r.client)
+        .expect("allowed client");
     // The stranger is denied at connection open (paper §4.1).
     let bad_conn = r.fabric.new_conn();
     let err = r.thread.bind_connection(bad_conn, tenant, stranger);

@@ -101,7 +101,10 @@ struct QueuePair {
 
 impl QueuePair {
     fn new() -> Self {
-        QueuePair { outstanding: 0, cq: BinaryHeap::new() }
+        QueuePair {
+            outstanding: 0,
+            cq: BinaryHeap::new(),
+        }
     }
 }
 
@@ -221,7 +224,12 @@ impl FlashDevice {
     /// [`SubmitError::QueueFull`] when `qp` already has `sq_depth`
     /// outstanding commands, [`SubmitError::EmptyCommand`] for zero-length
     /// requests.
-    pub fn submit(&mut self, now: SimTime, qp: QpId, cmd: NvmeCommand) -> Result<SimTime, SubmitError> {
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        qp: QpId,
+        cmd: NvmeCommand,
+    ) -> Result<SimTime, SubmitError> {
         if cmd.len == 0 {
             return Err(SubmitError::EmptyCommand);
         }
@@ -300,13 +308,16 @@ impl FlashDevice {
         self.stats.read_pages += pages;
 
         let occ_page = if self.in_read_only_mode(now) {
-            self.profile.read_occupancy.mul_f64(self.profile.read_only_occupancy_factor)
+            self.profile
+                .read_occupancy
+                .mul_f64(self.profile.read_only_occupancy_factor)
         } else {
             self.profile.read_occupancy
         };
-        let fixed = self
-            .rng
-            .lognormal(self.profile.read_latency_median, self.profile.read_latency_sigma);
+        let fixed = self.rng.lognormal(
+            self.profile.read_latency_median,
+            self.profile.read_latency_sigma,
+        );
 
         // Multi-page commands stripe across channels (page i of the
         // request lands on the channel its page address hashes to); the
@@ -344,9 +355,10 @@ impl FlashDevice {
         self.last_write_at = Some(now);
 
         let program = self.profile.program_occupancy.mul_f64(self.wear_factor);
-        let buffered = self
-            .rng
-            .lognormal(self.profile.write_buffer_median, self.profile.write_buffer_sigma);
+        let buffered = self.rng.lognormal(
+            self.profile.write_buffer_median,
+            self.profile.write_buffer_sigma,
+        );
 
         // Each page's program lands on its own channel; host completion
         // stalls on the most backlogged channel involved once its pending
@@ -364,7 +376,9 @@ impl FlashDevice {
                 ch.pending_write_work += self.profile.gc_erase_time;
                 self.stats.gc_erases += 1;
             }
-            let stall = ch.pending_write_work.saturating_sub(self.profile.write_backlog_limit);
+            let stall = ch
+                .pending_write_work
+                .saturating_sub(self.profile.write_backlog_limit);
             worst_stall = worst_stall.max(stall);
         }
         now + buffered + worst_stall
@@ -440,7 +454,8 @@ mod tests {
         let mut t = SimTime::ZERO;
         for i in 0..n {
             let addr = d.random_page_addr();
-            d.submit(t, qp, NvmeCommand::read(CmdId(i), addr, 4096)).unwrap();
+            d.submit(t, qp, NvmeCommand::read(CmdId(i), addr, 4096))
+                .unwrap();
             let done = d.next_completion_time(qp).unwrap();
             let cs = d.poll_completions(done, qp, 8);
             assert_eq!(cs.len(), 1);
@@ -460,7 +475,8 @@ mod tests {
         let mut t = SimTime::ZERO;
         for i in 0..n {
             let addr = d.random_page_addr();
-            d.submit(t, qp, NvmeCommand::write(CmdId(i), addr, 4096)).unwrap();
+            d.submit(t, qp, NvmeCommand::write(CmdId(i), addr, 4096))
+                .unwrap();
             let done = d.next_completion_time(qp).unwrap();
             d.poll_completions(done, qp, 8);
             total += (done - t).as_micros_f64();
@@ -478,13 +494,15 @@ mod tests {
         // Stack enough writes on one channel to exceed the force threshold,
         // then read the same channel.
         for i in 0..16 {
-            d.submit(t0, qp, NvmeCommand::write(CmdId(i), addr, 4096)).unwrap();
+            d.submit(t0, qp, NvmeCommand::write(CmdId(i), addr, 4096))
+                .unwrap();
         }
-        d.submit(t0, qp, NvmeCommand::read(CmdId(100), addr, 4096)).unwrap();
+        d.submit(t0, qp, NvmeCommand::read(CmdId(100), addr, 4096))
+            .unwrap();
         let mut read_done = None;
         let mut poll_t = t0;
         for _ in 0..100 {
-            poll_t = poll_t + SimDuration::from_millis(1);
+            poll_t += SimDuration::from_millis(1);
             for c in d.poll_completions(poll_t, qp, 64) {
                 if c.id == CmdId(100) {
                     read_done = Some(c.completed_at);
@@ -504,7 +522,8 @@ mod tests {
     fn read_only_mode_engages_after_idle_window() {
         let (mut d, qp) = dev();
         assert!(d.in_read_only_mode(SimTime::ZERO));
-        d.submit(SimTime::ZERO, qp, NvmeCommand::write(CmdId(0), 0, 4096)).unwrap();
+        d.submit(SimTime::ZERO, qp, NvmeCommand::write(CmdId(0), 0, 4096))
+            .unwrap();
         assert!(!d.in_read_only_mode(SimTime::from_millis(1)));
         assert!(d.in_read_only_mode(SimTime::from_millis(20)));
     }
@@ -514,7 +533,12 @@ mod tests {
         let (mut d, qp) = dev();
         let depth = d.profile().sq_depth;
         for i in 0..depth {
-            d.submit(SimTime::ZERO, qp, NvmeCommand::read(CmdId(i as u64), 0, 4096)).unwrap();
+            d.submit(
+                SimTime::ZERO,
+                qp,
+                NvmeCommand::read(CmdId(i as u64), 0, 4096),
+            )
+            .unwrap();
         }
         let err = d.submit(SimTime::ZERO, qp, NvmeCommand::read(CmdId(9999), 0, 4096));
         assert_eq!(err, Err(SubmitError::QueueFull));
@@ -522,14 +546,17 @@ mod tests {
         let t = SimTime::from_secs(10);
         let n = d.poll_completions(t, qp, usize::MAX);
         assert_eq!(n.len(), depth as usize);
-        assert!(d.submit(t, qp, NvmeCommand::read(CmdId(9999), 0, 4096)).is_ok());
+        assert!(d
+            .submit(t, qp, NvmeCommand::read(CmdId(9999), 0, 4096))
+            .is_ok());
     }
 
     #[test]
     fn out_of_range_completes_with_error_status() {
         let (mut d, qp) = dev();
         let cap = d.profile().capacity_bytes;
-        d.submit(SimTime::ZERO, qp, NvmeCommand::read(CmdId(1), cap, 4096)).unwrap();
+        d.submit(SimTime::ZERO, qp, NvmeCommand::read(CmdId(1), cap, 4096))
+            .unwrap();
         let cs = d.poll_completions(SimTime::from_millis(1), qp, 8);
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].status, NvmeStatus::OutOfRange);
@@ -567,7 +594,8 @@ mod tests {
         let mut d = FlashDevice::new(device_a(), SimRng::seed(1));
         let qp0 = d.create_queue_pair();
         let qp1 = d.create_queue_pair();
-        d.submit(SimTime::ZERO, qp0, NvmeCommand::read(CmdId(1), 0, 4096)).unwrap();
+        d.submit(SimTime::ZERO, qp0, NvmeCommand::read(CmdId(1), 0, 4096))
+            .unwrap();
         assert_eq!(d.outstanding(qp0), 1);
         assert_eq!(d.outstanding(qp1), 0);
         let t = SimTime::from_millis(1);
@@ -581,10 +609,14 @@ mod tests {
         // 32KB read = 8 pages striped over channels: latency stays near
         // the fixed array-read time, while channel occupancy (and thus the
         // token cost the scheduler charges) is 8x a 4KB read.
-        d.submit(SimTime::ZERO, qp, NvmeCommand::read(CmdId(1), 0, 32 * 1024)).unwrap();
+        d.submit(SimTime::ZERO, qp, NvmeCommand::read(CmdId(1), 0, 32 * 1024))
+            .unwrap();
         let done = d.next_completion_time(qp).unwrap();
         let lat = (done - SimTime::ZERO).as_micros_f64();
-        assert!((60.0..200.0).contains(&lat), "32KB striped read latency {lat}us");
+        assert!(
+            (60.0..200.0).contains(&lat),
+            "32KB striped read latency {lat}us"
+        );
         assert_eq!(d.stats().read_pages, 8);
     }
 
@@ -595,11 +627,16 @@ mod tests {
         let mut t = SimTime::ZERO;
         for i in 0..2_000u64 {
             let addr = d.random_page_addr();
-            d.submit(t, qp, NvmeCommand::write(CmdId(i), addr, 4096)).unwrap();
-            t = t + SimDuration::from_micros(20);
+            d.submit(t, qp, NvmeCommand::write(CmdId(i), addr, 4096))
+                .unwrap();
+            t += SimDuration::from_micros(20);
             d.poll_completions(t, qp, usize::MAX);
         }
-        assert!(d.stats().gc_erases > 10, "expected GC activity, got {:?}", d.stats());
+        assert!(
+            d.stats().gc_erases > 10,
+            "expected GC activity, got {:?}",
+            d.stats()
+        );
     }
 
     #[test]
@@ -608,9 +645,11 @@ mod tests {
         d.set_wear_factor(4.0);
         let t0 = SimTime::ZERO;
         for i in 0..8 {
-            d.submit(t0, qp, NvmeCommand::write(CmdId(i), 0, 4096)).unwrap();
+            d.submit(t0, qp, NvmeCommand::write(CmdId(i), 0, 4096))
+                .unwrap();
         }
-        d.submit(t0, qp, NvmeCommand::read(CmdId(99), 0, 4096)).unwrap();
+        d.submit(t0, qp, NvmeCommand::read(CmdId(99), 0, 4096))
+            .unwrap();
         let all = d.poll_completions(SimTime::from_secs(1), qp, usize::MAX);
         let read = all.iter().find(|c| c.id == CmdId(99)).unwrap();
         let lat = (read.completed_at - t0).as_micros_f64();

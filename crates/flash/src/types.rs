@@ -62,12 +62,22 @@ pub struct NvmeCommand {
 impl NvmeCommand {
     /// Convenience constructor for a read command.
     pub fn read(id: CmdId, addr: u64, len: u32) -> Self {
-        NvmeCommand { id, op: IoType::Read, addr, len }
+        NvmeCommand {
+            id,
+            op: IoType::Read,
+            addr,
+            len,
+        }
     }
 
     /// Convenience constructor for a write command.
     pub fn write(id: CmdId, addr: u64, len: u32) -> Self {
-        NvmeCommand { id, op: IoType::Write, addr, len }
+        NvmeCommand {
+            id,
+            op: IoType::Write,
+            addr,
+            len,
+        }
     }
 
     /// Number of device pages this command touches given `page_size`.

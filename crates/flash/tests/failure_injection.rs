@@ -13,11 +13,18 @@ fn media_errors_occur_at_the_configured_rate() {
     let n = 5_000u64;
     for i in 0..n {
         let addr = dev.random_page_addr();
-        dev.submit(SimTime::from_nanos(i * 2_000), qp, NvmeCommand::read(CmdId(i), addr, 4096))
-            .expect("deep sq");
+        dev.submit(
+            SimTime::from_nanos(i * 2_000),
+            qp,
+            NvmeCommand::read(CmdId(i), addr, 4096),
+        )
+        .expect("deep sq");
     }
     let cs = dev.poll_completions(SimTime::from_secs(600), qp, usize::MAX);
-    let errors = cs.iter().filter(|c| c.status == NvmeStatus::MediaError).count();
+    let errors = cs
+        .iter()
+        .filter(|c| c.status == NvmeStatus::MediaError)
+        .count();
     let rate = errors as f64 / n as f64;
     assert!((0.035..0.07).contains(&rate), "observed error rate {rate}");
     assert_eq!(dev.stats().media_errors, errors as u64);
@@ -31,8 +38,12 @@ fn healthy_devices_never_error() {
     let qp = dev.create_queue_pair();
     for i in 0..2_000u64 {
         let addr = dev.random_page_addr();
-        dev.submit(SimTime::from_nanos(i * 1_000), qp, NvmeCommand::read(CmdId(i), addr, 4096))
-            .expect("deep sq");
+        dev.submit(
+            SimTime::from_nanos(i * 1_000),
+            qp,
+            NvmeCommand::read(CmdId(i), addr, 4096),
+        )
+        .expect("deep sq");
     }
     let cs = dev.poll_completions(SimTime::from_secs(600), qp, usize::MAX);
     assert!(cs.iter().all(|c| c.status == NvmeStatus::Success));
@@ -46,8 +57,12 @@ fn writes_are_unaffected_by_read_error_injection() {
     let qp = dev.create_queue_pair();
     for i in 0..500u64 {
         let addr = dev.random_page_addr();
-        dev.submit(SimTime::from_nanos(i * 20_000), qp, NvmeCommand::write(CmdId(i), addr, 4096))
-            .expect("deep sq");
+        dev.submit(
+            SimTime::from_nanos(i * 20_000),
+            qp,
+            NvmeCommand::write(CmdId(i), addr, 4096),
+        )
+        .expect("deep sq");
     }
     let cs = dev.poll_completions(SimTime::from_secs(600), qp, usize::MAX);
     assert!(cs.iter().all(|c| c.status == NvmeStatus::Success));

@@ -23,7 +23,7 @@ fn p95_read_at(mut profile: DeviceProfile, total_iops: f64, read_pct: u32, seed:
     let mut issued: Vec<(CmdId, SimTime, IoType)> = Vec::new();
     let mut id = 0u64;
     while now < end {
-        now = now + rng.exponential(mean_gap);
+        now += rng.exponential(mean_gap);
         let addr = dev.random_page_addr();
         let is_read = rng.below(100) < read_pct as u64;
         let cmd = if is_read {
@@ -35,7 +35,8 @@ fn p95_read_at(mut profile: DeviceProfile, total_iops: f64, read_pct: u32, seed:
         id += 1;
         // Drain completions opportunistically to bound queue memory.
         let _ = dev.poll_completions(now, qp, usize::MAX);
-        dev.submit(now, qp, cmd).expect("sq depth generous for sweep");
+        dev.submit(now, qp, cmd)
+            .expect("sq depth generous for sweep");
     }
     let done = dev.poll_completions(SimTime::from_secs(30), qp, usize::MAX);
     let mut completion_of = std::collections::HashMap::new();
@@ -91,9 +92,18 @@ fn knee_positions_follow_the_cost_model() {
         let saturated = 1.15 * tokens / cost_per_io;
         let ok = p95_read_at(profile.clone(), comfortable, read_pct, 4);
         let bad = p95_read_at(profile.clone(), saturated, read_pct, 4);
-        assert!(ok < 1_000.0, "r={read_pct}%: comfortable load p95 {ok}us too high");
-        assert!(bad > 1_500.0, "r={read_pct}%: saturated load p95 {bad}us too low");
-        assert!(bad > 3.0 * ok, "r={read_pct}%: knee not sharp: {ok} -> {bad}");
+        assert!(
+            ok < 1_000.0,
+            "r={read_pct}%: comfortable load p95 {ok}us too high"
+        );
+        assert!(
+            bad > 1_500.0,
+            "r={read_pct}%: saturated load p95 {bad}us too low"
+        );
+        assert!(
+            bad > 3.0 * ok,
+            "r={read_pct}%: knee not sharp: {ok} -> {bad}"
+        );
     }
 }
 
@@ -104,7 +114,9 @@ fn knee_positions_follow_the_cost_model() {
 fn print_figure1_surface() {
     println!("read_pct\tkIOPS\tp95_read_us");
     for read_pct in [100u32, 99, 95, 90, 75, 50] {
-        for kiops in [50u64, 100, 150, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 1100] {
+        for kiops in [
+            50u64, 100, 150, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 1100,
+        ] {
             let p95 = p95_read_at(device_a(), kiops as f64 * 1e3, read_pct, 7);
             println!("{read_pct}\t{kiops}\t{p95:.0}");
             if p95 > 4000.0 {

@@ -28,7 +28,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut submit_times = std::collections::HashMap::new();
         for (i, (kind, page, pages, gap_ns)) in cmds.iter().enumerate() {
-            now = now + reflex_sim::SimDuration::from_nanos(*gap_ns);
+            now += reflex_sim::SimDuration::from_nanos(*gap_ns);
             let cmd = arbitrary_cmd(i as u64, *kind, *page, *pages);
             submit_times.insert(cmd.id, now);
             dev.submit(now, qp, cmd).expect("sq deep enough");
@@ -56,7 +56,7 @@ proptest! {
         let mut predicted = std::collections::HashMap::new();
         let mut now = SimTime::ZERO;
         for (i, (kind, page, pages)) in cmds.iter().enumerate() {
-            now = now + reflex_sim::SimDuration::from_micros(3);
+            now += reflex_sim::SimDuration::from_micros(3);
             let cmd = arbitrary_cmd(i as u64, *kind, *page, *pages);
             let at = dev.submit(now, qp, cmd).expect("deep sq");
             predicted.insert(cmd.id, at);

@@ -5,14 +5,23 @@
 use reflex_flash::{device_a, CmdId, FlashDevice, NvmeCommand};
 use reflex_sim::{SimDuration, SimRng, SimTime};
 
-fn write_burst_latency_us(dev: &mut FlashDevice, qp: reflex_flash::QpId, start: SimTime, n: u64) -> (f64, SimTime) {
+fn write_burst_latency_us(
+    dev: &mut FlashDevice,
+    qp: reflex_flash::QpId,
+    start: SimTime,
+    n: u64,
+) -> (f64, SimTime) {
     let mut t = start;
     let mut total = 0.0;
     for i in 0..n {
-        t = t + SimDuration::from_micros(5); // 200K writes/s offered
+        t += SimDuration::from_micros(5); // 200K writes/s offered
         let addr = dev.random_page_addr();
         let done = dev
-            .submit(t, qp, NvmeCommand::write(CmdId(i as u64 + start.as_nanos()), addr, 4096))
+            .submit(
+                t,
+                qp,
+                NvmeCommand::write(CmdId(i + start.as_nanos()), addr, 4096),
+            )
             .expect("deep sq");
         total += done.saturating_since(t).as_micros_f64();
     }
@@ -53,7 +62,9 @@ fn sustained_write_throughput_matches_program_bandwidth() {
     let mut heap = std::collections::BinaryHeap::new();
     for i in 0..64u64 {
         let addr = dev.random_page_addr();
-        let done = dev.submit(SimTime::ZERO, qp, NvmeCommand::write(CmdId(i), addr, 4096)).unwrap();
+        let done = dev
+            .submit(SimTime::ZERO, qp, NvmeCommand::write(CmdId(i), addr, 4096))
+            .unwrap();
         heap.push(std::cmp::Reverse(done));
     }
     let mut id = 64u64;
@@ -65,7 +76,9 @@ fn sustained_write_throughput_matches_program_bandwidth() {
         }
         completed += 1;
         let addr = dev.random_page_addr();
-        let next = dev.submit(done, qp, NvmeCommand::write(CmdId(id), addr, 4096)).unwrap();
+        let next = dev
+            .submit(done, qp, NvmeCommand::write(CmdId(id), addr, 4096))
+            .unwrap();
         id += 1;
         heap.push(std::cmp::Reverse(next));
     }
@@ -89,7 +102,9 @@ fn worn_device_sustains_less_write_throughput() {
         let mut heap = std::collections::BinaryHeap::new();
         for i in 0..32u64 {
             let addr = dev.random_page_addr();
-            let done = dev.submit(SimTime::ZERO, qp, NvmeCommand::write(CmdId(i), addr, 4096)).unwrap();
+            let done = dev
+                .submit(SimTime::ZERO, qp, NvmeCommand::write(CmdId(i), addr, 4096))
+                .unwrap();
             heap.push(std::cmp::Reverse(done));
         }
         let mut id = 32u64;
@@ -101,7 +116,9 @@ fn worn_device_sustains_less_write_throughput() {
             }
             completed += 1;
             let addr = dev.random_page_addr();
-            let next = dev.submit(done, qp, NvmeCommand::write(CmdId(id), addr, 4096)).unwrap();
+            let next = dev
+                .submit(done, qp, NvmeCommand::write(CmdId(id), addr, 4096))
+                .unwrap();
             id += 1;
             heap.push(std::cmp::Reverse(next));
         }

@@ -28,7 +28,9 @@ pub struct ConnId(pub u64);
 /// Identifier of a receive queue on a machine's NIC. Multi-queue NICs let
 /// each dataplane thread poll its own queue (flow steering / RSS) while all
 /// queues share the NIC's bandwidth. Every machine has queue 0 by default.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct NicQueueId(pub u32);
 
 /// Fabric-wide link parameters.
@@ -53,7 +55,10 @@ impl LinkConfig {
     /// A 40GbE fabric (the paper notes modern datacenters remove the 10GbE
     /// bottleneck; fig4/fig7a discussion).
     pub fn forty_gbe() -> Self {
-        LinkConfig { bandwidth_bps: 40_000_000_000, ..LinkConfig::default() }
+        LinkConfig {
+            bandwidth_bps: 40_000_000_000,
+            ..LinkConfig::default()
+        }
     }
 
     /// Time to serialize `bytes` onto the wire.
@@ -150,7 +155,14 @@ impl<P> Fabric<P> {
     /// derives each attached NIC's jitter stream.
     pub fn new(link: LinkConfig, mut seed_rng: SimRng) -> Self {
         let nic_seed = seed_rng.next_u64();
-        Fabric { link, nic_seed, nics: Vec::new(), rx_queues: Vec::new(), seq: 0, next_conn: 0 }
+        Fabric {
+            link,
+            nic_seed,
+            nics: Vec::new(),
+            rx_queues: Vec::new(),
+            seq: 0,
+            next_conn: 0,
+        }
     }
 
     /// The fabric's link configuration.
@@ -275,7 +287,13 @@ impl<P> Fabric<P> {
         self.rx_queues[to.0 as usize][queue.0 as usize].push(Reverse(RxEntry {
             at: arrived_at,
             seq,
-            delivery: Delivery { from, conn, arrived_at, size, payload },
+            delivery: Delivery {
+                from,
+                conn,
+                arrived_at,
+                size,
+                payload,
+            },
         }));
         arrived_at
     }
@@ -284,13 +302,22 @@ impl<P> Fabric<P> {
     /// machine (connection rebalancing across dataplane threads forwards
     /// in-flight messages instead of dropping them). The message becomes
     /// visible shortly after `now`.
-    pub fn requeue(&mut self, now: SimTime, machine: MachineId, queue: NicQueueId, mut delivery: Delivery<P>) {
+    pub fn requeue(
+        &mut self,
+        now: SimTime,
+        machine: MachineId,
+        queue: NicQueueId,
+        mut delivery: Delivery<P>,
+    ) {
         let at = now + SimDuration::from_nanos(500);
         delivery.arrived_at = at;
         let seq = self.seq;
         self.seq += 1;
-        self.rx_queues[machine.0 as usize][queue.0 as usize]
-            .push(Reverse(RxEntry { at, seq, delivery }));
+        self.rx_queues[machine.0 as usize][queue.0 as usize].push(Reverse(RxEntry {
+            at,
+            seq,
+            delivery,
+        }));
     }
 
     /// Pops up to `max` messages that have arrived at `machine`'s queue 0

@@ -19,4 +19,7 @@ mod wire;
 
 pub use fabric::{ConnId, Delivery, Fabric, LinkConfig, MachineId, NicQueueId};
 pub use stack::{StackProfile, Transport};
-pub use wire::{wire_bytes, wire_bytes_with, Opcode, ReflexHeader, WireError, FRAME_OVERHEAD, HEADER_SIZE, MAGIC, MSS};
+pub use wire::{
+    wire_bytes, wire_bytes_with, Opcode, ReflexHeader, WireError, FRAME_OVERHEAD, HEADER_SIZE,
+    MAGIC, MSS,
+};

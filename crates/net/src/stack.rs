@@ -127,7 +127,11 @@ impl StackProfile {
     /// either way; the per-request protocol saving is charged in
     /// `DataplaneConfig::udp`).
     pub fn dataplane_raw_udp() -> Self {
-        StackProfile { name: "dataplane-raw-udp".to_owned(), transport: Transport::Udp, ..Self::dataplane_raw() }
+        StackProfile {
+            name: "dataplane-raw-udp".to_owned(),
+            transport: Transport::Udp,
+            ..Self::dataplane_raw()
+        }
     }
 
     /// Samples the transmit-side software latency.
@@ -176,7 +180,9 @@ mod tests {
     fn sampling_is_near_median() {
         let mut rng = SimRng::seed(1);
         let p = StackProfile::linux_tcp();
-        let mut xs: Vec<f64> = (0..2_001).map(|_| p.sample_rx(&mut rng).as_micros_f64()).collect();
+        let mut xs: Vec<f64> = (0..2_001)
+            .map(|_| p.sample_rx(&mut rng).as_micros_f64())
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let median = xs[1_000];
         assert!((median - 9.0).abs() < 1.0, "median {median}");

@@ -143,7 +143,13 @@ impl ReflexHeader {
         let cookie = bytes.get_u64();
         let addr = bytes.get_u64();
         let len = bytes.get_u32();
-        Ok(ReflexHeader { opcode, tenant, cookie, addr, len })
+        Ok(ReflexHeader {
+            opcode,
+            tenant,
+            cookie,
+            addr,
+            len,
+        })
     }
 }
 
@@ -173,7 +179,13 @@ mod tests {
             (Opcode::Put, u32::MAX, u64::MAX, u64::MAX, u32::MAX),
             (Opcode::Response, 7, 42, 4096, 32 * 1024),
         ] {
-            let hdr = ReflexHeader { opcode: op, tenant, cookie, addr, len };
+            let hdr = ReflexHeader {
+                opcode: op,
+                tenant,
+                cookie,
+                addr,
+                len,
+            };
             let enc = hdr.encode();
             assert_eq!(enc.len(), HEADER_SIZE);
             assert_eq!(ReflexHeader::decode(&enc).expect("round trip"), hdr);
@@ -185,11 +197,17 @@ mod tests {
         assert_eq!(ReflexHeader::decode(&[0u8; 4]), Err(WireError::Truncated));
         let mut bad_magic = [0u8; HEADER_SIZE];
         bad_magic[0] = 0xAA;
-        assert_eq!(ReflexHeader::decode(&bad_magic), Err(WireError::BadMagic(0xAA)));
+        assert_eq!(
+            ReflexHeader::decode(&bad_magic),
+            Err(WireError::BadMagic(0xAA))
+        );
         let mut bad_op = [0u8; HEADER_SIZE];
         bad_op[0] = MAGIC;
         bad_op[1] = 0x7e;
-        assert_eq!(ReflexHeader::decode(&bad_op), Err(WireError::BadOpcode(0x7e)));
+        assert_eq!(
+            ReflexHeader::decode(&bad_op),
+            Err(WireError::BadOpcode(0x7e))
+        );
     }
 
     #[test]

@@ -70,7 +70,7 @@ proptest! {
         let mut sent = Vec::new();
         let mut now = SimTime::ZERO;
         for (i, (gap_ns, size, which_q)) in msgs.iter().enumerate() {
-            now = now + SimDuration::from_nanos(*gap_ns);
+            now += SimDuration::from_nanos(*gap_ns);
             let q = if *which_q == 0 { NicQueueId(0) } else { q1 };
             let arrival = fabric.send_to_queue(now, c, s, q, conn, *size, i as u64);
             prop_assert!(arrival > now, "arrival {arrival} not after send {now}");

@@ -48,7 +48,11 @@ impl GlobalBucket {
             (1..=64).contains(&num_threads),
             "bucket supports 1..=64 threads, got {num_threads}"
         );
-        let mask = if num_threads == 64 { u64::MAX } else { (1u64 << num_threads) - 1 };
+        let mask = if num_threads == 64 {
+            u64::MAX
+        } else {
+            (1u64 << num_threads) - 1
+        };
         GlobalBucket {
             millitokens: AtomicI64::new(0),
             round_marks: AtomicU64::new(0),
@@ -69,7 +73,11 @@ impl GlobalBucket {
     /// Panics if `count` is zero or exceeds 64.
     pub fn set_active_threads(&self, count: u32) {
         assert!((1..=64).contains(&count), "bucket supports 1..=64 threads");
-        let mask = if count == 64 { u64::MAX } else { (1u64 << count) - 1 };
+        let mask = if count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        };
         self.active_mask.store(mask, Ordering::Release);
         self.round_marks.store(0, Ordering::Release);
     }
@@ -195,7 +203,11 @@ mod tests {
         let b = GlobalBucket::new(2);
         b.give(Tokens::from_tokens(1));
         assert!(!b.mark_round(7));
-        assert_eq!(b.balance(), Tokens::from_tokens(1), "no reset from outsiders");
+        assert_eq!(
+            b.balance(),
+            Tokens::from_tokens(1),
+            "no reset from outsiders"
+        );
     }
 
     #[test]
@@ -233,7 +245,10 @@ mod tests {
                 got
             }));
         }
-        let total: i64 = handles.into_iter().map(|h| h.join().expect("no panic")).sum();
+        let total: i64 = handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .sum();
         assert_eq!(total + b.balance().as_millitokens(), donated);
     }
 
@@ -256,7 +271,10 @@ mod tests {
                 net
             }));
         }
-        let net: i64 = handles.into_iter().map(|h| h.join().expect("no panic")).sum();
+        let net: i64 = handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .sum();
         // given - taken must equal what's left in the bucket.
         assert_eq!(-net, b.balance().as_millitokens());
         assert!(b.balance().as_millitokens() >= 0);

@@ -115,8 +115,7 @@ impl std::error::Error for CalibrationError {}
 /// [`CalibrationError::NotEnoughRatios`] without two mixed ratios;
 /// [`CalibrationError::DegenerateData`] for non-positive capacities.
 pub fn fit_cost_model(observations: &[RatioCapacity]) -> Result<FittedCosts, CalibrationError> {
-    let mixed: Vec<&RatioCapacity> =
-        observations.iter().filter(|o| o.read_pct < 100).collect();
+    let mixed: Vec<&RatioCapacity> = observations.iter().filter(|o| o.read_pct < 100).collect();
     if mixed.len() < 2 {
         return Err(CalibrationError::NotEnoughRatios);
     }
@@ -181,7 +180,12 @@ pub fn fit_cost_model(observations: &[RatioCapacity]) -> Result<FittedCosts, Cal
         .map(|o| (token_rate / o.max_iops).min(1.0))
         .unwrap_or(1.0);
 
-    Ok(FittedCosts { write_cost, token_rate, read_only_cost, rms_rel_error })
+    Ok(FittedCosts {
+        write_cost,
+        token_rate,
+        read_only_cost,
+        rms_rel_error,
+    })
 }
 
 #[cfg(test)]
@@ -191,16 +195,29 @@ mod tests {
     #[test]
     fn fit_recovers_synthetic_model() {
         // Perfect data generated from C_w = 10, T = 650K, RO cost 0.5.
-        let obs: Vec<RatioCapacity> = [(50u8, 5.5f64), (75, 3.25), (90, 1.9), (95, 1.45), (99, 1.09)]
-            .iter()
-            .map(|&(read_pct, cost)| RatioCapacity {
-                read_pct,
-                max_iops: 650_000.0 / cost,
-            })
-            .chain(std::iter::once(RatioCapacity { read_pct: 100, max_iops: 1_300_000.0 }))
-            .collect();
+        let obs: Vec<RatioCapacity> = [
+            (50u8, 5.5f64),
+            (75, 3.25),
+            (90, 1.9),
+            (95, 1.45),
+            (99, 1.09),
+        ]
+        .iter()
+        .map(|&(read_pct, cost)| RatioCapacity {
+            read_pct,
+            max_iops: 650_000.0 / cost,
+        })
+        .chain(std::iter::once(RatioCapacity {
+            read_pct: 100,
+            max_iops: 1_300_000.0,
+        }))
+        .collect();
         let fit = fit_cost_model(&obs).expect("fit succeeds");
-        assert!((fit.write_cost - 10.0).abs() < 0.2, "C_w = {}", fit.write_cost);
+        assert!(
+            (fit.write_cost - 10.0).abs() < 0.2,
+            "C_w = {}",
+            fit.write_cost
+        );
         assert!((fit.token_rate - 650_000.0).abs() / 650_000.0 < 0.02);
         assert!((fit.read_only_cost - 0.5).abs() < 0.02);
         assert!(fit.rms_rel_error < 0.01);
@@ -209,32 +226,66 @@ mod tests {
     #[test]
     fn fit_tolerates_noise() {
         let noisy = [
-            RatioCapacity { read_pct: 50, max_iops: 650_000.0 / 5.5 * 1.06 },
-            RatioCapacity { read_pct: 75, max_iops: 650_000.0 / 3.25 * 0.95 },
-            RatioCapacity { read_pct: 90, max_iops: 650_000.0 / 1.9 * 1.03 },
-            RatioCapacity { read_pct: 99, max_iops: 650_000.0 / 1.09 * 0.97 },
+            RatioCapacity {
+                read_pct: 50,
+                max_iops: 650_000.0 / 5.5 * 1.06,
+            },
+            RatioCapacity {
+                read_pct: 75,
+                max_iops: 650_000.0 / 3.25 * 0.95,
+            },
+            RatioCapacity {
+                read_pct: 90,
+                max_iops: 650_000.0 / 1.9 * 1.03,
+            },
+            RatioCapacity {
+                read_pct: 99,
+                max_iops: 650_000.0 / 1.09 * 0.97,
+            },
         ];
         let fit = fit_cost_model(&noisy).expect("fit succeeds");
-        assert!((7.0..13.0).contains(&fit.write_cost), "C_w = {}", fit.write_cost);
+        assert!(
+            (7.0..13.0).contains(&fit.write_cost),
+            "C_w = {}",
+            fit.write_cost
+        );
         assert!(fit.rms_rel_error < 0.15);
     }
 
     #[test]
     fn fit_requires_two_mixed_ratios() {
-        let one = [RatioCapacity { read_pct: 90, max_iops: 100_000.0 }];
+        let one = [RatioCapacity {
+            read_pct: 90,
+            max_iops: 100_000.0,
+        }];
         assert_eq!(fit_cost_model(&one), Err(CalibrationError::NotEnoughRatios));
         let ro_only = [
-            RatioCapacity { read_pct: 100, max_iops: 1e6 },
-            RatioCapacity { read_pct: 90, max_iops: 3e5 },
+            RatioCapacity {
+                read_pct: 100,
+                max_iops: 1e6,
+            },
+            RatioCapacity {
+                read_pct: 90,
+                max_iops: 3e5,
+            },
         ];
-        assert_eq!(fit_cost_model(&ro_only), Err(CalibrationError::NotEnoughRatios));
+        assert_eq!(
+            fit_cost_model(&ro_only),
+            Err(CalibrationError::NotEnoughRatios)
+        );
     }
 
     #[test]
     fn fit_rejects_degenerate() {
         let bad = [
-            RatioCapacity { read_pct: 50, max_iops: 0.0 },
-            RatioCapacity { read_pct: 90, max_iops: 1e5 },
+            RatioCapacity {
+                read_pct: 50,
+                max_iops: 0.0,
+            },
+            RatioCapacity {
+                read_pct: 90,
+                max_iops: 1e5,
+            },
         ];
         assert_eq!(fit_cost_model(&bad), Err(CalibrationError::DegenerateData));
     }
@@ -242,9 +293,18 @@ mod tests {
     #[test]
     fn interpolated_knee() {
         let sweep = [
-            SweepPoint { iops: 100_000.0, p95_read_us: 200.0 },
-            SweepPoint { iops: 200_000.0, p95_read_us: 400.0 },
-            SweepPoint { iops: 300_000.0, p95_read_us: 1_200.0 },
+            SweepPoint {
+                iops: 100_000.0,
+                p95_read_us: 200.0,
+            },
+            SweepPoint {
+                iops: 200_000.0,
+                p95_read_us: 400.0,
+            },
+            SweepPoint {
+                iops: 300_000.0,
+                p95_read_us: 1_200.0,
+            },
         ];
         let knee = max_iops_at_latency(&sweep, 500.0).expect("crosses 500us");
         assert!((knee - 212_500.0).abs() < 1.0, "knee {knee}");

@@ -66,7 +66,12 @@ impl CostModel {
             read_mixed.is_positive() && read_only.is_positive() && write.is_positive(),
             "costs must be positive"
         );
-        CostModel { page_size, read_mixed, read_only, write }
+        CostModel {
+            page_size,
+            read_mixed,
+            read_only,
+            write,
+        }
     }
 
     /// The paper's device A model: `C(write) = 10`, `C(read, 100%) = ½`.
@@ -205,8 +210,11 @@ mod tests {
 
     #[test]
     fn read_only_reads_are_cheaper() {
-        for m in [CostModel::for_device_a(), CostModel::for_device_b(), CostModel::for_device_c()]
-        {
+        for m in [
+            CostModel::for_device_a(),
+            CostModel::for_device_b(),
+            CostModel::for_device_c(),
+        ] {
             assert!(m.read_cost(LoadMix::ReadOnly) < m.read_cost(LoadMix::Mixed));
             assert!(m.write_cost() > m.read_cost(LoadMix::Mixed));
         }
@@ -214,9 +222,18 @@ mod tests {
 
     #[test]
     fn device_write_costs_match_paper() {
-        assert_eq!(CostModel::for_device_a().write_cost(), Tokens::from_tokens(10));
-        assert_eq!(CostModel::for_device_b().write_cost(), Tokens::from_tokens(20));
-        assert_eq!(CostModel::for_device_c().write_cost(), Tokens::from_tokens(16));
+        assert_eq!(
+            CostModel::for_device_a().write_cost(),
+            Tokens::from_tokens(10)
+        );
+        assert_eq!(
+            CostModel::for_device_b().write_cost(),
+            Tokens::from_tokens(20)
+        );
+        assert_eq!(
+            CostModel::for_device_c().write_cost(),
+            Tokens::from_tokens(16)
+        );
     }
 
     #[test]

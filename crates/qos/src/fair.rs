@@ -70,7 +70,13 @@ impl<R> FairScheduler<R> {
         if self.tenants.contains_key(&id) {
             return Err(QosError::DuplicateTenant(id));
         }
-        self.tenants.insert(id, FairTenant { deficit: 0, queue: VecDeque::new() });
+        self.tenants.insert(
+            id,
+            FairTenant {
+                deficit: 0,
+                queue: VecDeque::new(),
+            },
+        );
         self.order.push(id);
         Ok(())
     }
@@ -145,17 +151,24 @@ mod tests {
     use reflex_sim::{SimDuration, SimRng};
 
     fn read_req(i: u64) -> CostedRequest<u64> {
-        CostedRequest { op: IoType::Read, len: 4096, payload: i }
+        CostedRequest {
+            op: IoType::Read,
+            len: 4096,
+            payload: i,
+        }
     }
 
     fn write_req(i: u64) -> CostedRequest<u64> {
-        CostedRequest { op: IoType::Write, len: 4096, payload: i }
+        CostedRequest {
+            op: IoType::Write,
+            len: 4096,
+            payload: i,
+        }
     }
 
     #[test]
     fn drr_is_fair_in_requests() {
-        let mut s: FairScheduler<u64> =
-            FairScheduler::new(FOUR_KB_QUANTUM, 400e6, SimTime::ZERO);
+        let mut s: FairScheduler<u64> = FairScheduler::new(FOUR_KB_QUANTUM, 400e6, SimTime::ZERO);
         let a = TenantId(1);
         let b = TenantId(2);
         s.register(a).unwrap();
@@ -165,7 +178,7 @@ mod tests {
         for i in 0..500 {
             s.enqueue(a, read_req(i)).unwrap();
             s.enqueue(b, write_req(i)).unwrap();
-            now = now + SimDuration::from_micros(50);
+            now += SimDuration::from_micros(50);
             for (id, _) in s.schedule(now) {
                 if id == a {
                     counts.0 += 1;
@@ -202,7 +215,7 @@ mod tests {
         let mut dispatched = 0usize;
         let mut now = SimTime::ZERO;
         for _ in 0..1_000 {
-            now = now + SimDuration::from_micros(100);
+            now += SimDuration::from_micros(100);
             dispatched += s.schedule(now).len();
         }
         assert!(
@@ -265,7 +278,7 @@ mod tests {
             let mut seq = 0u64;
             let mut next_read = SimTime::ZERO;
             while now < end {
-                now = now + SimDuration::from_micros(10);
+                now += SimDuration::from_micros(10);
                 while next_read <= now {
                     let i = seq;
                     seq += 1;
@@ -275,7 +288,7 @@ mod tests {
                         fair.enqueue(reader, read_req(i)).unwrap();
                     }
                     submit_times.insert(i, next_read);
-                    next_read = next_read + SimDuration::from_micros(10);
+                    next_read += SimDuration::from_micros(10);
                 }
                 // Keep the writer's queue deep.
                 for _ in 0..4 {

@@ -226,7 +226,12 @@ impl<R> QosScheduler<R> {
     /// # Errors
     ///
     /// [`QosError::DuplicateTenant`] if the id is already registered.
-    pub fn register_lc(&mut self, id: TenantId, slo: SloSpec, io_size: u32) -> Result<(), QosError> {
+    pub fn register_lc(
+        &mut self,
+        id: TenantId,
+        slo: SloSpec,
+        io_size: u32,
+    ) -> Result<(), QosError> {
         if self.lc.contains_key(&id) || self.be.contains_key(&id) {
             return Err(QosError::DuplicateTenant(id));
         }
@@ -329,7 +334,11 @@ impl<R> QosScheduler<R> {
 
     /// Sum of LC reservations on this thread.
     pub fn lc_reserved_rate(&self) -> TokenRate {
-        let mt = self.lc.values().map(|s| s.rate.as_millitokens_per_sec()).sum();
+        let mt = self
+            .lc
+            .values()
+            .map(|s| s.rate.as_millitokens_per_sec())
+            .sum();
         TokenRate::millitokens_per_sec(mt)
     }
 
@@ -503,11 +512,19 @@ mod tests {
     }
 
     fn read_req(payload: u32) -> CostedRequest<u32> {
-        CostedRequest { op: IoType::Read, len: 4096, payload }
+        CostedRequest {
+            op: IoType::Read,
+            len: 4096,
+            payload,
+        }
     }
 
     fn write_req(payload: u32) -> CostedRequest<u32> {
-        CostedRequest { op: IoType::Write, len: 4096, payload }
+        CostedRequest {
+            op: IoType::Write,
+            len: 4096,
+            payload,
+        }
     }
 
     #[test]
@@ -515,13 +532,17 @@ mod tests {
         let (mut s, _b) = sched(1);
         let id = TenantId(1);
         // 100K IOPS, 100% read -> 100K tokens/s = 1 token / 10us.
-        s.register_lc(id, SloSpec::new(100_000, 100, SimDuration::from_micros(500)), 4096)
-            .unwrap();
+        s.register_lc(
+            id,
+            SloSpec::new(100_000, 100, SimDuration::from_micros(500)),
+            4096,
+        )
+        .unwrap();
         let mut submitted = 0;
         let mut t = SimTime::ZERO;
         for i in 0..1_000 {
             s.enqueue(id, read_req(i)).unwrap();
-            t = t + SimDuration::from_micros(10);
+            t += SimDuration::from_micros(10);
             submitted += s.schedule(t, LoadMix::Mixed).submitted.len();
         }
         // 10ms at 100K IOPS = 1000 requests; all should be admitted.
@@ -533,8 +554,12 @@ mod tests {
         let (mut s, _b) = sched(1);
         let id = TenantId(1);
         // Tiny reservation: 1K IOPS at 100% read = 1 token/ms.
-        s.register_lc(id, SloSpec::new(1_000, 100, SimDuration::from_millis(2)), 4096)
-            .unwrap();
+        s.register_lc(
+            id,
+            SloSpec::new(1_000, 100, SimDuration::from_millis(2)),
+            4096,
+        )
+        .unwrap();
         // Enqueue a huge burst; with ~0 tokens, the tenant may run to a
         // deficit of 50 tokens but no further.
         for i in 0..500 {
@@ -557,15 +582,25 @@ mod tests {
         let (mut s, _b) = sched(1);
         let id = TenantId(1);
         // 100K tokens/s => recovers 50 tokens in 0.5ms.
-        s.register_lc(id, SloSpec::new(100_000, 100, SimDuration::from_micros(500)), 4096)
-            .unwrap();
+        s.register_lc(
+            id,
+            SloSpec::new(100_000, 100, SimDuration::from_micros(500)),
+            4096,
+        )
+        .unwrap();
         for i in 0..200 {
             s.enqueue(id, read_req(i)).unwrap();
         }
-        let first = s.schedule(SimTime::from_nanos(1), LoadMix::Mixed).submitted.len();
+        let first = s
+            .schedule(SimTime::from_nanos(1), LoadMix::Mixed)
+            .submitted
+            .len();
         assert!(first < 60);
         // After 1ms the tenant earned 100 more tokens.
-        let second = s.schedule(SimTime::from_millis(1), LoadMix::Mixed).submitted.len();
+        let second = s
+            .schedule(SimTime::from_millis(1), LoadMix::Mixed)
+            .submitted
+            .len();
         assert!((95..=105).contains(&second), "recovered {second}");
     }
 
@@ -574,12 +609,13 @@ mod tests {
         let (mut s, _b) = sched(1);
         let id = TenantId(1);
         // 80% read SLO at 10K IOPS -> 0.8*10K*1 + 0.2*10K*10 = 28K tokens/s.
-        s.register_lc(id, SloSpec::new(10_000, 80, SimDuration::from_millis(1)), 4096)
-            .unwrap();
-        assert_eq!(
-            s.lc_rate(id).unwrap().as_millitokens_per_sec(),
-            28_000_000
-        );
+        s.register_lc(
+            id,
+            SloSpec::new(10_000, 80, SimDuration::from_millis(1)),
+            4096,
+        )
+        .unwrap();
+        assert_eq!(s.lc_rate(id).unwrap().as_millitokens_per_sec(), 28_000_000);
         // In 1ms the tenant earns 28 tokens: 2 writes (20) + 8 reads fit
         // exactly; the burst allowance (NEG_LIMIT) admits ~50 more tokens.
         for i in 0..2 {
@@ -598,8 +634,12 @@ mod tests {
     fn lc_surplus_donated_to_bucket() {
         let (mut s, b) = sched(1);
         let id = TenantId(1);
-        s.register_lc(id, SloSpec::new(100_000, 100, SimDuration::from_micros(500)), 4096)
-            .unwrap();
+        s.register_lc(
+            id,
+            SloSpec::new(100_000, 100, SimDuration::from_micros(500)),
+            4096,
+        )
+        .unwrap();
         // Idle tenant earns 100 tokens over 1ms in one round; POS_LIMIT is
         // the last 3 rounds' generation (= 100 here), so nothing donated yet.
         s.schedule(SimTime::from_millis(1), LoadMix::Mixed);
@@ -609,7 +649,7 @@ mod tests {
         let peak = s.tokens_of(id).unwrap();
         let mut t = SimTime::from_millis(1);
         for _ in 0..5 {
-            t = t + SimDuration::from_micros(30);
+            t += SimDuration::from_micros(30);
             s.schedule(t, LoadMix::Mixed);
         }
         let after = s.tokens_of(id).unwrap();
@@ -650,7 +690,7 @@ mod tests {
         // bucket resets periodically (its normal operating mode).
         let mut t = SimTime::ZERO;
         for _ in 0..10 {
-            t = t + SimDuration::from_millis(1);
+            t += SimDuration::from_millis(1);
             s.schedule(t, LoadMix::Mixed);
             _b.mark_round(1);
         }
@@ -659,7 +699,7 @@ mod tests {
         for i in 0..1_000 {
             s.enqueue(id, read_req(i)).unwrap();
         }
-        t = t + SimDuration::from_millis(1);
+        t += SimDuration::from_millis(1);
         let out = s.schedule(t, LoadMix::Mixed);
         assert!(
             out.submitted.len() <= 110,
@@ -676,7 +716,10 @@ mod tests {
         s.set_be_rate(TokenRate::per_sec(5_000)); // 5 tokens/ms
         s.enqueue(id, write_req(0)).unwrap(); // costs 10
         let out = s.schedule(SimTime::from_millis(1), LoadMix::Mixed);
-        assert!(out.submitted.is_empty(), "5 tokens cannot pay a 10-token write");
+        assert!(
+            out.submitted.is_empty(),
+            "5 tokens cannot pay a 10-token write"
+        );
         // Tokens were retained (demand exists), so next ms it can afford it.
         let out = s.schedule(SimTime::from_millis(2), LoadMix::Mixed);
         assert_eq!(out.submitted.len(), 1);
@@ -698,7 +741,7 @@ mod tests {
                 s.enqueue(c, read_req(100 + round * 10 + i)).unwrap();
             }
             b.give(Tokens::from_tokens(1)); // only one request affordable
-            t = t + SimDuration::from_micros(10);
+            t += SimDuration::from_micros(10);
             let out = s.schedule(t, LoadMix::Mixed);
             assert_eq!(out.submitted.len(), 1);
             first_of_round.push(out.submitted[0].0);
@@ -715,14 +758,21 @@ mod tests {
         let (mut s, _b) = sched(1);
         let id = TenantId(1);
         // 10K IOPS 100% read = 10 tokens/ms.
-        s.register_lc(id, SloSpec::new(10_000, 100, SimDuration::from_millis(1)), 4096)
-            .unwrap();
+        s.register_lc(
+            id,
+            SloSpec::new(10_000, 100, SimDuration::from_millis(1)),
+            4096,
+        )
+        .unwrap();
         // Drain the initial burst allowance so counting is exact: consume
         // the NEG_LIMIT credit with a first big round.
         for i in 0..200 {
             s.enqueue(id, read_req(i)).unwrap();
         }
-        let first = s.schedule(SimTime::from_millis(1), LoadMix::ReadOnly).submitted.len();
+        let first = s
+            .schedule(SimTime::from_millis(1), LoadMix::ReadOnly)
+            .submitted
+            .len();
         // 10 tokens at 0.5/read = 20 reads, plus the 50-token deficit
         // allowance at 0.5/read = 100 more.
         assert!((118..=122).contains(&first), "got {first}");
@@ -733,10 +783,7 @@ mod tests {
         let (mut s, _b) = sched(1);
         let id = TenantId(1);
         s.register_be(id).unwrap();
-        assert_eq!(
-            s.register_be(id),
-            Err(QosError::DuplicateTenant(id))
-        );
+        assert_eq!(s.register_be(id), Err(QosError::DuplicateTenant(id)));
         assert_eq!(
             s.register_lc(id, SloSpec::new(1, 100, SimDuration::ZERO), 4096),
             Err(QosError::DuplicateTenant(id))
@@ -765,8 +812,12 @@ mod tests {
     fn stats_track_submissions_and_spend() {
         let (mut s, _b) = sched(1);
         let id = TenantId(1);
-        s.register_lc(id, SloSpec::new(100_000, 100, SimDuration::from_micros(500)), 4096)
-            .unwrap();
+        s.register_lc(
+            id,
+            SloSpec::new(100_000, 100, SimDuration::from_micros(500)),
+            4096,
+        )
+        .unwrap();
         s.enqueue(id, read_req(0)).unwrap();
         s.enqueue(id, write_req(1)).unwrap();
         s.schedule(SimTime::from_millis(1), LoadMix::Mixed);
@@ -783,20 +834,28 @@ mod tests {
         let (mut s, _b) = sched(2);
         let lc = TenantId(1);
         let be = TenantId(2);
-        s.register_lc(lc, SloSpec::new(50_000, 80, SimDuration::from_micros(500)), 4096)
-            .unwrap();
+        s.register_lc(
+            lc,
+            SloSpec::new(50_000, 80, SimDuration::from_micros(500)),
+            4096,
+        )
+        .unwrap();
         s.register_be(be).unwrap();
         s.set_be_rate(TokenRate::per_sec(20_000));
         let mut t = SimTime::ZERO;
         let mut rng = 1u64;
         for i in 0..2_000u32 {
             rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
-            t = t + SimDuration::from_micros(20);
-            if rng % 3 != 0 {
-                let req = if rng % 10 < 8 { read_req(i) } else { write_req(i) };
+            t += SimDuration::from_micros(20);
+            if !rng.is_multiple_of(3) {
+                let req = if rng % 10 < 8 {
+                    read_req(i)
+                } else {
+                    write_req(i)
+                };
                 s.enqueue(lc, req).unwrap();
             }
-            if rng % 2 == 0 {
+            if rng.is_multiple_of(2) {
                 s.enqueue(be, read_req(i)).unwrap();
             }
             s.schedule(t, LoadMix::Mixed);

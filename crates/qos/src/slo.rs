@@ -12,9 +12,7 @@ use crate::tokens::TokenRate;
 ///
 /// A tenant is the paper's accounting/enforcement abstraction: one tenant
 /// may be shared by thousands of connections from many client machines.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TenantId(pub u32);
 
 impl fmt::Display for TenantId {
@@ -57,15 +55,21 @@ impl SloSpec {
     pub fn new(iops: u64, read_pct: u8, p95_read_latency: SimDuration) -> Self {
         assert!(read_pct <= 100, "read_pct is a percentage");
         assert!(iops > 0, "an SLO must reserve some throughput");
-        SloSpec { iops, read_pct, p95_read_latency }
+        SloSpec {
+            iops,
+            read_pct,
+            p95_read_latency,
+        }
     }
 
     /// The token rate this SLO reserves under `model` for requests of
     /// `io_size` bytes (paper §3.2.2 reservation formula).
     pub fn token_rate(&self, model: &CostModel, io_size: u32) -> TokenRate {
-        TokenRate::millitokens_per_sec(
-            model.reservation_tokens_per_sec(self.iops, self.read_pct, io_size),
-        )
+        TokenRate::millitokens_per_sec(model.reservation_tokens_per_sec(
+            self.iops,
+            self.read_pct,
+            io_size,
+        ))
     }
 }
 

@@ -201,8 +201,8 @@ impl TokenGen {
     /// remainder into the next call. Over any sequence of calls the total
     /// generated equals `rate × total_elapsed` exactly (within 1 mt).
     pub fn generate(&mut self, rate: TokenRate, elapsed: SimDuration) -> Tokens {
-        let numer = rate.as_millitokens_per_sec() as u128 * elapsed.as_nanos() as u128
-            + self.carry as u128;
+        let numer =
+            rate.as_millitokens_per_sec() as u128 * elapsed.as_nanos() as u128 + self.carry as u128;
         let mt = (numer / 1_000_000_000) as i64;
         self.carry = (numer % 1_000_000_000) as u64;
         Tokens::from_millitokens(mt)
@@ -243,10 +243,7 @@ mod tests {
         let lc = TokenRate::per_sec(316_000);
         assert_eq!(r.saturating_sub(lc), TokenRate::per_sec(104_000));
         assert_eq!(lc.saturating_sub(r), TokenRate::ZERO);
-        assert_eq!(
-            r.checked_add(lc),
-            Some(TokenRate::per_sec(736_000))
-        );
+        assert_eq!(r.checked_add(lc), Some(TokenRate::per_sec(736_000)));
     }
 
     #[test]

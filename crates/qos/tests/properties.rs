@@ -87,13 +87,13 @@ proptest! {
         let mut seq = 0u64;
         for (kind, gap_us) in ops {
             if kind == 0 {
-                let op = if seq % 5 == 0 { IoType::Write } else { IoType::Read };
+                let op = if seq.is_multiple_of(5) { IoType::Write } else { IoType::Read };
                 sched
                     .enqueue(id, CostedRequest { op, len: 4096, payload: seq })
                     .expect("registered");
                 seq += 1;
             } else {
-                now = now + SimDuration::from_micros(gap_us);
+                now += SimDuration::from_micros(gap_us);
                 let _ = sched.schedule(now, LoadMix::Mixed);
             }
         }
@@ -153,7 +153,7 @@ proptest! {
                 sched.enqueue(a, CostedRequest { op: IoType::Read, len: 4096, payload }).unwrap();
                 sched.enqueue(b, CostedRequest { op: IoType::Read, len: 4096, payload }).unwrap();
             }
-            now = now + SimDuration::from_micros(100);
+            now += SimDuration::from_micros(100);
             let _ = sched.schedule(now, LoadMix::Mixed);
         }
         let sa = sched.stats_for(a).expect("registered").submitted as i64;

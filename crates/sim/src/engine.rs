@@ -6,6 +6,25 @@
 //! scheduling follow-up events. Events at the same instant run in FIFO
 //! scheduling order, which makes runs fully deterministic.
 //!
+//! # Queue internals
+//!
+//! The queue is a two-level hierarchical timer wheel rather than a binary
+//! heap. Events land in one of three places based on how far ahead of the
+//! wheel cursor they are:
+//!
+//! * a **current** min-heap for events inside the cursor's ~1&micro;s tick
+//!   (this is where same-instant FIFO ordering is resolved),
+//! * a **near wheel** of [`WHEEL_SLOTS`] buckets, one per tick, covering the
+//!   next ~4ms — insert and cancel are O(1) here, and advancing the cursor
+//!   is a bitmap scan,
+//! * a **far** min-heap for everything beyond the wheel horizon, re-homed
+//!   into the wheel in batches as the cursor advances.
+//!
+//! Event closures live in a slab with an intrusive free list, so steady-state
+//! scheduling reuses nodes and bucket capacity instead of allocating.
+//! [`EventHandle`]s are generation-checked indexes into that slab, which
+//! makes cancellation O(1) and ABA-safe.
+//!
 //! # Examples
 //!
 //! ```
@@ -23,62 +42,382 @@
 //! assert_eq!(engine.now(), SimTime::from_micros(100));
 //! ```
 
-use std::cmp::Ordering;
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
 
 /// A one-shot event handler over world `W`.
-pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Ctx<W>)>;
+pub type EventFn<W> = Box<dyn for<'e> FnOnce(&mut W, &mut Ctx<'e, W>)>;
 
-struct Scheduled<W> {
+/// Nanoseconds per wheel tick, as a shift: 1024ns, or roughly 1us.
+const TICK_SHIFT: u32 = 10;
+/// Number of near-wheel buckets; the wheel spans `WHEEL_SLOTS << TICK_SHIFT`
+/// nanoseconds (~4.2ms) ahead of the cursor.
+const WHEEL_SLOTS: usize = 4096;
+const WHEEL_WORDS: usize = WHEEL_SLOTS / 64;
+/// Sentinel for "no node" in the slab free list.
+const NIL: u32 = u32::MAX;
+
+#[inline]
+fn tick_of(at: SimTime) -> u64 {
+    at.as_nanos() >> TICK_SHIFT
+}
+
+/// A cancellable reference to a scheduled event.
+///
+/// Returned by the `*_handle` scheduling methods. Handles are
+/// generation-checked: once the event has run or been cancelled, the handle
+/// goes stale and further [`Engine::cancel`]/[`Ctx::cancel`] calls return
+/// `false`, even if the underlying slab slot has been reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventHandle {
+    index: u32,
+    gen: u32,
+}
+
+/// Where a live node's (time, seq, index) entry currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// In the `current` heap; cancellation is lazy (skipped on pop).
+    Current,
+    /// In a near-wheel bucket; cancellation eagerly removes the entry.
+    Wheel,
+    /// In the `far` heap; cancellation is lazy (skipped on pop/re-home).
+    Far,
+}
+
+/// Slab node holding one scheduled event.
+struct Node<W> {
     at: SimTime,
     seq: u64,
-    action: EventFn<W>,
+    /// Bumped every time the node is freed; stale handles mismatch.
+    gen: u32,
+    loc: Loc,
+    /// `None` once dispatched or cancelled.
+    action: Option<EventFn<W>>,
+    /// Free-list link, `NIL` while the node is live.
+    next_free: u32,
 }
 
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+/// The two-level timer-wheel event queue.
+///
+/// Ordering invariants:
+/// * every event in `current` is earlier than every event in a wheel bucket
+///   (current holds ticks `<= base_tick`, the wheel holds ticks
+///   `(base_tick, base_tick + WHEEL_SLOTS)`),
+/// * every event in the wheel is earlier than every event in `far`
+///   (`far` only holds ticks `>= base_tick + WHEEL_SLOTS`; `advance_to`
+///   re-homes far events whenever `base_tick` moves forward).
+struct EventQueue<W> {
+    nodes: Vec<Node<W>>,
+    free_head: u32,
+    /// Per-slot buckets of slab indexes; capacity is retained across drains.
+    wheel: Vec<Vec<u32>>,
+    /// One bit per slot: does the bucket contain any entry?
+    occupancy: [u64; WHEEL_WORDS],
+    /// Live entries currently stored in wheel buckets.
+    wheel_count: usize,
+    /// Tick the wheel cursor is parked on.
+    base_tick: u64,
+    /// Events at or before the cursor tick, ordered by (time, seq).
+    current: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// Events beyond the wheel horizon, ordered by (time, seq).
+    far: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// Live (scheduled, not yet dispatched or cancelled) events.
+    len: usize,
+    /// Monotonic tie-break so same-instant events run in schedule order.
+    seq: u64,
+}
+
+/// Outcome of asking the queue for its next event.
+enum Pop<W> {
+    /// The earliest live event, removed from the queue.
+    Event { at: SimTime, action: EventFn<W> },
+    /// The earliest live event is after the deadline; nothing was removed.
+    Deadline,
+    /// No live events at all.
+    Empty,
+}
+
+impl<W> EventQueue<W> {
+    fn new() -> Self {
+        EventQueue {
+            nodes: Vec::new(),
+            free_head: NIL,
+            wheel: vec![Vec::new(); WHEEL_SLOTS],
+            occupancy: [0; WHEEL_WORDS],
+            wheel_count: 0,
+            base_tick: 0,
+            current: BinaryHeap::new(),
+            far: BinaryHeap::new(),
+            len: 0,
+            seq: 0,
+        }
     }
-}
-impl<W> Eq for Scheduled<W> {}
 
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+    fn alloc(&mut self, at: SimTime, seq: u64, action: EventFn<W>) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let node = &mut self.nodes[idx as usize];
+            self.free_head = node.next_free;
+            node.at = at;
+            node.seq = seq;
+            node.action = Some(action);
+            node.next_free = NIL;
+            idx
+        } else {
+            let idx = u32::try_from(self.nodes.len()).expect("event slab exceeds u32 indexes");
+            self.nodes.push(Node {
+                at,
+                seq,
+                gen: 0,
+                loc: Loc::Current,
+                action: Some(action),
+                next_free: NIL,
+            });
+            idx
+        }
     }
-}
 
-impl<W> Ord for Scheduled<W> {
-    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+    fn free(&mut self, idx: u32) {
+        let node = &mut self.nodes[idx as usize];
+        node.gen = node.gen.wrapping_add(1);
+        node.action = None;
+        node.next_free = self.free_head;
+        self.free_head = idx;
+    }
+
+    /// Files a live node into current/wheel/far based on its tick.
+    fn place(&mut self, idx: u32) {
+        let (at, seq) = {
+            let node = &self.nodes[idx as usize];
+            (node.at, node.seq)
+        };
+        let tick = tick_of(at);
+        if tick <= self.base_tick {
+            self.nodes[idx as usize].loc = Loc::Current;
+            self.current.push(Reverse((at, seq, idx)));
+        } else if tick - self.base_tick < WHEEL_SLOTS as u64 {
+            let slot = (tick as usize) & (WHEEL_SLOTS - 1);
+            self.nodes[idx as usize].loc = Loc::Wheel;
+            self.wheel[slot].push(idx);
+            self.occupancy[slot >> 6] |= 1 << (slot & 63);
+            self.wheel_count += 1;
+        } else {
+            self.nodes[idx as usize].loc = Loc::Far;
+            self.far.push(Reverse((at, seq, idx)));
+        }
+    }
+
+    fn insert(&mut self, at: SimTime, action: EventFn<W>) -> EventHandle {
+        let seq = self.seq;
+        self.seq += 1;
+        let idx = self.alloc(at, seq, action);
+        self.place(idx);
+        self.len += 1;
+        EventHandle {
+            index: idx,
+            gen: self.nodes[idx as usize].gen,
+        }
+    }
+
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        let Some(node) = self.nodes.get_mut(handle.index as usize) else {
+            return false;
+        };
+        if node.gen != handle.gen || node.action.is_none() {
+            return false;
+        }
+        node.action = None;
+        self.len -= 1;
+        if node.loc == Loc::Wheel {
+            // Wheel entries are removed eagerly so wheel_count and the
+            // occupancy bitmap stay exact; heap entries are skipped lazily.
+            let slot = (tick_of(node.at) as usize) & (WHEEL_SLOTS - 1);
+            let bucket = &mut self.wheel[slot];
+            let pos = bucket
+                .iter()
+                .position(|&i| i == handle.index)
+                .expect("wheel node missing from its bucket");
+            bucket.swap_remove(pos);
+            if bucket.is_empty() {
+                self.occupancy[slot >> 6] &= !(1 << (slot & 63));
+            }
+            self.wheel_count -= 1;
+            self.free(handle.index);
+        }
+        true
+    }
+
+    /// First occupied wheel slot at or after the cursor, with its tick.
+    ///
+    /// Caller must ensure `wheel_count > 0`.
+    fn next_occupied_slot(&self) -> (usize, u64) {
+        let start = (self.base_tick as usize) & (WHEEL_SLOTS - 1);
+        let start_word = start >> 6;
+        let start_bit = start & 63;
+        for step in 0..=WHEEL_WORDS {
+            let word_idx = (start_word + step) % WHEEL_WORDS;
+            let mut word = self.occupancy[word_idx];
+            if step == 0 {
+                word &= !0u64 << start_bit;
+            } else if step == WHEEL_WORDS {
+                word &= !(!0u64 << start_bit);
+            }
+            if word != 0 {
+                let slot = (word_idx << 6) + word.trailing_zeros() as usize;
+                let dist = (slot + WHEEL_SLOTS - start) & (WHEEL_SLOTS - 1);
+                return (slot, self.base_tick + dist as u64);
+            }
+        }
+        unreachable!("next_occupied_slot called on an empty wheel");
+    }
+
+    /// Moves the cursor to `tick`, draining that tick's bucket into
+    /// `current` and re-homing far events that now fall inside the horizon.
+    fn advance_to(&mut self, tick: u64, slot: usize) {
+        self.base_tick = tick;
+        let mut bucket = std::mem::take(&mut self.wheel[slot]);
+        self.occupancy[slot >> 6] &= !(1 << (slot & 63));
+        self.wheel_count -= bucket.len();
+        for idx in bucket.drain(..) {
+            let node = &mut self.nodes[idx as usize];
+            node.loc = Loc::Current;
+            self.current.push(Reverse((node.at, node.seq, idx)));
+        }
+        // Hand the (empty, but with retained capacity) Vec back to the slot.
+        self.wheel[slot] = bucket;
+        self.rehome_far();
+    }
+
+    /// Pulls far events whose tick is now inside the wheel horizon.
+    ///
+    /// Maintains the invariant that `far` only holds ticks
+    /// `>= base_tick + WHEEL_SLOTS`, so the wheel's next occupied slot is
+    /// always earlier than everything in `far`.
+    fn rehome_far(&mut self) {
+        let horizon = self.base_tick + WHEEL_SLOTS as u64;
+        while let Some(&Reverse((at, _, idx))) = self.far.peek() {
+            if tick_of(at) >= horizon {
+                break;
+            }
+            self.far.pop();
+            if self.nodes[idx as usize].action.is_none() {
+                self.free(idx);
+            } else {
+                self.place(idx);
+            }
+        }
+    }
+
+    /// Removes and returns the earliest live event at or before `deadline`.
+    fn pop_next(&mut self, deadline: SimTime) -> Pop<W> {
+        loop {
+            // 1. Drain the current-tick heap first: everything in it is
+            //    earlier than anything in the wheel or far heap.
+            if let Some(&Reverse((at, _, idx))) = self.current.peek() {
+                if self.nodes[idx as usize].action.is_none() {
+                    self.current.pop();
+                    self.free(idx);
+                    continue;
+                }
+                if at > deadline {
+                    return Pop::Deadline;
+                }
+                self.current.pop();
+                let action = self.nodes[idx as usize]
+                    .action
+                    .take()
+                    .expect("live node lost its action");
+                self.len -= 1;
+                self.free(idx);
+                return Pop::Event { at, action };
+            }
+            // 2. Advance the cursor to the next occupied wheel slot and spill
+            //    that bucket into `current`.
+            if self.wheel_count > 0 {
+                let (slot, tick) = self.next_occupied_slot();
+                if SimTime::from_nanos(tick << TICK_SHIFT) > deadline {
+                    return Pop::Deadline;
+                }
+                self.advance_to(tick, slot);
+                continue;
+            }
+            // 3. Wheel empty: jump the cursor to the far heap's earliest tick.
+            while let Some(&Reverse((at, _, idx))) = self.far.peek() {
+                if self.nodes[idx as usize].action.is_none() {
+                    self.far.pop();
+                    self.free(idx);
+                    continue;
+                }
+                if at > deadline {
+                    return Pop::Deadline;
+                }
+                self.base_tick = tick_of(at);
+                self.rehome_far();
+                break;
+            }
+            if self.current.is_empty() && self.wheel_count == 0 && self.far.is_empty() {
+                return Pop::Empty;
+            }
+        }
+    }
+
+    /// Instant of the earliest live event, if any.
+    fn peek_time(&self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        let mut consider = |at: SimTime| {
+            best = Some(match best {
+                Some(b) => b.min(at),
+                None => at,
+            });
+        };
+        for &Reverse((at, _, idx)) in self.current.iter() {
+            if self.nodes[idx as usize].action.is_some() {
+                consider(at);
+            }
+        }
+        if self.wheel_count > 0 {
+            // The first occupied slot holds the wheel's earliest events, and
+            // all wheel entries are live (cancellation is eager there).
+            let (slot, _) = self.next_occupied_slot();
+            for &idx in &self.wheel[slot] {
+                consider(self.nodes[idx as usize].at);
+            }
+        }
+        for &Reverse((at, _, idx)) in self.far.iter() {
+            if self.nodes[idx as usize].action.is_some() {
+                consider(at);
+            }
+        }
+        best
     }
 }
 
 /// Scheduling context passed to every event handler.
 ///
-/// Events scheduled through the context are merged into the engine's queue
-/// when the handler returns; they may be at the current instant (they will
+/// The context borrows the engine's event queue directly, so events
+/// scheduled through it go straight into the timer wheel with no
+/// intermediate buffering; they may be at the current instant (they will
 /// run after all previously-queued events for that instant) or in the future.
-pub struct Ctx<W> {
+pub struct Ctx<'e, W> {
     now: SimTime,
     stop: bool,
-    pending: Vec<(SimTime, EventFn<W>)>,
+    queue: &'e mut EventQueue<W>,
 }
 
-impl<W> std::fmt::Debug for Ctx<W> {
+impl<W> std::fmt::Debug for Ctx<'_, W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Ctx")
             .field("now", &self.now)
             .field("stop", &self.stop)
-            .field("pending", &self.pending.len())
+            .field("queued", &self.queue.len)
             .finish()
     }
 }
 
-impl<W> Ctx<W> {
+impl<W> Ctx<'_, W> {
     /// The current simulation instant.
     pub fn now(&self) -> SimTime {
         self.now
@@ -91,19 +430,54 @@ impl<W> Ctx<W> {
     /// Panics if `at` is before the current instant.
     pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
     where
-        F: FnOnce(&mut W, &mut Ctx<W>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
     {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
-        self.pending.push((at, Box::new(action)));
+        self.schedule_at_handle(at, action);
     }
 
     /// Schedules `action` to run `delay` after the current instant.
     pub fn schedule_after<F>(&mut self, delay: SimDuration, action: F)
     where
-        F: FnOnce(&mut W, &mut Ctx<W>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
+    {
+        self.schedule_after_handle(delay, action);
+    }
+
+    /// Schedules `action` at absolute instant `at`, returning a cancellable
+    /// handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current instant.
+    pub fn schedule_at_handle<F>(&mut self, at: SimTime, action: F) -> EventHandle
+    where
+        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        self.queue.insert(at, Box::new(action))
+    }
+
+    /// Schedules `action` to run `delay` after the current instant,
+    /// returning a cancellable handle.
+    pub fn schedule_after_handle<F>(&mut self, delay: SimDuration, action: F) -> EventHandle
+    where
+        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
     {
         let at = self.now + delay;
-        self.pending.push((at, Box::new(action)));
+        self.queue.insert(at, Box::new(action))
+    }
+
+    /// Cancels a scheduled event.
+    ///
+    /// Returns `true` if the event was still pending and is now cancelled;
+    /// `false` if it already ran, was already cancelled, or the handle is
+    /// stale.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.queue.cancel(handle)
     }
 
     /// Requests that the engine stop after the current handler returns.
@@ -123,14 +497,24 @@ pub enum Step {
     Idle,
 }
 
+/// What [`Engine::dispatch_next`] did.
+enum Dispatched {
+    /// Ran one event; `stop` is the handler's stop request.
+    Ran { at: SimTime, stop: bool },
+    /// The next event is after the deadline.
+    Deadline,
+    /// The queue is empty.
+    Idle,
+}
+
 /// A deterministic discrete-event engine over a world `W`.
 ///
-/// See the module documentation for an example.
+/// See the module documentation for an example and a description of the
+/// timer-wheel queue.
 pub struct Engine<W> {
     world: W,
-    queue: BinaryHeap<Scheduled<W>>,
+    queue: EventQueue<W>,
     now: SimTime,
-    seq: u64,
     dispatched: u64,
 }
 
@@ -138,7 +522,7 @@ impl<W: std::fmt::Debug> std::fmt::Debug for Engine<W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("now", &self.now)
-            .field("queued", &self.queue.len())
+            .field("queued", &self.queue.len)
             .field("dispatched", &self.dispatched)
             .field("world", &self.world)
             .finish()
@@ -150,9 +534,8 @@ impl<W> Engine<W> {
     pub fn new(world: W) -> Self {
         Engine {
             world,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             now: SimTime::ZERO,
-            seq: 0,
             dispatched: 0,
         }
     }
@@ -182,14 +565,14 @@ impl<W> Engine<W> {
         self.dispatched
     }
 
-    /// Number of events currently queued.
+    /// Number of events currently queued (scheduled and not cancelled).
     pub fn queued(&self) -> usize {
-        self.queue.len()
+        self.queue.len
     }
 
     /// Instant of the next queued event, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|s| s.at)
+        self.queue.peek_time()
     }
 
     /// Schedules `action` at absolute instant `at`.
@@ -199,61 +582,96 @@ impl<W> Engine<W> {
     /// Panics if `at` is before the current instant.
     pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
     where
-        F: FnOnce(&mut W, &mut Ctx<W>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
     {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled { at, seq, action: Box::new(action) });
+        self.schedule_at_handle(at, action);
     }
 
     /// Schedules `action` to run `delay` after the current instant.
     pub fn schedule_after<F>(&mut self, delay: SimDuration, action: F)
     where
-        F: FnOnce(&mut W, &mut Ctx<W>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
     {
         self.schedule_at(self.now + delay, action);
     }
 
+    /// Schedules `action` at absolute instant `at`, returning a cancellable
+    /// handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current instant.
+    pub fn schedule_at_handle<F>(&mut self, at: SimTime, action: F) -> EventHandle
+    where
+        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        self.queue.insert(at, Box::new(action))
+    }
+
+    /// Schedules `action` to run `delay` after the current instant,
+    /// returning a cancellable handle.
+    pub fn schedule_after_handle<F>(&mut self, delay: SimDuration, action: F) -> EventHandle
+    where
+        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
+    {
+        self.schedule_at_handle(self.now + delay, action)
+    }
+
+    /// Cancels a scheduled event.
+    ///
+    /// Returns `true` if the event was still pending and is now cancelled;
+    /// `false` if it already ran, was already cancelled, or the handle is
+    /// stale.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.queue.cancel(handle)
+    }
+
+    /// Dispatches the earliest event at or before `deadline`, if any.
+    ///
+    /// This is the single dispatch path shared by [`Engine::step`] and
+    /// [`Engine::run_until`].
+    fn dispatch_next(&mut self, deadline: SimTime) -> Dispatched {
+        match self.queue.pop_next(deadline) {
+            Pop::Empty => Dispatched::Idle,
+            Pop::Deadline => Dispatched::Deadline,
+            Pop::Event { at, action } => {
+                debug_assert!(at >= self.now, "event queue emitted a past event");
+                self.now = at;
+                self.dispatched += 1;
+                let mut ctx = Ctx {
+                    now: at,
+                    stop: false,
+                    queue: &mut self.queue,
+                };
+                action(&mut self.world, &mut ctx);
+                let stop = ctx.stop;
+                Dispatched::Ran { at, stop }
+            }
+        }
+    }
+
     /// Dispatches the single earliest event, if any, advancing the clock.
     pub fn step(&mut self) -> Step {
-        let Some(ev) = self.queue.pop() else {
-            return Step::Idle;
-        };
-        debug_assert!(ev.at >= self.now, "event queue emitted a past event");
-        self.now = ev.at;
-        self.dispatched += 1;
-        let mut ctx = Ctx { now: self.now, stop: false, pending: Vec::new() };
-        (ev.action)(&mut self.world, &mut ctx);
-        for (at, action) in ctx.pending {
-            let seq = self.seq;
-            self.seq += 1;
-            self.queue.push(Scheduled { at, seq, action });
+        match self.dispatch_next(SimTime::from_nanos(u64::MAX)) {
+            Dispatched::Ran { at, .. } => Step::Ran(at),
+            Dispatched::Deadline | Dispatched::Idle => Step::Idle,
         }
-        Step::Ran(self.now)
     }
 
     /// Runs until the queue drains, the deadline passes, or a handler calls
     /// [`Ctx::stop`]. The clock is left at `min(deadline, last event time)`;
     /// events scheduled after `deadline` stay queued.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(next) = self.next_event_time() {
-            if next > deadline {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked event must pop");
-            self.now = ev.at;
-            self.dispatched += 1;
-            let mut ctx = Ctx { now: self.now, stop: false, pending: Vec::new() };
-            (ev.action)(&mut self.world, &mut ctx);
-            let stop = ctx.stop;
-            for (at, action) in ctx.pending {
-                let seq = self.seq;
-                self.seq += 1;
-                self.queue.push(Scheduled { at, seq, action });
-            }
-            if stop {
-                return;
+        loop {
+            match self.dispatch_next(deadline) {
+                Dispatched::Ran { stop: true, .. } => return,
+                Dispatched::Ran { .. } => {}
+                Dispatched::Deadline | Dispatched::Idle => break,
             }
         }
         if self.now < deadline {
@@ -390,5 +808,111 @@ mod tests {
             e.into_world()
         }
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn events_beyond_wheel_horizon_run_in_order() {
+        // Mix near-wheel and far-heap events; the far heap covers everything
+        // past ~4.2ms.
+        let mut e = Engine::new(Vec::<u32>::new());
+        e.schedule_at(SimTime::from_millis(100), |w: &mut Vec<u32>, _| w.push(4));
+        e.schedule_at(SimTime::from_micros(1), |w: &mut Vec<u32>, _| w.push(1));
+        e.schedule_at(SimTime::from_millis(10), |w: &mut Vec<u32>, _| w.push(3));
+        e.schedule_at(SimTime::from_millis(2), |w: &mut Vec<u32>, _| w.push(2));
+        e.schedule_at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(5));
+        e.run_until(SimTime::from_secs(2));
+        assert_eq!(e.world(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn far_events_interleave_with_later_wheel_inserts() {
+        // Regression shape: an event far beyond the horizon must still run
+        // before a nearer event scheduled later from inside the wheel window.
+        let mut e = Engine::new(Vec::<u32>::new());
+        e.schedule_at(SimTime::from_millis(5), |w: &mut Vec<u32>, _| w.push(2));
+        e.schedule_at(SimTime::from_millis(4), |w: &mut Vec<u32>, ctx| {
+            w.push(1);
+            // Scheduled while the cursor sits at ~4ms: lands in the wheel,
+            // but after the 5ms far event above.
+            ctx.schedule_after(SimDuration::from_millis(2), |w, _| w.push(3));
+        });
+        e.run_until(SimTime::from_millis(10));
+        assert_eq!(e.world(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_run() {
+        let mut e = Engine::new(Vec::<u32>::new());
+        let near = e.schedule_at_handle(SimTime::from_micros(10), |w: &mut Vec<u32>, _| w.push(1));
+        let far = e.schedule_at_handle(SimTime::from_millis(50), |w: &mut Vec<u32>, _| w.push(2));
+        e.schedule_at(SimTime::from_micros(20), |w: &mut Vec<u32>, _| w.push(3));
+        assert_eq!(e.queued(), 3);
+        assert!(e.cancel(near));
+        assert!(e.cancel(far));
+        assert!(!e.cancel(near), "double-cancel must report false");
+        assert_eq!(e.queued(), 1);
+        e.run_until(SimTime::from_millis(100));
+        assert_eq!(e.world(), &[3]);
+    }
+
+    #[test]
+    fn cancel_from_within_a_handler() {
+        let mut e = Engine::new(Vec::<u32>::new());
+        let victim =
+            e.schedule_at_handle(SimTime::from_micros(10), |w: &mut Vec<u32>, _| w.push(9));
+        e.schedule_at(SimTime::from_micros(5), move |w: &mut Vec<u32>, ctx| {
+            w.push(1);
+            assert!(ctx.cancel(victim));
+        });
+        e.run_until(SimTime::from_micros(100));
+        assert_eq!(e.world(), &[1]);
+    }
+
+    #[test]
+    fn handles_go_stale_after_dispatch() {
+        let mut e = Engine::new(0u32);
+        let h = e.schedule_at_handle(SimTime::from_micros(1), |w: &mut u32, _| *w += 1);
+        e.run_until(SimTime::from_micros(2));
+        assert_eq!(*e.world(), 1);
+        assert!(!e.cancel(h), "handle to a dispatched event must be stale");
+        // Slab slot reuse must not resurrect the stale handle.
+        let h2 = e.schedule_at_handle(SimTime::from_micros(5), |w: &mut u32, _| *w += 10);
+        assert!(!e.cancel(h));
+        assert!(e.cancel(h2));
+        e.run_until(SimTime::from_micros(10));
+        assert_eq!(*e.world(), 1);
+    }
+
+    #[test]
+    fn next_event_time_sees_all_levels() {
+        let mut e = Engine::new(());
+        assert_eq!(e.next_event_time(), None);
+        e.schedule_at(SimTime::from_secs(1), |_, _| {});
+        assert_eq!(e.next_event_time(), Some(SimTime::from_secs(1)));
+        e.schedule_at(SimTime::from_millis(1), |_, _| {});
+        assert_eq!(e.next_event_time(), Some(SimTime::from_millis(1)));
+        let h = e.schedule_at_handle(SimTime::from_micros(3), |_, _| {});
+        assert_eq!(e.next_event_time(), Some(SimTime::from_micros(3)));
+        e.cancel(h);
+        assert_eq!(e.next_event_time(), Some(SimTime::from_millis(1)));
+    }
+
+    #[test]
+    fn slab_reuses_nodes_across_churn() {
+        // Schedule/dispatch far more events than are ever pending at once;
+        // the slab should stay at the high-water mark of pending events.
+        let mut e = Engine::new(0u64);
+        for round in 0..1_000u64 {
+            e.schedule_after(SimDuration::from_nanos(round % 97 + 1), |w: &mut u64, _| {
+                *w += 1
+            });
+            e.run_to_completion();
+        }
+        assert_eq!(*e.world(), 1_000);
+        assert!(
+            e.queue.nodes.len() <= 2,
+            "slab grew to {} nodes despite one-at-a-time churn",
+            e.queue.nodes.len()
+        );
     }
 }

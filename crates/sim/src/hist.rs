@@ -152,7 +152,10 @@ impl Histogram {
     ///
     /// Panics if `pct` is outside `[0, 100]`.
     pub fn percentile(&self, pct: f64) -> SimDuration {
-        assert!((0.0..=100.0).contains(&pct), "percentile {pct} out of range");
+        assert!(
+            (0.0..=100.0).contains(&pct),
+            "percentile {pct} out of range"
+        );
         if self.count == 0 {
             return SimDuration::ZERO;
         }
@@ -244,7 +247,10 @@ mod tests {
         }
         for (pct, expect) in [(50.0, 5_000.0), (95.0, 9_500.0), (99.0, 9_900.0)] {
             let got = h.percentile(pct).as_micros_f64();
-            assert!((got - expect).abs() / expect < 0.03, "p{pct}: got {got}, want {expect}");
+            assert!(
+                (got - expect).abs() / expect < 0.03,
+                "p{pct}: got {got}, want {expect}"
+            );
         }
     }
 

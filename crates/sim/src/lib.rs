@@ -50,7 +50,7 @@ mod rng;
 mod series;
 mod time;
 
-pub use engine::{Ctx, Engine, EventFn, Step};
+pub use engine::{Ctx, Engine, EventFn, EventHandle, Step};
 pub use hist::Histogram;
 pub use rng::{SimRng, Zipf};
 pub use series::{Counter, RatePoint, RateSeries};

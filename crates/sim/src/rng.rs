@@ -32,7 +32,9 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent child generator; used to give each component
@@ -120,12 +122,21 @@ impl Zipf {
     /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "Zipf needs a non-empty domain");
-        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&theta) && theta > 0.0,
+            "theta must be in (0,1)"
+        );
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipf { n, theta, alpha, zetan, eta }
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -189,14 +200,19 @@ mod tests {
         let n = 20_000;
         let total: f64 = (0..n).map(|_| rng.exponential(mean).as_micros_f64()).sum();
         let avg = total / n as f64;
-        assert!((avg - 100.0).abs() < 3.0, "sample mean {avg} too far from 100");
+        assert!(
+            (avg - 100.0).abs() < 3.0,
+            "sample mean {avg} too far from 100"
+        );
     }
 
     #[test]
     fn lognormal_median_is_close() {
         let mut rng = SimRng::seed(3);
         let median = SimDuration::from_micros(80);
-        let mut xs: Vec<f64> = (0..10_001).map(|_| rng.lognormal(median, 0.2).as_micros_f64()).collect();
+        let mut xs: Vec<f64> = (0..10_001)
+            .map(|_| rng.lognormal(median, 0.2).as_micros_f64())
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
         let sample_median = xs[5_000];
         assert!((sample_median - 80.0).abs() < 2.0, "median {sample_median}");
@@ -231,7 +247,10 @@ mod tests {
             }
         }
         // With theta=0.99 the top 10 of 10k keys should draw a large share.
-        assert!(hits_top10 > n / 10, "zipf not skewed: {hits_top10}/{n} in top-10");
+        assert!(
+            hits_top10 > n / 10,
+            "zipf not skewed: {hits_top10}/{n} in top-10"
+        );
     }
 
     #[test]

@@ -59,7 +59,11 @@ impl RateSeries {
         while at >= self.current_start + self.interval {
             let count = self.current_count;
             let rate = count as f64 / self.interval.as_secs_f64();
-            self.points.push(RatePoint { at: self.current_start, count, rate_per_sec: rate });
+            self.points.push(RatePoint {
+                at: self.current_start,
+                count,
+                rate_per_sec: rate,
+            });
             self.current_start += self.interval;
             self.current_count = 0;
         }

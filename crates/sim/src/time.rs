@@ -25,7 +25,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_nanos(), 5_000);
 /// assert_eq!(t - SimTime::ZERO, SimDuration::from_nanos(5_000));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
@@ -39,7 +41,9 @@ pub struct SimTime(u64);
 /// assert_eq!(d.as_nanos(), 2_500);
 /// assert_eq!(d.as_micros_f64(), 2.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {

@@ -113,4 +113,118 @@ proptest! {
         let back = d.as_micros_f64();
         prop_assert!((back - us).abs() <= 0.001, "{us} -> {back}");
     }
+
+    /// The timer-wheel queue dispatches exactly like a sorted reference
+    /// model under random schedules spanning the near wheel and the far
+    /// heap, including chained events and mid-run cancellations.
+    #[test]
+    fn timer_wheel_matches_reference_heap(times in prop::collection::vec(0u64..20_000_000, 1..150)) {
+        let times = std::rc::Rc::new(times);
+
+        // Drive the real engine. Handlers follow fixed rules keyed on the
+        // event id so the reference model can replay them exactly:
+        // id % 3 == 0 chains a follow-up, id % 5 == 0 cancels a target
+        // picked from every handle created so far.
+        let mut engine = Engine::new(WheelWorld::default());
+        for (i, &t) in times.iter().enumerate() {
+            let h = engine.schedule_at_handle(SimTime::from_nanos(t), wheel_handler(i as u64, times.clone()));
+            engine.world_mut().handles.push(h);
+            engine.world_mut().next_id += 1;
+        }
+        engine.run_to_completion();
+
+        // Replay the same rules against a sort-based reference queue.
+        let mut model = RefModel::default();
+        for &t in times.iter() {
+            model.schedule(t);
+        }
+        while let Some((at, id)) = model.pop() {
+            model.log.push(id);
+            if id % 3 == 0 {
+                let d = times[id as usize % times.len()] % 10_000_000;
+                model.schedule(at + d);
+            }
+            if id % 5 == 0 && !model.handles.is_empty() {
+                let target = model.handles[id as usize * 7 % model.handles.len()];
+                let ok = model.cancel(target);
+                model.cancel_results.push(ok);
+            }
+        }
+
+        prop_assert_eq!(&engine.world().log, &model.log);
+        prop_assert_eq!(&engine.world().cancel_results, &model.cancel_results);
+    }
+}
+
+/// World for [`timer_wheel_matches_reference_heap`]'s engine side.
+#[derive(Default)]
+struct WheelWorld {
+    log: Vec<u64>,
+    cancel_results: Vec<bool>,
+    handles: Vec<reflex_sim::EventHandle>,
+    next_id: u64,
+}
+
+/// One event of the wheel-vs-reference property, as a boxed handler so it
+/// can chain follow-ups recursively.
+fn wheel_handler(id: u64, times: std::rc::Rc<Vec<u64>>) -> reflex_sim::EventFn<WheelWorld> {
+    Box::new(move |w, ctx| {
+        w.log.push(id);
+        if id.is_multiple_of(3) {
+            let next_id = w.next_id;
+            w.next_id += 1;
+            let d = times[id as usize % times.len()] % 10_000_000;
+            let h = ctx.schedule_after_handle(
+                SimDuration::from_nanos(d),
+                wheel_handler(next_id, times.clone()),
+            );
+            w.handles.push(h);
+        }
+        if id.is_multiple_of(5) && !w.handles.is_empty() {
+            let target = w.handles[id as usize * 7 % w.handles.len()];
+            let ok = ctx.cancel(target);
+            w.cancel_results.push(ok);
+        }
+    })
+}
+
+/// Sorted-scan reference queue: ids are assigned in schedule order and
+/// double as the FIFO tie-break, exactly like the engine's internal seq.
+#[derive(Default)]
+struct RefModel {
+    pending: Vec<(u64, u64)>,
+    log: Vec<u64>,
+    cancel_results: Vec<bool>,
+    handles: Vec<u64>,
+    seq: u64,
+}
+
+impl RefModel {
+    fn schedule(&mut self, at: u64) -> u64 {
+        let id = self.seq;
+        self.seq += 1;
+        self.pending.push((at, id));
+        self.handles.push(id);
+        id
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        let best = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(at, id))| (at, id))
+            .map(|(i, _)| i)?;
+        Some(self.pending.swap_remove(best))
+    }
+
+    fn cancel(&mut self, id: u64) -> bool {
+        match self.pending.iter().position(|&(_, pid)| pid == id) {
+            Some(pos) => {
+                self.pending.swap_remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
 }

@@ -172,7 +172,14 @@ impl Backend {
     /// # Panics
     ///
     /// Panics if `thread` is out of range or `len` is zero.
-    pub fn submit(&mut self, now: SimTime, thread: usize, op: IoType, addr: u64, len: u32) -> SimTime {
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        thread: usize,
+        op: IoType,
+        addr: u64,
+        len: u32,
+    ) -> SimTime {
         assert!(len > 0, "zero-length I/O");
         // Client thread CPU (issue side).
         let busy = &mut self.client_busy[thread];
@@ -188,7 +195,10 @@ impl Backend {
             self.link_up_busy = depart;
             t = depart;
         }
-        t += self.rng.lognormal(self.profile.request_latency_median, self.profile.latency_sigma);
+        t += self.rng.lognormal(
+            self.profile.request_latency_median,
+            self.profile.latency_sigma,
+        );
 
         // Remote server serialization point.
         if let Some(cpu) = self.profile.server_per_req_cpu {
@@ -216,9 +226,10 @@ impl Backend {
             self.link_down_busy = depart;
             t = depart;
         }
-        t + self
-            .rng
-            .lognormal(self.profile.response_latency_median, self.profile.latency_sigma)
+        t + self.rng.lognormal(
+            self.profile.response_latency_median,
+            self.profile.latency_sigma,
+        )
     }
 }
 
@@ -233,7 +244,7 @@ mod tests {
         let n = 500;
         let mut now = SimTime::ZERO;
         for _ in 0..n {
-            now = now + SimDuration::from_micros(300);
+            now += SimDuration::from_micros(300);
             let addr = b.random_page_addr();
             let done = b.submit(now, 0, IoType::Read, addr, 4096);
             total += done.saturating_since(now).as_micros_f64();

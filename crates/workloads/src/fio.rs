@@ -71,10 +71,10 @@ impl FioJob {
         let mut heap: BinaryHeap<Reverse<(SimTime, usize, SimTime)>> = BinaryHeap::new();
         // (completion, thread, issued_at)
         let issue = |backend: &mut Backend,
-                         rng: &mut SimRng,
-                         heap: &mut BinaryHeap<Reverse<(SimTime, usize, SimTime)>>,
-                         now: SimTime,
-                         th: usize| {
+                     rng: &mut SimRng,
+                     heap: &mut BinaryHeap<Reverse<(SimTime, usize, SimTime)>>,
+                     now: SimTime,
+                     th: usize| {
             let addr = backend.random_page_addr();
             let op = if rng.below(100) < self.read_pct as u64 {
                 IoType::Read
@@ -87,9 +87,8 @@ impl FioJob {
 
         for th in 0..self.threads as usize {
             for q in 0..self.queue_depth {
-                let start = SimTime::from_nanos((th as u64 * self.queue_depth as u64
-                    + q as u64)
-                    * 500);
+                let start =
+                    SimTime::from_nanos((th as u64 * self.queue_depth as u64 + q as u64) * 500);
                 issue(backend, &mut rng, &mut heap, start, th);
             }
         }
@@ -129,11 +128,21 @@ mod tests {
     fn local_fio_scales_with_threads() {
         let run = |threads: u32| {
             let mut b = Backend::new(BackendProfile::local_nvme(), device_a(), threads, 11);
-            FioJob { threads, queue_depth: 32, ..FioJob::default() }.run(&mut b, 1)
+            FioJob {
+                threads,
+                queue_depth: 32,
+                ..FioJob::default()
+            }
+            .run(&mut b, 1)
         };
         let one = run(1);
         let five = run(5);
-        assert!(five.iops > 2.5 * one.iops, "local FIO scaling {} -> {}", one.iops, five.iops);
+        assert!(
+            five.iops > 2.5 * one.iops,
+            "local FIO scaling {} -> {}",
+            one.iops,
+            five.iops
+        );
         // Five threads approach the device's 1M read-only IOPS.
         assert!(
             (750_000.0..1_050_000.0).contains(&five.iops),
@@ -145,7 +154,12 @@ mod tests {
     #[test]
     fn reflex_fio_caps_at_10gbe() {
         let mut b = Backend::new(BackendProfile::reflex_remote(), device_a(), 6, 12);
-        let rep = FioJob { threads: 6, queue_depth: 48, ..FioJob::default() }.run(&mut b, 2);
+        let rep = FioJob {
+            threads: 6,
+            queue_depth: 48,
+            ..FioJob::default()
+        }
+        .run(&mut b, 2);
         // 10GbE ~ 1.25GB/s minus framing: ~1150-1200 MB/s of 4KB payloads.
         assert!(
             (1_000.0..1_250.0).contains(&rep.mb_per_sec),
@@ -157,9 +171,19 @@ mod tests {
     #[test]
     fn iscsi_fio_is_roughly_4x_slower_than_reflex() {
         let mut ir = Backend::new(BackendProfile::iscsi_remote(), device_a(), 6, 13);
-        let iscsi = FioJob { threads: 6, queue_depth: 48, ..FioJob::default() }.run(&mut ir, 3);
+        let iscsi = FioJob {
+            threads: 6,
+            queue_depth: 48,
+            ..FioJob::default()
+        }
+        .run(&mut ir, 3);
         let mut rr = Backend::new(BackendProfile::reflex_remote(), device_a(), 6, 13);
-        let reflex = FioJob { threads: 6, queue_depth: 48, ..FioJob::default() }.run(&mut rr, 3);
+        let reflex = FioJob {
+            threads: 6,
+            queue_depth: 48,
+            ..FioJob::default()
+        }
+        .run(&mut rr, 3);
         let ratio = reflex.iops / iscsi.iops;
         assert!(
             (3.0..6.0).contains(&ratio),
@@ -170,13 +194,24 @@ mod tests {
     #[test]
     fn latency_grows_with_queue_depth() {
         let mut b = Backend::new(BackendProfile::local_nvme(), device_a(), 1, 14);
-        let shallow = FioJob { queue_depth: 1, ..FioJob::default() }.run(&mut b, 4);
+        let shallow = FioJob {
+            queue_depth: 1,
+            ..FioJob::default()
+        }
+        .run(&mut b, 4);
         let mut b = Backend::new(BackendProfile::local_nvme(), device_a(), 1, 14);
-        let deep = FioJob { queue_depth: 64, ..FioJob::default() }.run(&mut b, 4);
+        let deep = FioJob {
+            queue_depth: 64,
+            ..FioJob::default()
+        }
+        .run(&mut b, 4);
         assert!(
             deep.latency.p95() > shallow.latency.p95(),
             "deeper queues must queue"
         );
-        assert!(deep.iops > shallow.iops, "deeper queues must add throughput");
+        assert!(
+            deep.iops > shallow.iops,
+            "deeper queues must add throughput"
+        );
     }
 }

@@ -34,7 +34,10 @@ pub struct GraphSpec {
 
 impl Default for GraphSpec {
     fn default() -> Self {
-        GraphSpec { vertices: 4_800_000, edges: 68_900_000 }
+        GraphSpec {
+            vertices: 4_800_000,
+            edges: 68_900_000,
+        }
     }
 }
 
@@ -61,7 +64,12 @@ pub enum GraphAlgo {
 impl GraphAlgo {
     /// All four benchmarks in the paper's order.
     pub fn all() -> [GraphAlgo; 4] {
-        [GraphAlgo::Wcc, GraphAlgo::PageRank, GraphAlgo::Bfs, GraphAlgo::Scc]
+        [
+            GraphAlgo::Wcc,
+            GraphAlgo::PageRank,
+            GraphAlgo::Bfs,
+            GraphAlgo::Scc,
+        ]
     }
 
     /// Short name used in reports.
@@ -148,7 +156,11 @@ pub struct FlashXConfig {
 
 impl Default for FlashXConfig {
     fn default() -> Self {
-        FlashXConfig { graph: GraphSpec::default(), threads: 4, prefetch: 8 }
+        FlashXConfig {
+            graph: GraphSpec::default(),
+            threads: 4,
+            prefetch: 8,
+        }
     }
 }
 
@@ -163,7 +175,10 @@ pub fn run_flashx(
     backend: &mut Backend,
     seed: u64,
 ) -> SimDuration {
-    assert!(config.threads > 0 && config.prefetch > 0, "degenerate config");
+    assert!(
+        config.threads > 0 && config.prefetch > 0,
+        "degenerate config"
+    );
     let mut rng = SimRng::seed(seed);
     let phase_list = phases(algo, &config.graph);
     let mut now = SimTime::ZERO;
@@ -231,7 +246,10 @@ mod tests {
         FlashXConfig {
             // A scaled-down graph keeps unit tests fast; the bench harness
             // runs the full SOC-LiveJournal1 dimensions.
-            graph: GraphSpec { vertices: 480_000, edges: 6_890_000 },
+            graph: GraphSpec {
+                vertices: 480_000,
+                edges: 6_890_000,
+            },
             threads: 4,
             prefetch: 8,
         }
@@ -267,7 +285,10 @@ mod tests {
         let bfs = slow(GraphAlgo::Bfs);
         let scc = slow(GraphAlgo::Scc);
         assert!((1.05..1.30).contains(&pr), "PR iscsi slowdown {pr:.3}");
-        assert!(bfs > pr + 0.08, "BFS ({bfs:.3}) must suffer more than PR ({pr:.3})");
+        assert!(
+            bfs > pr + 0.08,
+            "BFS ({bfs:.3}) must suffer more than PR ({pr:.3})"
+        );
         assert!((1.2..1.7).contains(&bfs), "BFS iscsi slowdown {bfs:.3}");
         assert!((1.2..1.7).contains(&scc), "SCC iscsi slowdown {scc:.3}");
     }

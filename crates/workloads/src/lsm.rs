@@ -39,7 +39,11 @@ pub enum DbBenchmark {
 impl DbBenchmark {
     /// All three in the paper's order.
     pub fn all() -> [DbBenchmark; 3] {
-        [DbBenchmark::BulkLoad, DbBenchmark::RandomRead, DbBenchmark::ReadWhileWriting]
+        [
+            DbBenchmark::BulkLoad,
+            DbBenchmark::RandomRead,
+            DbBenchmark::ReadWhileWriting,
+        ]
     }
 
     /// Short name used in reports.
@@ -114,7 +118,10 @@ pub fn run_db_bench(
     backend: &mut Backend,
     seed: u64,
 ) -> SimDuration {
-    assert!(config.threads > 0 && config.read_ops > 0, "degenerate config");
+    assert!(
+        config.threads > 0 && config.read_ops > 0,
+        "degenerate config"
+    );
     match bench {
         DbBenchmark::BulkLoad => run_bulkload(config, backend),
         DbBenchmark::RandomRead => run_reads(config, backend, seed, false),
@@ -168,7 +175,11 @@ fn run_reads(
     let mut rng = SimRng::seed(seed);
     let io_threads = backend.client_threads();
     // Reserve the last I/O thread for the writer stream when present.
-    let read_io_threads = if with_writer && io_threads > 1 { io_threads - 1 } else { io_threads };
+    let read_io_threads = if with_writer && io_threads > 1 {
+        io_threads - 1
+    } else {
+        io_threads
+    };
 
     // Reader state: each thread performs ops sequentially.
     let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = BinaryHeap::new();
@@ -242,8 +253,16 @@ mod tests {
         let reflex = runtime(DbBenchmark::BulkLoad, BackendProfile::reflex_remote());
         let iscsi = runtime(DbBenchmark::BulkLoad, BackendProfile::iscsi_remote());
         // Paper: BL performance almost equal between local and remote.
-        assert!((0.95..1.10).contains(&(reflex / local)), "BL reflex {}", reflex / local);
-        assert!((0.95..1.15).contains(&(iscsi / local)), "BL iscsi {}", iscsi / local);
+        assert!(
+            (0.95..1.10).contains(&(reflex / local)),
+            "BL reflex {}",
+            reflex / local
+        );
+        assert!(
+            (0.95..1.15).contains(&(iscsi / local)),
+            "BL iscsi {}",
+            iscsi / local
+        );
         // Sanity: 2GB * 1.2 at ~260MB/s Flash write bandwidth ≈ 10s.
         assert!((5.0..20.0).contains(&local), "BL local runtime {local}s");
     }
@@ -258,8 +277,14 @@ mod tests {
         // Paper: iSCSI 32%, ReFlex <4%. Our synchronous-read client model
         // overweights per-read latency, so ReFlex lands somewhat higher
         // (documented in EXPERIMENTS.md); the ordering must hold clearly.
-        assert!((1.0..1.35).contains(&s_reflex), "RR reflex slowdown {s_reflex:.3}");
-        assert!((1.2..1.8).contains(&s_iscsi), "RR iscsi slowdown {s_iscsi:.3}");
+        assert!(
+            (1.0..1.35).contains(&s_reflex),
+            "RR reflex slowdown {s_reflex:.3}"
+        );
+        assert!(
+            (1.2..1.8).contains(&s_iscsi),
+            "RR iscsi slowdown {s_iscsi:.3}"
+        );
         assert!(s_iscsi > s_reflex + 0.1, "iSCSI must be clearly worse");
     }
 
@@ -267,16 +292,23 @@ mod tests {
     fn readwhilewriting_amplifies_iscsi_pain() {
         let rr_iscsi = runtime(DbBenchmark::RandomRead, BackendProfile::iscsi_remote())
             / runtime(DbBenchmark::RandomRead, BackendProfile::local_nvme());
-        let rww_iscsi = runtime(DbBenchmark::ReadWhileWriting, BackendProfile::iscsi_remote())
-            / runtime(DbBenchmark::ReadWhileWriting, BackendProfile::local_nvme());
+        let rww_iscsi = runtime(
+            DbBenchmark::ReadWhileWriting,
+            BackendProfile::iscsi_remote(),
+        ) / runtime(DbBenchmark::ReadWhileWriting, BackendProfile::local_nvme());
         // The writer stream competes for the iSCSI core.
         assert!(
             rww_iscsi > rr_iscsi - 0.1,
             "RwW iscsi {rww_iscsi:.3} vs RR {rr_iscsi:.3}"
         );
-        let rww_reflex = runtime(DbBenchmark::ReadWhileWriting, BackendProfile::reflex_remote())
-            / runtime(DbBenchmark::ReadWhileWriting, BackendProfile::local_nvme());
-        assert!((0.95..1.4).contains(&rww_reflex), "RwW reflex slowdown {rww_reflex:.3}");
+        let rww_reflex = runtime(
+            DbBenchmark::ReadWhileWriting,
+            BackendProfile::reflex_remote(),
+        ) / runtime(DbBenchmark::ReadWhileWriting, BackendProfile::local_nvme());
+        assert!(
+            (0.95..1.4).contains(&rww_reflex),
+            "RwW reflex slowdown {rww_reflex:.3}"
+        );
     }
 
     #[test]

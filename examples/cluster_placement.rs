@@ -31,7 +31,10 @@ fn main() {
         ("db", 60_000, 90, 1_000),
         ("analytics", 80_000, 95, 5_000),
     ];
-    println!("{:<14} {:>10} {:>8} {:>10}  placed_on", "tenant", "IOPS", "reads%", "p95_bound");
+    println!(
+        "{:<14} {:>10} {:>8} {:>10}  placed_on",
+        "tenant", "IOPS", "reads%", "p95_bound"
+    );
     let mut id = 0u32;
     for round in 0..3 {
         for (kind, iops, read_pct, p95_us) in demands {
@@ -42,7 +45,9 @@ fn main() {
                     "{kind:<11}#{round} {iops:>10} {read_pct:>8} {p95_us:>8}us  server {}",
                     server.0
                 ),
-                Err(e) => println!("{kind:<11}#{round} {iops:>10} {read_pct:>8} {p95_us:>8}us  REJECTED: {e}"),
+                Err(e) => println!(
+                    "{kind:<11}#{round} {iops:>10} {read_pct:>8} {p95_us:>8}us  REJECTED: {e}"
+                ),
             }
         }
     }

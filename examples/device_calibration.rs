@@ -24,13 +24,22 @@ fn main() {
             // Initial cost guess only scales the sweep range.
             let guess = profile.write_cost_tokens();
             let cost = r + (1.0 - r) * guess;
-            let offered: Vec<f64> =
-                (1..=12).map(|i| max_tokens / cost * i as f64 / 10.0).collect();
-            let sweep =
-                sweep_device(&profile, read_pct, &offered, SimDuration::from_millis(250), 3);
+            let offered: Vec<f64> = (1..=12)
+                .map(|i| max_tokens / cost * i as f64 / 10.0)
+                .collect();
+            let sweep = sweep_device(
+                &profile,
+                read_pct,
+                &offered,
+                SimDuration::from_millis(250),
+                3,
+            );
             if let Some(iops) = max_iops_at_latency(&sweep, target_us) {
                 println!("  r={read_pct:>3}%  max {iops:>9.0} IOPS at p95 <= {target_us}us");
-                observations.push(RatioCapacity { read_pct, max_iops: iops });
+                observations.push(RatioCapacity {
+                    read_pct,
+                    max_iops: iops,
+                });
             }
         }
         match fit_cost_model(&observations) {
@@ -46,8 +55,12 @@ fn main() {
                 let model = fit.to_cost_model(4096);
                 println!(
                     "  cost model: read {}mt, read-only {}mt, write {}mt per 4KB page",
-                    model.read_cost(reflex::qos::LoadMix::Mixed).as_millitokens(),
-                    model.read_cost(reflex::qos::LoadMix::ReadOnly).as_millitokens(),
+                    model
+                        .read_cost(reflex::qos::LoadMix::Mixed)
+                        .as_millitokens(),
+                    model
+                        .read_cost(reflex::qos::LoadMix::ReadOnly)
+                        .as_millitokens(),
                     model.write_cost().as_millitokens()
                 );
             }

@@ -31,14 +31,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // hottest keys. (At raw Zipf(0.99) the single hottest value would put
     // ~10% of all reads on one Flash channel and the tail degrades — run
     // it yourself to see why caches keep their head in RAM.)
-    cache.addr_pattern = AddrPattern::Zipfian { theta_permille: 900 };
+    cache.addr_pattern = AddrPattern::Zipfian {
+        theta_permille: 900,
+    };
     cache.namespace = (0, 64 << 30); // 64GB value log
     cache.conns = 16;
     cache.client_threads = 4;
     tb.add_workload(cache)?;
 
     // A co-located batch job scanning cold data as fast as it is allowed.
-    let mut batch = WorkloadSpec::closed_loop("batch-scan", TenantId(2), TenantClass::BestEffort, 32);
+    let mut batch =
+        WorkloadSpec::closed_loop("batch-scan", TenantId(2), TenantClass::BestEffort, 32);
     batch.read_pct = 70;
     batch.conns = 8;
     batch.client_threads = 4;
@@ -52,15 +55,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let kv = report.workload("kv-cache");
     let batch = report.workload("batch-scan");
-    println!("kv-cache  : {:>8.0} ops/s  GET p50 {:>4.0}us  p95 {:>4.0}us  p99 {:>4.0}us",
+    println!(
+        "kv-cache  : {:>8.0} ops/s  GET p50 {:>4.0}us  p95 {:>4.0}us  p99 {:>4.0}us",
         kv.iops,
         kv.read_latency.p50().as_micros_f64(),
         kv.p95_read_us(),
-        kv.read_latency.p99().as_micros_f64());
-    println!("batch-scan: {:>8.0} ops/s (best-effort leftover)", batch.iops);
-    println!("token use : {:>8.0} tokens/s of the 500us budget", report.token_usage_per_sec);
+        kv.read_latency.p99().as_micros_f64()
+    );
+    println!(
+        "batch-scan: {:>8.0} ops/s (best-effort leftover)",
+        batch.iops
+    );
+    println!(
+        "token use : {:>8.0} tokens/s of the 500us budget",
+        report.token_usage_per_sec
+    );
     assert!(kv.p95_read_us() < 500.0, "cache SLO must hold");
-    println!("\nThe cache's 500us p95 holds despite the scan — Zipfian hot \
-              values and a mixed batch competitor included.");
+    println!(
+        "\nThe cache's 500us p95 holds despite the scan — Zipfian hot \
+              values and a mixed batch competitor included."
+    );
     Ok(())
 }

@@ -43,23 +43,24 @@ fn scenario(qos_enabled: bool) -> Result<TestbedReport, Box<dyn std::error::Erro
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for enabled in [false, true] {
-        let label = if enabled { "I/O sched enabled" } else { "I/O sched disabled" };
+        let label = if enabled {
+            "I/O sched enabled"
+        } else {
+            "I/O sched disabled"
+        };
         println!("=== {label} ===");
         let report = scenario(enabled)?;
         println!("{:<22} {:>10} {:>12}", "tenant", "IOPS", "p95 read us");
         for w in &report.workloads {
-            println!(
-                "{:<22} {:>10.0} {:>12.0}",
-                w.name,
-                w.iops,
-                w.p95_read_us()
-            );
+            println!("{:<22} {:>10.0} {:>12.0}", w.name, w.iops, w.p95_read_us());
         }
         println!();
     }
-    println!("With QoS, the LC tenants meet their 500us p95 SLOs and BE \
+    println!(
+        "With QoS, the LC tenants meet their 500us p95 SLOs and BE \
               tenants split the leftover throughput (D gets fewer IOPS than \
               C because its writes cost 10x). Without QoS, tail latency \
-              collapses for everyone — the paper's Figure 5.");
+              collapses for everyone — the paper's Figure 5."
+    );
     Ok(())
 }

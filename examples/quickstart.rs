@@ -34,11 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = report.workload("app");
     println!("tenant        : {}", app.name);
     println!("throughput    : {:.0} IOPS", app.iops);
-    println!("read latency  : mean {:.0}us  p50 {:.0}us  p95 {:.0}us  p99 {:.0}us",
+    println!(
+        "read latency  : mean {:.0}us  p50 {:.0}us  p95 {:.0}us  p99 {:.0}us",
         app.mean_read_us(),
         app.read_latency.p50().as_micros_f64(),
         app.p95_read_us(),
-        app.read_latency.p99().as_micros_f64());
+        app.read_latency.p99().as_micros_f64()
+    );
     println!("errors        : {}", app.errors);
     println!("token usage   : {:.0} tokens/s", report.token_usage_per_sec);
     for (i, t) in report.threads.iter().enumerate() {

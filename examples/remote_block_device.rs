@@ -7,9 +7,7 @@
 //! Run with: `cargo run --release --example remote_block_device`
 
 use reflex::flash::device_a;
-use reflex::workloads::{
-    run_db_bench, Backend, BackendProfile, DbBenchmark, FioJob, LsmConfig,
-};
+use reflex::workloads::{run_db_bench, Backend, BackendProfile, DbBenchmark, FioJob, LsmConfig};
 
 fn main() {
     let profiles = [
@@ -19,10 +17,18 @@ fn main() {
     ];
 
     println!("--- FIO: 6 threads x QD32, 4KB random read ---");
-    println!("{:<8} {:>10} {:>10} {:>12}", "path", "IOPS", "MB/s", "p95 us");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12}",
+        "path", "IOPS", "MB/s", "p95 us"
+    );
     for p in &profiles {
         let mut b = Backend::new(p.clone(), device_a(), 6, 11);
-        let rep = FioJob { threads: 6, queue_depth: 32, ..FioJob::default() }.run(&mut b, 1);
+        let rep = FioJob {
+            threads: 6,
+            queue_depth: 32,
+            ..FioJob::default()
+        }
+        .run(&mut b, 1);
         println!(
             "{:<8} {:>10.0} {:>10.0} {:>12.0}",
             p.name,
@@ -33,8 +39,10 @@ fn main() {
     }
 
     println!("\n--- RocksDB db_bench (scaled 2GB database) ---");
-    println!("{:<8} {:>8} {:>8} {:>8}   (seconds; lower is better)",
-        "path", "BL", "RR", "RwW");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8}   (seconds; lower is better)",
+        "path", "BL", "RR", "RwW"
+    );
     let mut local_times = [0.0f64; 3];
     for p in &profiles {
         let mut row = Vec::new();
@@ -60,7 +68,9 @@ fn main() {
             );
         }
     }
-    println!("\nReFlex keeps legacy applications within a few percent of \
+    println!(
+        "\nReFlex keeps legacy applications within a few percent of \
               local Flash except where client-side Linux overheads bite; \
-              iSCSI costs 30-70% on read-heavy workloads (paper Figure 7).");
+              iSCSI costs 30-70% on read-heavy workloads (paper Figure 7)."
+    );
 }

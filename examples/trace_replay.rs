@@ -19,7 +19,12 @@ fn diurnal_trace() -> Arc<[TraceOp]> {
     let mut addr = 0u64;
     let push = |ops: &mut Vec<TraceOp>, t: SimDuration, addr: &mut u64| {
         *addr = (*addr + 7919 * 4096) % (1 << 36);
-        ops.push(TraceOp { at: t, is_read: true, addr: *addr, len: 4096 });
+        ops.push(TraceOp {
+            at: t,
+            is_read: true,
+            addr: *addr,
+            len: 4096,
+        });
     };
     // Phase 1 (0-100ms): calm, 40K IOPS.
     while t < SimDuration::from_millis(100) {
@@ -41,7 +46,10 @@ fn diurnal_trace() -> Arc<[TraceOp]> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = diurnal_trace();
-    println!("trace: {} ops over 300ms (40K -> 160K -> 40K IOPS)", trace.len());
+    println!(
+        "trace: {} ops over 300ms (40K -> 160K -> 40K IOPS)",
+        trace.len()
+    );
 
     let mut tb = Testbed::builder().seed(61).build();
     // SLO sized for the calm phase plus some headroom: 60K IOPS.

@@ -1,0 +1,14 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait + derive macro) that
+//! the workspace's `#[derive(...)]` attributes and `use serde::{...}`
+//! imports refer to. No actual serialization framework is included; the
+//! repo writes its machine-readable output (`BENCH_*.json`) by hand.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

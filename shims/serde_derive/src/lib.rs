@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and report
+//! types but never actually serializes through serde (JSON output is
+//! hand-rolled). These derives therefore expand to nothing; they exist so
+//! the `#[derive(Serialize, Deserialize)]` attributes compile without
+//! registry access.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -66,7 +66,10 @@ fn planner_decisions_hold_up_in_simulation() {
     let (p95_strict, _) = run_server(&[(1, strict)], 101);
     assert!(p95_strict < 400.0, "strict tenant p95 {p95_strict:.0}us");
     let (p95_relaxed, _) = run_server(&[(2, relaxed)], 102);
-    assert!(p95_relaxed < 2_000.0, "relaxed tenant p95 {p95_relaxed:.0}us");
+    assert!(
+        p95_relaxed < 2_000.0,
+        "relaxed tenant p95 {p95_relaxed:.0}us"
+    );
 }
 
 #[test]
@@ -102,5 +105,8 @@ fn cluster_capacity_grows_with_servers() {
             placed_big += 1;
         }
     }
-    assert!(placed_big >= 2 * placed_small, "{placed_small} vs {placed_big}");
+    assert!(
+        placed_big >= 2 * placed_small,
+        "{placed_small} vs {placed_big}"
+    );
 }

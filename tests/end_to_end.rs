@@ -8,7 +8,11 @@ use reflex::qos::{SloSpec, TenantClass, TenantId};
 use reflex::sim::SimDuration;
 
 fn lc(iops: u64, read_pct: u8, p95_us: u64) -> TenantClass {
-    TenantClass::LatencyCritical(SloSpec::new(iops, read_pct, SimDuration::from_micros(p95_us)))
+    TenantClass::LatencyCritical(SloSpec::new(
+        iops,
+        read_pct,
+        SimDuration::from_micros(p95_us),
+    ))
 }
 
 /// "Remote Flash ≈ Local Flash": the unloaded remote read through the
@@ -23,8 +27,13 @@ fn headline_remote_approx_local() {
 
     // Remote unloaded read through ReFlex.
     let mut tb = Testbed::builder().seed(5).build();
-    tb.add_workload(WorkloadSpec::closed_loop("probe", TenantId(1), lc(20_000, 100, 500), 1))
-        .expect("admitted");
+    tb.add_workload(WorkloadSpec::closed_loop(
+        "probe",
+        TenantId(1),
+        lc(20_000, 100, 500),
+        1,
+    ))
+    .expect("admitted");
     tb.run(SimDuration::from_millis(50));
     tb.begin_measurement();
     tb.run(SimDuration::from_millis(300));
@@ -43,8 +52,7 @@ fn headline_remote_approx_local() {
 #[test]
 fn system_ordering_under_one_roof() {
     let probe = || {
-        let mut spec =
-            WorkloadSpec::closed_loop("probe", TenantId(1), TenantClass::BestEffort, 1);
+        let mut spec = WorkloadSpec::closed_loop("probe", TenantId(1), TenantClass::BestEffort, 1);
         spec.read_pct = 100;
         spec
     };
@@ -64,8 +72,13 @@ fn system_ordering_under_one_roof() {
     let iscsi = run_baseline(BaselineConfig::iscsi());
 
     let mut tb = Testbed::builder().seed(6).build();
-    tb.add_workload(WorkloadSpec::closed_loop("probe", TenantId(1), lc(20_000, 100, 500), 1))
-        .expect("admitted");
+    tb.add_workload(WorkloadSpec::closed_loop(
+        "probe",
+        TenantId(1),
+        lc(20_000, 100, 500),
+        1,
+    ))
+    .expect("admitted");
     tb.run(SimDuration::from_millis(50));
     tb.begin_measurement();
     tb.run(SimDuration::from_millis(300));
@@ -94,7 +107,8 @@ fn slos_hold_under_adversarial_mix() {
     add_lc("silver", 2, 40_000, 90, 1_000);
     add_lc("bronze", 3, 20_000, 80, 2_000);
     for (i, name) in ["noise1", "noise2"].iter().enumerate() {
-        let mut spec = WorkloadSpec::closed_loop(name, TenantId(10 + i as u32), TenantClass::BestEffort, 16);
+        let mut spec =
+            WorkloadSpec::closed_loop(name, TenantId(10 + i as u32), TenantClass::BestEffort, 16);
         spec.read_pct = 20;
         spec.conns = 8;
         spec.client_threads = 4;
@@ -104,9 +118,11 @@ fn slos_hold_under_adversarial_mix() {
     tb.begin_measurement();
     tb.run(SimDuration::from_millis(400));
     let report = tb.report();
-    for (name, iops, p95_bound) in
-        [("gold", 100_000.0, 500.0), ("silver", 40_000.0, 1_000.0), ("bronze", 20_000.0, 2_000.0)]
-    {
+    for (name, iops, p95_bound) in [
+        ("gold", 100_000.0, 500.0),
+        ("silver", 40_000.0, 1_000.0),
+        ("bronze", 20_000.0, 2_000.0),
+    ] {
         let w = report.workload(name);
         assert!(
             w.iops > iops * 0.93,
@@ -127,8 +143,7 @@ fn slos_hold_under_adversarial_mix() {
 fn whole_stack_determinism() {
     let run = || {
         let mut tb = Testbed::builder().seed(99).build();
-        let mut spec =
-            WorkloadSpec::open_loop("x", TenantId(1), lc(80_000, 90, 1_000), 80_000.0);
+        let mut spec = WorkloadSpec::open_loop("x", TenantId(1), lc(80_000, 90, 1_000), 80_000.0);
         spec.read_pct = 90;
         spec.conns = 8;
         tb.add_workload(spec).expect("admitted");

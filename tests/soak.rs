@@ -58,7 +58,9 @@ fn two_second_mixed_soak_holds_invariants() {
 
     // Zipfian hot-spot tenant.
     let mut spec = WorkloadSpec::open_loop("hot", TenantId(5), TenantClass::BestEffort, 20_000.0);
-    spec.addr_pattern = reflex::core::AddrPattern::Zipfian { theta_permille: 990 };
+    spec.addr_pattern = reflex::core::AddrPattern::Zipfian {
+        theta_permille: 990,
+    };
     spec.conns = 4;
     spec.client_threads = 2;
     tb.add_workload(spec).expect("accepted");
@@ -68,7 +70,10 @@ fn two_second_mixed_soak_holds_invariants() {
     // Mid-run renegotiation: gold grows to 120K.
     tb.world_mut()
         .server_mut()
-        .renegotiate_tenant(TenantId(1), SloSpec::new(120_000, 100, SimDuration::from_micros(500)))
+        .renegotiate_tenant(
+            TenantId(1),
+            SloSpec::new(120_000, 100, SimDuration::from_micros(500)),
+        )
         .expect("fits");
 
     tb.begin_measurement();
@@ -78,10 +83,18 @@ fn two_second_mixed_soak_holds_invariants() {
     // 1. LC tenants keep their SLOs through the churn.
     let gold = report.workload("gold");
     assert!(gold.iops > 75_000.0, "gold IOPS {:.0}", gold.iops);
-    assert!(gold.p95_read_us() < 550.0, "gold p95 {:.0}", gold.p95_read_us());
+    assert!(
+        gold.p95_read_us() < 550.0,
+        "gold p95 {:.0}",
+        gold.p95_read_us()
+    );
     let mixed = report.workload("mixed");
     assert!(mixed.iops > 28_000.0, "mixed IOPS {:.0}", mixed.iops);
-    assert!(mixed.p95_read_us() < 1_100.0, "mixed p95 {:.0}", mixed.p95_read_us());
+    assert!(
+        mixed.p95_read_us() < 1_100.0,
+        "mixed p95 {:.0}",
+        mixed.p95_read_us()
+    );
 
     // 2. Nobody starves and nothing errors.
     for w in &report.workloads {
@@ -115,7 +128,10 @@ fn two_second_mixed_soak_holds_invariants() {
         assert_eq!(s.unbound_conns, 0);
         assert_eq!(s.decode_errors, 0);
     }
-    assert!(submitted_total <= rx_total, "{submitted_total} > {rx_total}");
+    assert!(
+        submitted_total <= rx_total,
+        "{submitted_total} > {rx_total}"
+    );
 
     // 5. The throughput time series covers the whole window.
     assert!(
