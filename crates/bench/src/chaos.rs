@@ -1,0 +1,370 @@
+//! Chaos harness: throughput and tail latency under escalating faults.
+//!
+//! Figure-4-style sweeps, but instead of escalating *load* each curve
+//! escalates a *fault* — transient device errors, packet loss, latency
+//! storms, link flaps, dataplane thread stalls, whole-device death and
+//! control-plane server death — and measures what the recovery machinery
+//! (client retry with exponential backoff, server connection
+//! teardown/re-registration, cluster tenant re-placement) salvages:
+//! achieved IOPS, p95 inflation, recovered vs unrecovered requests, and
+//! recovery time after outages.
+//!
+//! Everything is deterministic: fault draws come from private RNG
+//! streams keyed by `(plan seed, event id)`, so the TSV is byte-identical
+//! for any `REFLEX_BENCH_THREADS` (see `tests/chaos_determinism.rs`).
+//!
+//! Run: `cargo run --release -p reflex-bench --bin chaos [-- --smoke]`
+
+use reflex_core::{
+    CapacityProfile, ClusterPlanner, RetryPolicy, ServerDescriptor, ServerId, Testbed, WorkloadSpec,
+};
+use reflex_faults::{install, FaultKind, FaultPlan};
+use reflex_qos::{CostModel, SloSpec, TenantClass, TenantId};
+use reflex_sim::{RatePoint, SimDuration, SimTime};
+
+use crate::sweep::{FaultsSummary, PointOutcome, Sweep, SweepResult};
+
+/// Master seed for every chaos fault plan.
+const PLAN_SEED: u64 = 0xC4A05;
+
+/// Offered load for the single-tenant chaos testbeds (well under one
+/// server thread's capacity, so fault effects dominate queueing).
+const OFFERED_IOPS: f64 = 50_000.0;
+
+fn warmup(smoke: bool) -> SimDuration {
+    SimDuration::from_millis(if smoke { 30 } else { 100 })
+}
+
+fn measure(smoke: bool) -> SimDuration {
+    SimDuration::from_millis(if smoke { 80 } else { 300 })
+}
+
+/// Renders the unified TSV row. `recovery_ms < 0` prints `-` (scenario
+/// has no outage to recover from).
+fn row(label: &str, severity: &str, o: &ChaosOutcome) -> String {
+    let recovery = if o.recovery_ms < 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}", o.recovery_ms)
+    };
+    format!(
+        "{label}\t{severity}\t{:.0}\t{:.0}\t{}\t{}\t{}\t{}\t{recovery}",
+        o.iops, o.p95_us, o.injected, o.retries, o.recovered, o.unrecovered
+    )
+}
+
+struct ChaosOutcome {
+    iops: f64,
+    p95_us: f64,
+    injected: u64,
+    retries: u64,
+    recovered: u64,
+    unrecovered: u64,
+    downtime_secs: f64,
+    recovery_ms: f64,
+    engine_events: u64,
+}
+
+impl ChaosOutcome {
+    fn into_point(self, label: &str, severity: &str) -> PointOutcome {
+        let r = row(label, severity, &self);
+        PointOutcome::new(self.p95_us)
+            .with_row(r)
+            .with_metric("iops", self.iops)
+            .with_metric("injected", self.injected as f64)
+            .with_metric("retries", self.retries as f64)
+            .with_metric("recovered", self.recovered as f64)
+            .with_metric("unrecovered", self.unrecovered as f64)
+            .with_metric("downtime_s", self.downtime_secs)
+            .with_metric("recovery_ms", self.recovery_ms)
+            .with_events(self.engine_events)
+    }
+}
+
+/// Runs one single-tenant testbed under `plan` and collects the chaos
+/// metrics. `up_at` marks the end of a scheduled outage, enabling the
+/// recovery-time measurement from the 10ms IOPS series.
+fn run_faulted(
+    plan: &FaultPlan,
+    retry: RetryPolicy,
+    smoke: bool,
+    up_at: Option<SimTime>,
+) -> ChaosOutcome {
+    let mut tb = Testbed::builder().seed(71).server_threads(1).build();
+    let slo = SloSpec::new(OFFERED_IOPS as u64, 100, SimDuration::from_micros(500));
+    tb.add_workload(
+        WorkloadSpec::open_loop(
+            "app",
+            TenantId(1),
+            TenantClass::LatencyCritical(slo),
+            OFFERED_IOPS,
+        )
+        .with_retry(retry),
+    )
+    .expect("chaos workload rejected");
+    let stats = install(plan, &mut tb);
+    tb.run(warmup(smoke));
+    tb.begin_measurement();
+    tb.run(measure(smoke));
+    let report = tb.report();
+    let w = report.workload("app");
+    let snap = stats.snapshot();
+    ChaosOutcome {
+        iops: w.iops,
+        p95_us: w.p95_read_us(),
+        injected: snap.injected(),
+        retries: w.retries,
+        recovered: w.retry_success,
+        unrecovered: w.exhausted,
+        downtime_secs: snap.downtime.as_secs_f64(),
+        recovery_ms: up_at.map_or(-1.0, |t| recovery_ms(&w.iops_series, t)),
+        engine_events: report.engine_events,
+    }
+}
+
+/// Time from `up_at` (an outage's end) until the first 10ms IOPS bucket
+/// back at >= 90% of the pre-outage mean, in milliseconds. Buckets fully
+/// before the outage form the baseline. Returns the remaining window
+/// length if the series never recovers (pessimistic, keeps the metric
+/// finite and deterministic).
+fn recovery_ms(series: &[RatePoint], up_at: SimTime) -> f64 {
+    let baseline: Vec<f64> = series
+        .iter()
+        .filter(|p| p.at + SimDuration::from_millis(10) <= up_at)
+        .map(|p| p.rate_per_sec)
+        .collect();
+    if baseline.is_empty() {
+        return -1.0;
+    }
+    let mean = baseline.iter().sum::<f64>() / baseline.len() as f64;
+    for p in series.iter().filter(|p| p.at >= up_at) {
+        if p.rate_per_sec >= 0.9 * mean {
+            return p.at.saturating_since(up_at).as_micros_f64() / 1_000.0;
+        }
+    }
+    series.last().map_or(-1.0, |p| {
+        p.at.saturating_since(up_at).as_micros_f64() / 1_000.0
+    })
+}
+
+/// Control-plane server death: a 3-server cluster loses one server and
+/// the planner re-places its tenants. Recovery time is modelled as
+/// failure detection (three missed 10ms heartbeats) plus 1ms of
+/// re-admission work per migrated tenant.
+fn server_death_point(tenants_per_server: u32) -> PointOutcome {
+    let mut planner = ClusterPlanner::new(
+        (0..3)
+            .map(|i| {
+                ServerDescriptor::new(
+                    ServerId(i),
+                    CapacityProfile::device_a_default(),
+                    CostModel::for_device_a(),
+                )
+            })
+            .collect(),
+    );
+    let slo = SloSpec::new(20_000, 100, SimDuration::from_micros(1_000));
+    let total = 3 * tenants_per_server;
+    for t in 0..total {
+        planner
+            .place(TenantId(t + 1), slo)
+            .expect("chaos cluster sized to fit");
+    }
+    let victim = planner
+        .servers()
+        .iter()
+        .max_by_key(|s| (s.tenant_count(), s.id.0))
+        .expect("three servers")
+        .id;
+    let report = planner.fail_server(victim).expect("victim exists");
+    let migrated = report.migrated.len() as u64;
+    let stranded = report.stranded.len() as u64;
+    let recovery = 30.0 + migrated as f64;
+    let o = ChaosOutcome {
+        iops: 0.0,
+        p95_us: 0.0,
+        injected: migrated + stranded,
+        retries: 0,
+        recovered: migrated,
+        unrecovered: stranded,
+        downtime_secs: recovery / 1_000.0,
+        recovery_ms: recovery,
+        engine_events: 0,
+    };
+    o.into_point("server-death", &format!("{total}-tenants"))
+}
+
+/// Builds the chaos sweep. `smoke` shrinks windows and severities to a
+/// CI-friendly size whose faults must all recover (the binary gates on
+/// it); the full sweep adds harsher points — including whole-device
+/// death, whose requests are unrecoverable by design.
+pub fn build_sweep(smoke: bool) -> Sweep {
+    let mut sweep = Sweep::new(if smoke { "chaos_smoke" } else { "chaos" });
+    let w = warmup(smoke);
+    let start = SimTime::ZERO + w;
+
+    // Transient device errors, escalating per-command error rate;
+    // recovered by immediate client retries (exponential backoff).
+    let rates: &[f64] = if smoke {
+        &[0.0, 0.02]
+    } else {
+        &[0.0, 0.01, 0.05, 0.1]
+    };
+    let curve = sweep.curve("transient-errors");
+    for &rate in rates {
+        curve.point(move || {
+            let plan = if rate > 0.0 {
+                FaultPlan::seeded(PLAN_SEED).with_event(
+                    start,
+                    FaultKind::TransientDeviceErrors {
+                        rate,
+                        duration: measure(smoke),
+                    },
+                )
+            } else {
+                FaultPlan::none()
+            };
+            run_faulted(&plan, RetryPolicy::standard(), smoke, None)
+                .into_point("transient-errors", &format!("rate={rate}"))
+        });
+    }
+
+    // Packet loss, escalating drop probability; recovered by per-attempt
+    // timeouts + retransmission.
+    let rates: &[f64] = if smoke { &[0.01] } else { &[0.005, 0.02, 0.05] };
+    let curve = sweep.curve("packet-loss");
+    for &rate in rates {
+        curve.point(move || {
+            let plan = FaultPlan::seeded(PLAN_SEED).with_event(
+                start,
+                FaultKind::PacketLoss {
+                    rate,
+                    duration: measure(smoke),
+                },
+            );
+            run_faulted(&plan, RetryPolicy::standard(), smoke, None)
+                .into_point("packet-loss", &format!("rate={rate}"))
+        });
+    }
+
+    // Packet duplication: stale copies must be ignored, not double-counted.
+    let curve = sweep.curve("packet-dup");
+    let dup_rates: &[f64] = if smoke { &[0.05] } else { &[0.05, 0.2] };
+    for &rate in dup_rates {
+        curve.point(move || {
+            let plan = FaultPlan::seeded(PLAN_SEED).with_event(
+                start,
+                FaultKind::PacketDup {
+                    rate,
+                    duration: measure(smoke),
+                },
+            );
+            run_faulted(&plan, RetryPolicy::standard(), smoke, None)
+                .into_point("packet-dup", &format!("rate={rate}"))
+        });
+    }
+
+    // Latency storms: bounded p95 inflation, no retries required.
+    let extras_us: &[u64] = if smoke { &[100] } else { &[100, 300, 1_000] };
+    let curve = sweep.curve("latency-storm");
+    for &extra in extras_us {
+        curve.point(move || {
+            let plan = FaultPlan::seeded(PLAN_SEED).with_event(
+                start,
+                FaultKind::LatencyStorm {
+                    extra: SimDuration::from_micros(extra),
+                    duration: measure(smoke),
+                },
+            );
+            run_faulted(&plan, RetryPolicy::standard(), smoke, None)
+                .into_point("latency-storm", &format!("extra={extra}us"))
+        });
+    }
+
+    // Link flaps: the server tears the client's connections down and
+    // re-registers them when the link returns; timeouts + retries recover
+    // the requests lost in the blackout. Recovery time is read off the
+    // 10ms IOPS series.
+    let downs_ms: &[u64] = if smoke { &[2] } else { &[2, 5, 10, 20] };
+    let flap_at = start + SimDuration::from_millis(30);
+    let curve = sweep.curve("link-flap");
+    for &down in downs_ms {
+        curve.point(move || {
+            let down_for = SimDuration::from_millis(down);
+            let plan = FaultPlan::seeded(PLAN_SEED).with_event(
+                flap_at,
+                FaultKind::LinkFlap {
+                    client: 0,
+                    down_for,
+                },
+            );
+            run_faulted(
+                &plan,
+                RetryPolicy::standard(),
+                smoke,
+                Some(flap_at + down_for),
+            )
+            .into_point("link-flap", &format!("down={down}ms"))
+        });
+    }
+
+    // Dataplane thread stalls: the polling loop wedges, queues back up
+    // and drain afterwards.
+    let stalls_us: &[u64] = if smoke { &[200] } else { &[200, 1_000, 5_000] };
+    let stall_at = start + SimDuration::from_millis(30);
+    let curve = sweep.curve("thread-stall");
+    for &stall in stalls_us {
+        curve.point(move || {
+            let dur = SimDuration::from_micros(stall);
+            let plan = FaultPlan::seeded(PLAN_SEED).with_event(
+                stall_at,
+                FaultKind::ThreadStall {
+                    thread: 0,
+                    stall: dur,
+                },
+            );
+            run_faulted(&plan, RetryPolicy::standard(), smoke, Some(stall_at + dur))
+                .into_point("thread-stall", &format!("stall={stall}us"))
+        });
+    }
+
+    // Control-plane server death: tenants migrate to the surviving
+    // servers (sized to always fit in smoke mode).
+    let curve = sweep.curve("server-death");
+    let sizes: &[u32] = if smoke { &[2] } else { &[2, 4] };
+    for &per in sizes {
+        curve.point(move || server_death_point(per));
+    }
+
+    // Whole-device death: nothing can recover these; full runs report
+    // the exhausted requests (the smoke gate excludes this curve).
+    if !smoke {
+        let death_at = start + SimDuration::from_millis(100);
+        sweep.curve("device-death").point(move || {
+            let plan = FaultPlan::seeded(PLAN_SEED).with_event(death_at, FaultKind::DeviceDeath);
+            run_faulted(&plan, RetryPolicy::standard(), smoke, None)
+                .into_point("device-death", "at=100ms")
+        });
+    }
+
+    sweep
+}
+
+/// Aggregates the per-point chaos metrics into the sweep-wide
+/// [`FaultsSummary`] for the JSON artifact.
+pub fn faults_summary(result: &SweepResult) -> FaultsSummary {
+    let mut s = FaultsSummary::default();
+    for c in &result.curves {
+        for p in &c.points {
+            s.injected += p.metric("injected").unwrap_or(0.0) as u64;
+            s.recovered += p.metric("recovered").unwrap_or(0.0) as u64;
+            s.unrecovered += p.metric("unrecovered").unwrap_or(0.0) as u64;
+            s.downtime_secs += p.metric("downtime_s").unwrap_or(0.0);
+        }
+    }
+    s
+}
+
+/// The TSV header matching [`row`].
+pub const TSV_HEADER: &str =
+    "scenario\tseverity\tiops\tp95_us\tinjected\tretries\trecovered\tunrecovered\trecovery_ms";

@@ -18,9 +18,11 @@
 //! | `fig7b_flashx` | Figure 7b: FlashX slowdowns (WCC/PR/BFS/SCC) |
 //! | `fig7c_rocksdb` | Figure 7c: RocksDB slowdowns (BL/RR/RwW) |
 //! | `ablations` | design-choice sweeps: batching cap, NEG_LIMIT, donation |
+//! | `chaos` | recovery under escalating injected faults (`--smoke` gates CI) |
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod sweep;
 
 use reflex_core::{ServerHarness, Testbed, TestbedReport, WorkloadSpec};

@@ -216,6 +216,7 @@ impl Sweep {
                 wall,
                 engine_events,
                 curves,
+                faults: None,
             };
         }
 
@@ -275,8 +276,26 @@ impl Sweep {
             wall,
             engine_events,
             curves,
+            faults: None,
         }
     }
+}
+
+/// Fault-injection totals for a chaos sweep — emitted as the optional
+/// `faults` section of `BENCH_<name>.json` (see
+/// [`SweepResult::set_faults`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultsSummary {
+    /// Individual faults injected (failed/delayed commands, dropped or
+    /// duplicated messages, thread stalls).
+    pub injected: u64,
+    /// Requests that succeeded after at least one retry.
+    pub recovered: u64,
+    /// Requests abandoned with all retry attempts spent.
+    pub unrecovered: u64,
+    /// Total scheduled unavailability (link outages + stalls), seconds
+    /// of simulated time.
+    pub downtime_secs: f64,
 }
 
 /// A curve's kept points after cutoff truncation.
@@ -305,6 +324,9 @@ pub struct SweepResult {
     pub engine_events: u64,
     /// One entry per declared curve.
     pub curves: Vec<CurveResult>,
+    /// Fault totals, if this was a chaos sweep (set after the run; the
+    /// JSON artifact gains a `faults` section when present).
+    pub faults: Option<FaultsSummary>,
 }
 
 impl SweepResult {
@@ -318,6 +340,13 @@ impl SweepResult {
             .iter()
             .find(|c| c.label == label)
             .unwrap_or_else(|| panic!("no curve labelled {label}"))
+    }
+
+    /// Attaches fault totals; `BENCH_<name>.json` then carries a
+    /// `faults` section. Chaos harnesses call this between the run and
+    /// [`write_json`](Self::write_json).
+    pub fn set_faults(&mut self, faults: FaultsSummary) {
+        self.faults = Some(faults);
     }
 
     /// All kept rows, curve by curve, newline-terminated — the canonical
@@ -365,6 +394,16 @@ impl SweepResult {
             "  \"engine_events_per_sec\": {},",
             json_num(self.events_per_sec())
         )?;
+        if let Some(fs) = &self.faults {
+            writeln!(
+                f,
+                "  \"faults\": {{\"injected\": {}, \"recovered\": {}, \"unrecovered\": {}, \"downtime_secs\": {}}},",
+                fs.injected,
+                fs.recovered,
+                fs.unrecovered,
+                json_num(fs.downtime_secs)
+            )?;
+        }
         writeln!(f, "  \"curves\": [")?;
         for (ci, c) in self.curves.iter().enumerate() {
             writeln!(f, "    {{")?;

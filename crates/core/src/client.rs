@@ -96,6 +96,86 @@ pub enum AddrPattern {
     },
 }
 
+/// Client-side failure-recovery policy: per-request timeout plus bounded
+/// retry with deterministic exponential backoff.
+///
+/// Attempt `k` (1-based) that fails — an error response, or no response
+/// within [`timeout`](Self::timeout) — is retried after
+/// `base_backoff * 2^(k-1)` until [`max_attempts`](Self::max_attempts)
+/// attempts have been made; the request is then abandoned and counted in
+/// [`WorkloadReport::exhausted`]. Latency histograms always measure from
+/// the *first* attempt's issue instant, so retries show up as tail
+/// inflation exactly as an application would observe them.
+///
+/// The default ([`RetryPolicy::disabled`]) performs no retries and arms no
+/// timers, so workloads that do not opt in behave — event for event —
+/// exactly as they did before this type existed.
+///
+/// # Examples
+///
+/// ```
+/// use reflex_core::RetryPolicy;
+/// use reflex_sim::SimDuration;
+///
+/// let policy = RetryPolicy::standard();
+/// assert!(policy.is_active());
+/// assert_eq!(policy.backoff_after(1), SimDuration::from_micros(50));
+/// assert_eq!(policy.backoff_after(3), SimDuration::from_micros(200));
+/// assert!(!RetryPolicy::disabled().is_active());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub base_backoff: SimDuration,
+    /// Per-attempt response deadline. `None` waits forever (errors can
+    /// still trigger retries; lost messages hang the request slot).
+    pub timeout: Option<SimDuration>,
+}
+
+impl RetryPolicy {
+    /// No retries, no timeouts — the zero-cost default.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: SimDuration::ZERO,
+            timeout: None,
+        }
+    }
+
+    /// Sane production defaults: 4 attempts, 50µs base backoff, 10ms
+    /// per-attempt timeout. The timeout sits far above healthy p999
+    /// latency (hundreds of µs) while still bounding recovery from a lost
+    /// message to ~10ms.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_micros(50),
+            timeout: Some(SimDuration::from_millis(10)),
+        }
+    }
+
+    /// `true` when the policy can retry or time out (i.e. is not the
+    /// disabled default).
+    pub fn is_active(&self) -> bool {
+        self.max_attempts > 1 || self.timeout.is_some()
+    }
+
+    /// Backoff delay after a failed attempt `attempt` (1-based):
+    /// `base_backoff * 2^(attempt-1)`, saturating.
+    pub fn backoff_after(&self, attempt: u32) -> SimDuration {
+        self.base_backoff
+            .mul_f64((1u64 << (attempt - 1).min(32) as u64) as f64)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// One tenant-bound request stream.
 #[derive(Debug, Clone)]
 pub struct WorkloadSpec {
@@ -134,6 +214,9 @@ pub struct WorkloadSpec {
     /// requests from `pattern` (connections are used round-robin; `at`
     /// offsets must be non-decreasing).
     pub trace: Option<Arc<[TraceOp]>>,
+    /// Client-side timeout/retry policy (default:
+    /// [`RetryPolicy::disabled`]).
+    pub retry: RetryPolicy,
 }
 
 impl WorkloadSpec {
@@ -157,7 +240,14 @@ impl WorkloadSpec {
             addr_pattern: AddrPattern::UniformRandom,
             namespace: (0, 1 << 40),
             trace: None,
+            retry: RetryPolicy::disabled(),
         }
+    }
+
+    /// Sets the client-side timeout/retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// A workload that replays a recorded trace.
@@ -215,6 +305,9 @@ impl WorkloadSpec {
         if self.namespace.1 < self.io_size as u64 {
             return Err("namespace smaller than one request".into());
         }
+        if self.retry.max_attempts == 0 {
+            return Err("retry max_attempts must be at least 1".into());
+        }
         if let Some(trace) = &self.trace {
             if trace.is_empty() {
                 return Err("trace must not be empty".into());
@@ -249,10 +342,18 @@ pub struct WorkloadReport {
     pub write_iops: f64,
     /// Goodput in bytes/second (reads returned + writes sent).
     pub bytes_per_sec: f64,
-    /// Error responses received.
+    /// Error responses received (after retries, when a policy is active).
     pub errors: u64,
     /// Requests issued during measurement.
     pub issued: u64,
+    /// Retransmissions performed by the retry policy.
+    pub retries: u64,
+    /// Requests that ultimately succeeded after at least one retry.
+    pub retry_success: u64,
+    /// Requests abandoned with all attempts spent.
+    pub exhausted: u64,
+    /// Per-attempt timeouts that fired.
+    pub timeouts: u64,
     /// Completion-rate time series over the measurement window (10ms
     /// buckets) — the raw material for Figure-6a-style plots.
     pub iops_series: Vec<RatePoint>,
@@ -294,6 +395,10 @@ pub(crate) struct WorkloadState {
     pub write_bytes: u64,
     pub errors: u64,
     pub issued: u64,
+    pub retries: u64,
+    pub retry_success: u64,
+    pub exhausted: u64,
+    pub timeouts: u64,
     pub stopped: bool,
     pub iops_series: RateSeries,
 }
@@ -314,6 +419,10 @@ impl WorkloadState {
             write_bytes: 0,
             errors: 0,
             issued: 0,
+            retries: 0,
+            retry_success: 0,
+            exhausted: 0,
+            timeouts: 0,
             stopped: false,
             iops_series: RateSeries::new(SimDuration::from_millis(10)),
         }
@@ -329,6 +438,10 @@ impl WorkloadState {
         self.write_bytes = 0;
         self.errors = 0;
         self.issued = 0;
+        self.retries = 0;
+        self.retry_success = 0;
+        self.exhausted = 0;
+        self.timeouts = 0;
     }
 
     pub fn report(&self, window: SimDuration) -> WorkloadReport {
@@ -346,6 +459,10 @@ impl WorkloadState {
             bytes_per_sec: (self.read_bytes + self.write_bytes) as f64 / secs,
             errors: self.errors,
             issued: self.issued,
+            retries: self.retries,
+            retry_success: self.retry_success,
+            exhausted: self.exhausted,
+            timeouts: self.timeouts,
             iops_series: series.points().to_vec(),
         }
     }
@@ -356,10 +473,15 @@ impl WorkloadState {
 pub(crate) struct OutstandingReq {
     pub workload: usize,
     pub conn_idx: usize,
+    /// Issue instant of the *first* attempt — latency is measured from
+    /// here so retries surface as tail inflation.
     pub sent_at: SimTime,
     pub is_read: bool,
+    pub addr: u64,
     pub len: u32,
     pub measured: bool,
+    /// 1-based attempt number of the in-flight transmission.
+    pub attempt: u32,
 }
 
 #[cfg(test)]

@@ -100,6 +100,8 @@ pub enum PlacementError {
     Duplicate(TenantId),
     /// The tenant id is unknown (removal).
     Unknown(TenantId),
+    /// The server id is unknown (failure handling).
+    UnknownServer(ServerId),
 }
 
 impl std::fmt::Display for PlacementError {
@@ -114,8 +116,22 @@ impl std::fmt::Display for PlacementError {
             ),
             PlacementError::Duplicate(t) => write!(f, "{t} already placed"),
             PlacementError::Unknown(t) => write!(f, "{t} not placed"),
+            PlacementError::UnknownServer(s) => write!(f, "no server {}", s.0),
         }
     }
+}
+
+/// Outcome of a server failure: where every displaced tenant went.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverReport {
+    /// The server that died.
+    pub failed: ServerId,
+    /// Tenants re-placed, in re-placement order (strictest SLO first),
+    /// with their new server.
+    pub migrated: Vec<(TenantId, ServerId)>,
+    /// Tenants no surviving server could host without violating an SLO;
+    /// they are evicted from the cluster and must be re-admitted later.
+    pub stranded: Vec<(TenantId, PlacementError)>,
 }
 
 impl std::error::Error for PlacementError {}
@@ -239,6 +255,60 @@ impl ClusterPlanner {
         let sid = self.servers[idx].id;
         self.placements.insert(id, sid);
         Ok(sid)
+    }
+
+    /// Handles the death of a whole server (paper §4.3: "the control
+    /// plane ... reassigns tenants when a server or device fails").
+    ///
+    /// The dead server is dropped from the cluster and each of its tenants
+    /// is re-placed through the normal SLO-aware [`place`](Self::place)
+    /// path — so the survivor chosen for each tenant is the feasible
+    /// server that preserves the most cluster-wide tokens. Tenants are
+    /// re-placed strictest SLO first (ties broken by tenant id) so the
+    /// hardest placements get first pick of the remaining headroom; the
+    /// order is fully deterministic. Tenants that no survivor can host are
+    /// evicted and returned as stranded.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::UnknownServer`] if `dead` is not in the cluster;
+    /// nothing is modified in that case.
+    pub fn fail_server(&mut self, dead: ServerId) -> Result<FailoverReport, PlacementError> {
+        let idx = self
+            .servers
+            .iter()
+            .position(|s| s.id == dead)
+            .ok_or(PlacementError::UnknownServer(dead))?;
+        let dead_server = self.servers.remove(idx);
+        let mut orphans: Vec<(TenantId, SloSpec)> = dead_server.tenants.into_iter().collect();
+        orphans.sort_by_key(|(id, slo)| (slo.p95_read_latency, *id));
+        for (id, _) in &orphans {
+            self.placements.remove(id);
+        }
+        let mut report = FailoverReport {
+            failed: dead,
+            migrated: Vec::new(),
+            stranded: Vec::new(),
+        };
+        for (id, slo) in orphans {
+            if self.servers.is_empty() {
+                report.stranded.push((
+                    id,
+                    PlacementError::NoCapacity {
+                        required: slo
+                            .token_rate(&dead_server.cost_model, 4096)
+                            .as_tokens_per_sec_f64(),
+                        best_available: 0.0,
+                    },
+                ));
+                continue;
+            }
+            match self.place(id, slo) {
+                Ok(sid) => report.migrated.push((id, sid)),
+                Err(e) => report.stranded.push((id, e)),
+            }
+        }
+        Ok(report)
     }
 
     /// Removes a tenant from the cluster.
@@ -372,6 +442,95 @@ mod tests {
             planner.place(TenantId(1), slo(10_000, 500)),
             Err(PlacementError::Duplicate(TenantId(1)))
         );
+    }
+
+    #[test]
+    fn fail_server_migrates_to_token_preserving_server() {
+        let mut planner = cluster(3);
+        // Two relaxed tenants seed one server; a strict tenant seeds
+        // another; the third stays empty.
+        let relaxed_home = planner.place(TenantId(1), slo(100_000, 2_000)).unwrap();
+        assert_eq!(
+            planner.place(TenantId(2), slo(100_000, 2_000)).unwrap(),
+            relaxed_home
+        );
+        let strict_home = planner.place(TenantId(3), slo(50_000, 300)).unwrap();
+        assert_ne!(relaxed_home, strict_home);
+
+        let report = planner.fail_server(strict_home).unwrap();
+        assert_eq!(report.failed, strict_home);
+        assert!(report.stranded.is_empty(), "{:?}", report.stranded);
+        assert_eq!(report.migrated.len(), 1);
+        let (id, new_home) = report.migrated[0];
+        assert_eq!(id, TenantId(3));
+        // Co-locating the strict tenant with the relaxed pair would
+        // tighten their whole token budget; the empty server preserves
+        // more cluster-wide tokens and must win.
+        assert_ne!(new_home, relaxed_home);
+        assert_ne!(new_home, strict_home);
+        assert_eq!(planner.placement_of(TenantId(3)), Some(new_home));
+    }
+
+    #[test]
+    fn fail_server_strands_tenants_no_server_can_honour() {
+        let mut planner = cluster(2);
+        // Each server takes one tenant close to its 500us capacity;
+        // neither can absorb the other's.
+        let big = SloSpec::new(100_000, 80, SimDuration::from_micros(500));
+        let a = planner.place(TenantId(1), big).unwrap();
+        let b = planner.place(TenantId(2), big).unwrap();
+        assert_ne!(a, b);
+
+        let report = planner.fail_server(b).unwrap();
+        assert!(report.migrated.is_empty(), "{:?}", report.migrated);
+        assert_eq!(report.stranded.len(), 1);
+        let (id, ref err) = report.stranded[0];
+        assert_eq!(id, TenantId(2));
+        assert!(matches!(err, PlacementError::NoCapacity { .. }), "{err}");
+        assert_eq!(planner.placement_of(TenantId(2)), None);
+        // The survivor is untouched.
+        assert_eq!(planner.placement_of(TenantId(1)), Some(a));
+    }
+
+    #[test]
+    fn fail_server_re_places_strictest_tenants_first() {
+        let mut planner = cluster(2);
+        // A relaxed tenant anchors one server; two strict tenants of
+        // different strictness co-locate on the other (joining the
+        // relaxed server would tighten its whole budget).
+        let relaxed_home = planner.place(TenantId(1), slo(100_000, 2_000)).unwrap();
+        let doomed = planner.place(TenantId(2), slo(40_000, 300)).unwrap();
+        assert_ne!(relaxed_home, doomed);
+        assert_eq!(
+            planner.place(TenantId(3), slo(40_000, 400)).unwrap(),
+            doomed
+        );
+
+        let report = planner.fail_server(doomed).unwrap();
+        // Both displaced tenants are accounted for, and the 300us tenant
+        // is processed (and thus grabs surviving capacity) before the
+        // 400us one.
+        let mut order: Vec<TenantId> = report.migrated.iter().map(|&(id, _)| id).collect();
+        order.extend(report.stranded.iter().map(|&(id, _)| id));
+        assert_eq!(order.len(), 2, "{report:?}");
+        let pos_strict = order.iter().position(|&id| id == TenantId(2)).unwrap();
+        let pos_laxer = order.iter().position(|&id| id == TenantId(3)).unwrap();
+        assert!(pos_strict < pos_laxer, "{report:?}");
+    }
+
+    #[test]
+    fn fail_server_unknown_and_last_server() {
+        let mut planner = cluster(1);
+        assert_eq!(
+            planner.fail_server(ServerId(9)),
+            Err(PlacementError::UnknownServer(ServerId(9)))
+        );
+        planner.place(TenantId(1), slo(10_000, 500)).unwrap();
+        // Killing the only server strands everything deterministically.
+        let report = planner.fail_server(ServerId(0)).unwrap();
+        assert!(report.migrated.is_empty());
+        assert_eq!(report.stranded.len(), 1);
+        assert!(planner.servers().is_empty());
     }
 
     #[test]

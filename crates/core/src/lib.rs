@@ -45,9 +45,10 @@ pub use capacity::{
     calibrate_capacity, sweep_device, sweep_device_point, sweep_device_sized, CapacityProfile,
 };
 pub use client::{
-    AddrPattern, ArrivalProcess, LoadPattern, MixProcess, TraceOp, WorkloadReport, WorkloadSpec,
+    AddrPattern, ArrivalProcess, LoadPattern, MixProcess, RetryPolicy, TraceOp, WorkloadReport,
+    WorkloadSpec,
 };
-pub use cluster::{ClusterPlanner, PlacementError, ServerDescriptor, ServerId};
+pub use cluster::{ClusterPlanner, FailoverReport, PlacementError, ServerDescriptor, ServerId};
 pub use harness::ServerHarness;
 pub use server::{AdmissionError, ControlPlaneStats, ReflexServer, ServerConfig};
 pub use testbed::{Testbed, TestbedBuilder, TestbedError, TestbedReport, ThreadReport, World};

@@ -126,6 +126,9 @@ pub struct ReflexServer {
     config: ServerConfig,
     tenants: HashMap<TenantId, TenantInfo>,
     conn_route: HashMap<ConnId, (usize, MachineId)>,
+    /// Connections torn down because their client's link died, awaiting
+    /// re-registration when the link returns.
+    parked: HashMap<MachineId, Vec<(ConnId, TenantId)>>,
     next_shard_id: u32,
     last_busy: Vec<SimDuration>,
     last_deficits: HashMap<TenantId, u64>,
@@ -187,6 +190,7 @@ impl ReflexServer {
             config,
             tenants: HashMap::new(),
             conn_route: HashMap::new(),
+            parked: HashMap::new(),
             next_shard_id: 0x8000_0000,
             last_busy,
             last_deficits: HashMap::new(),
@@ -585,6 +589,71 @@ impl ReflexServer {
     /// The dataplane thread currently serving `conn`.
     pub fn thread_of_conn(&self, conn: ConnId) -> Option<usize> {
         self.conn_route.get(&conn).map(|&(t, _)| t)
+    }
+
+    /// Tears down every connection belonging to `client` — its link died.
+    ///
+    /// The connections are unbound from their dataplane threads (messages
+    /// still in flight for them are dropped and counted in the thread's
+    /// `unbound_conns` stat) and parked for re-registration when the link
+    /// returns via [`Self::rebind_client`]. Returns the number of
+    /// connections torn down. Clients are expected to recover the lost
+    /// requests through their retry policy.
+    pub fn on_link_down(&mut self, client: MachineId) -> usize {
+        // Walk tenants in sorted order so the parked list (and therefore
+        // the rebind order) is independent of hash-map iteration order.
+        let mut ids: Vec<TenantId> = self.tenants.keys().copied().collect();
+        ids.sort();
+        let mut parked = Vec::new();
+        for id in ids {
+            for &conn in &self.tenants[&id].conns {
+                if self
+                    .conn_route
+                    .get(&conn)
+                    .is_some_and(|&(_, c)| c == client)
+                {
+                    parked.push((conn, id));
+                }
+            }
+        }
+        for &(conn, _) in &parked {
+            if let Some((thread, _)) = self.conn_route.remove(&conn) {
+                self.threads[thread].unbind_connection(conn);
+            }
+        }
+        let n = parked.len();
+        if n > 0 {
+            self.parked.entry(client).or_default().extend(parked);
+        }
+        n
+    }
+
+    /// Re-registers every connection parked for `client` after its link
+    /// came back, binding each to the thread currently serving its tenant
+    /// (the tenant may have been rebalanced while the link was down).
+    /// Returns the number of connections re-bound.
+    pub fn rebind_client(&mut self, client: MachineId) -> usize {
+        let Some(mut parked) = self.parked.remove(&client) else {
+            return 0;
+        };
+        parked.sort_by_key(|&(conn, _)| conn);
+        let mut rebound = 0;
+        for (conn, tenant) in parked {
+            // Tenant may have been unregistered while the link was down.
+            let Some(info) = self.tenants.get_mut(&tenant) else {
+                continue;
+            };
+            let (thread, shard_id) = info.shards[info.shard_rr % info.shards.len()];
+            info.shard_rr += 1;
+            if self.threads[thread]
+                .bind_connection(conn, shard_id, client)
+                .is_ok()
+            {
+                self.conn_route.insert(conn, (thread, client));
+                rebound += 1;
+            }
+        }
+        rebound
     }
 
     /// Cumulative millitokens spent per tenant (for token-usage reports).

@@ -97,6 +97,23 @@ impl<S: ServerHarness + 'static> World<S> {
         &self.device
     }
 
+    /// Exclusive access to the device (fault injection installs hooks
+    /// here).
+    pub fn device_mut(&mut self) -> &mut FlashDevice {
+        &mut self.device
+    }
+
+    /// The network fabric.
+    pub fn fabric(&self) -> &Fabric<WireMsg> {
+        &self.fabric
+    }
+
+    /// Exclusive access to the fabric (fault injection installs hooks and
+    /// swaps stack profiles here).
+    pub fn fabric_mut(&mut self) -> &mut Fabric<WireMsg> {
+        &mut self.fabric
+    }
+
     /// The server under test.
     pub fn server(&self) -> &S {
         &self.server
@@ -105,6 +122,16 @@ impl<S: ServerHarness + 'static> World<S> {
     /// Exclusive access to the server (tests and advanced harnesses).
     pub fn server_mut(&mut self) -> &mut S {
         &mut self.server
+    }
+
+    /// Machine id of client machine `idx` (panics if out of range).
+    pub fn client_machine(&self, idx: usize) -> MachineId {
+        self.clients[idx].machine
+    }
+
+    /// Number of client machines.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
     }
 
     /// Stops every workload generator: open-loop generators cease and
@@ -183,9 +210,35 @@ impl<S: ServerHarness + 'static> World<S> {
                 continue;
             };
             let Some(req) = self.outstanding.remove(&header.cookie) else {
+                // Duplicate delivery, or the response to an attempt that
+                // already timed out — a real client ignores both.
                 continue;
             };
             let w = &mut self.workloads[req.workload];
+            let policy = w.spec.retry;
+            if header.opcode == Opcode::Error && req.attempt < policy.max_attempts {
+                // Retryable failure: back off and retransmit instead of
+                // surfacing the error (the retry keeps closed-loop depth).
+                w.retries += 1;
+                let backoff = policy.backoff_after(req.attempt);
+                let (w_idx, conn_idx) = (req.workload, req.conn_idx);
+                let (is_read, addr, len) = (req.is_read, req.addr, req.len);
+                let (first, measured, attempt) = (req.sent_at, req.measured, req.attempt + 1);
+                ctx.schedule_after(backoff, move |w: &mut World<S>, ctx| {
+                    w.transmit_attempt(
+                        w_idx, conn_idx, is_read, addr, len, first, measured, attempt, ctx,
+                    )
+                });
+                continue;
+            }
+            if header.opcode != Opcode::Error && req.attempt > 1 {
+                w.retry_success += 1;
+            }
+            if header.opcode == Opcode::Error && policy.is_active() {
+                // Final attempt still failed: the request is abandoned
+                // with its retry budget spent.
+                w.exhausted += 1;
+            }
             let in_window = self.measure_start.is_some_and(|m| d.arrived_at >= m);
             if in_window {
                 let since = d
@@ -278,15 +331,40 @@ impl<S: ServerHarness + 'static> World<S> {
         ctx: &mut Ctx<World<S>>,
     ) {
         let now = ctx.now();
+        let measured = self.measure_start.is_some_and(|m| now >= m);
+        self.transmit_attempt(
+            w_idx, conn_idx, is_read, addr, io_size, now, measured, 1, ctx,
+        );
+    }
+
+    /// Transmits one attempt of a request. `attempt == 1` is a fresh issue;
+    /// higher attempts are retransmissions carrying the original request's
+    /// first-send instant and measurement flag.
+    #[allow(clippy::too_many_arguments)]
+    fn transmit_attempt(
+        &mut self,
+        w_idx: usize,
+        conn_idx: usize,
+        is_read: bool,
+        addr: u64,
+        io_size: u32,
+        first_sent_at: SimTime,
+        measured: bool,
+        attempt: u32,
+        ctx: &mut Ctx<World<S>>,
+    ) {
+        let now = ctx.now();
         let w = &mut self.workloads[w_idx];
         let spec = &w.spec;
         let tenant = spec.tenant;
+        let timeout = spec.retry.timeout;
         let client_idx = spec.client_machine;
         let conn = w.conns[conn_idx];
         let th = w.conn_thread[conn_idx] as usize;
 
         // Client thread gating: the stack's per-message CPU bounds the
-        // thread's message rate (Linux: ~70K msgs/s).
+        // thread's message rate (Linux: ~70K msgs/s). Retransmissions cost
+        // CPU like any other message.
         let per_msg = self.clients[client_idx].stack.per_msg_cpu;
         let busy = &mut self.client_threads_busy[w_idx][th];
         let t_send = now.max(*busy);
@@ -314,8 +392,7 @@ impl<S: ServerHarness + 'static> World<S> {
             payload,
             header.encode(),
         );
-        let measured = self.measure_start.is_some_and(|m| now >= m);
-        if measured {
+        if measured && attempt == 1 {
             self.workloads[w_idx].issued += 1;
         }
         self.outstanding.insert(
@@ -323,14 +400,56 @@ impl<S: ServerHarness + 'static> World<S> {
             OutstandingReq {
                 workload: w_idx,
                 conn_idx,
-                sent_at: now,
+                sent_at: first_sent_at,
                 is_read,
+                addr,
                 len: io_size,
                 measured,
+                attempt,
             },
         );
-        if let Some(thread) = self.server.thread_of_conn(conn) {
-            self.ensure_thread_wake(ctx, thread, arrival);
+        match self.server.thread_of_conn(conn) {
+            Some(thread) => self.ensure_thread_wake(ctx, thread, arrival),
+            // Unbound connection (link currently down): the message still
+            // lands on queue 0 where the dataplane drops it — wake thread 0
+            // so the drop is processed even with no other traffic.
+            None => self.ensure_thread_wake(ctx, 0, arrival),
+        }
+        if let Some(timeout) = timeout {
+            ctx.schedule_at(t_send + timeout, move |w: &mut World<S>, ctx| {
+                w.timeout_event(cookie, ctx)
+            });
+        }
+    }
+
+    /// Fires when an attempt's response deadline passes. If the cookie is
+    /// still outstanding the attempt is declared lost: retry with backoff
+    /// while attempts remain, otherwise abandon the request (topping up
+    /// closed-loop depth so the generator does not deflate).
+    fn timeout_event(&mut self, cookie: u64, ctx: &mut Ctx<World<S>>) {
+        let Some(req) = self.outstanding.remove(&cookie) else {
+            return; // answered in time — nothing to do
+        };
+        let w = &mut self.workloads[req.workload];
+        w.timeouts += 1;
+        let policy = w.spec.retry;
+        if req.attempt < policy.max_attempts {
+            w.retries += 1;
+            let backoff = policy.backoff_after(req.attempt);
+            let (w_idx, conn_idx) = (req.workload, req.conn_idx);
+            let (is_read, addr, len) = (req.is_read, req.addr, req.len);
+            let (first, measured, attempt) = (req.sent_at, req.measured, req.attempt + 1);
+            ctx.schedule_after(backoff, move |w: &mut World<S>, ctx| {
+                w.transmit_attempt(
+                    w_idx, conn_idx, is_read, addr, len, first, measured, attempt, ctx,
+                )
+            });
+        } else {
+            w.exhausted += 1;
+            let refill = matches!(w.spec.pattern, LoadPattern::ClosedLoop { .. }) && !w.stopped;
+            if refill {
+                self.issue_request(req.workload, req.conn_idx, ctx);
+            }
         }
     }
 
@@ -649,6 +768,16 @@ impl<S: ServerHarness + 'static> Testbed<S> {
     /// Exclusive access to the world.
     pub fn world_mut(&mut self) -> &mut World<S> {
         self.engine.world_mut()
+    }
+
+    /// Schedules an arbitrary event against the world at instant `at` —
+    /// the hook fault injectors use to fire timed events (link flaps,
+    /// thread stalls) inside the simulation.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut World<S>, &mut Ctx<World<S>>) + 'static,
+    {
+        self.engine.schedule_at(at, f);
     }
 
     /// Registers a workload: admits its tenant, opens and binds its

@@ -185,6 +185,9 @@ pub struct ThreadStats {
     pub barriers: u64,
     /// NVMe submissions refused with a full SQ (retried later).
     pub sq_full_retries: u64,
+    /// Fault-injected core stalls applied via
+    /// [`DataplaneThread::inject_stall`].
+    pub stalls: u64,
 }
 
 /// One simulated ReFlex server thread. See the module documentation.
@@ -313,6 +316,17 @@ impl DataplaneThread {
     /// CPU time spent in QoS scheduling (paper: 2–8% at load).
     pub fn sched_cpu_time(&self) -> SimDuration {
         self.sched_time
+    }
+
+    /// Fault injection: freezes this thread's core for `dur` starting at
+    /// `now` (SMI, hypervisor preemption, a rogue interrupt storm). The
+    /// thread resumes exactly where it left off — in-flight requests are
+    /// delayed, never lost — so the visible effect is a latency spike on
+    /// everything the thread owns.
+    pub fn inject_stall(&mut self, now: SimTime, dur: SimDuration) {
+        self.core_busy = self.core_busy.max(now) + dur;
+        self.busy_time += dur;
+        self.stats.stalls += 1;
     }
 
     /// Server-side read latency (message arrival to response transmit)
@@ -780,7 +794,10 @@ impl DataplaneThread {
         let status = match completed.status {
             NvmeStatus::Success => AbiStatus::Ok,
             NvmeStatus::OutOfRange => AbiStatus::OutOfRange,
-            NvmeStatus::MediaError => AbiStatus::OutOfResources,
+            // Both map to the retryable error class: the client cannot
+            // distinguish a transient media error from a dying device and
+            // should retry (the control plane handles re-placement).
+            NvmeStatus::MediaError | NvmeStatus::DeviceUnavailable => AbiStatus::OutOfResources,
         };
         let event = match ctx.op {
             IoType::Read => EventCond::Response {

@@ -1,0 +1,146 @@
+//! Wiring a [`FaultPlan`] into a live [`Testbed`].
+
+use std::sync::Arc;
+
+use reflex_core::{ReflexServer, Testbed, World};
+
+use crate::hooks::{PlannedDeviceHook, PlannedNetHook};
+use crate::plan::{FaultKind, FaultPlan};
+use crate::stats::FaultStats;
+
+/// Installs `plan` into `tb`: arms the device and fabric fault hooks for
+/// the windowed faults and schedules the discrete ones (link flaps,
+/// thread stalls) as engine events. Returns the shared counter handle.
+///
+/// Installing [`FaultPlan::none`] (or any empty plan) arms nothing — the
+/// run is byte-identical to one without fault injection.
+///
+/// # Panics
+///
+/// Panics if a [`FaultKind::LinkFlap`] names a client index outside
+/// `tb.world().client_count()`. A [`FaultKind::ThreadStall`] naming an
+/// inactive thread panics later, when the event fires.
+pub fn install(plan: &FaultPlan, tb: &mut Testbed<ReflexServer>) -> Arc<FaultStats> {
+    let stats = Arc::new(FaultStats::default());
+    let mut dev = PlannedDeviceHook::new(Arc::clone(&stats));
+    let mut net = PlannedNetHook::new(Arc::clone(&stats));
+    for ev in &plan.events {
+        let seed = plan.stream_seed(ev.id);
+        match ev.kind {
+            FaultKind::TransientDeviceErrors { rate, duration } => {
+                dev.add_transient(ev.at, duration, rate, seed);
+            }
+            FaultKind::GcStorm { extra, duration } => {
+                dev.add_gc_storm(ev.at, duration, extra);
+            }
+            FaultKind::DeviceDeath => dev.set_death(ev.at),
+            FaultKind::PacketLoss { rate, duration } => {
+                net.add_loss(ev.at, duration, rate, seed);
+            }
+            FaultKind::PacketDup { rate, duration } => {
+                net.add_dup(ev.at, duration, rate, seed);
+            }
+            FaultKind::LatencyStorm { extra, duration } => {
+                net.add_storm(ev.at, duration, extra);
+            }
+            FaultKind::LinkFlap { client, down_for } => {
+                assert!(
+                    client < tb.world().client_count(),
+                    "LinkFlap names client {client} but the testbed has {}",
+                    tb.world().client_count()
+                );
+                let machine = tb.world().client_machine(client);
+                // Packets already in flight or sent during the outage are
+                // black-holed by the fabric hook...
+                net.add_link_down(ev.at, down_for, machine);
+                stats.add_downtime(down_for);
+                // ...and the server tears the client's connections down,
+                // re-registering them when the link returns.
+                let s = Arc::clone(&stats);
+                tb.schedule_at(ev.at, move |w: &mut World<ReflexServer>, _ctx| {
+                    FaultStats::bump(&s.link_downs);
+                    let torn = w.server_mut().on_link_down(machine) as u64;
+                    s.conns_torn_down
+                        .fetch_add(torn, std::sync::atomic::Ordering::Relaxed);
+                });
+                let s = Arc::clone(&stats);
+                tb.schedule_at(
+                    ev.at + down_for,
+                    move |w: &mut World<ReflexServer>, _ctx| {
+                        let rebound = w.server_mut().rebind_client(machine) as u64;
+                        s.conns_rebound
+                            .fetch_add(rebound, std::sync::atomic::Ordering::Relaxed);
+                    },
+                );
+            }
+            FaultKind::ThreadStall { thread, stall } => {
+                stats.add_downtime(stall);
+                let s = Arc::clone(&stats);
+                tb.schedule_at(ev.at, move |w: &mut World<ReflexServer>, ctx| {
+                    FaultStats::bump(&s.thread_stalls);
+                    let now = ctx.now();
+                    w.server_mut().thread_mut(thread).inject_stall(now, stall);
+                });
+            }
+        }
+    }
+    if dev.is_armed() {
+        tb.world_mut().device_mut().set_fault_hook(Box::new(dev));
+    }
+    if net.is_armed() {
+        tb.world_mut().fabric_mut().set_fault_hook(Box::new(net));
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reflex_sim::{SimDuration, SimTime};
+
+    #[test]
+    fn empty_plan_installs_nothing() {
+        let mut tb = Testbed::builder().server_threads(1).build();
+        let stats = install(&FaultPlan::none(), &mut tb);
+        assert!(tb.world_mut().device_mut().clear_fault_hook().is_none());
+        assert!(tb.world_mut().fabric_mut().clear_fault_hook().is_none());
+        assert_eq!(stats.snapshot().injected(), 0);
+    }
+
+    #[test]
+    fn windowed_faults_arm_the_hooks() {
+        let mut tb = Testbed::builder().server_threads(1).build();
+        let plan = FaultPlan::seeded(1)
+            .with_event(
+                SimTime::ZERO + SimDuration::from_millis(1),
+                FaultKind::TransientDeviceErrors {
+                    rate: 0.5,
+                    duration: SimDuration::from_millis(2),
+                },
+            )
+            .with_event(
+                SimTime::ZERO + SimDuration::from_millis(1),
+                FaultKind::PacketLoss {
+                    rate: 0.1,
+                    duration: SimDuration::from_millis(2),
+                },
+            );
+        let _stats = install(&plan, &mut tb);
+        assert!(tb.world_mut().device_mut().clear_fault_hook().is_some());
+        assert!(tb.world_mut().fabric_mut().clear_fault_hook().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "LinkFlap names client")]
+    fn link_flap_bounds_checked_at_install() {
+        let mut tb = Testbed::builder().server_threads(1).build();
+        let plan = FaultPlan::seeded(1).with_event(
+            SimTime::ZERO,
+            FaultKind::LinkFlap {
+                client: 99,
+                down_for: SimDuration::from_millis(1),
+            },
+        );
+        let _ = install(&plan, &mut tb);
+    }
+}

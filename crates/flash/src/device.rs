@@ -92,6 +92,41 @@ pub struct DeviceStats {
     pub out_of_range: u64,
     /// Reads failed with uncorrectable media errors.
     pub media_errors: u64,
+    /// Commands aborted because the device was declared dead by a fault
+    /// hook.
+    pub unavailable: u64,
+}
+
+/// What a [`DeviceFaultHook`] does to one command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceFaultAction {
+    /// Service the command normally.
+    None,
+    /// Complete with [`NvmeStatus::MediaError`]: a transient uncorrectable
+    /// read / failed program that a host retry may survive. The command
+    /// still occupies the channel (ECC burned the time before giving up).
+    TransientError,
+    /// Add latency on top of the modelled completion time (stuck-GC spike,
+    /// firmware hiccup). The channel occupancy is unchanged — only the
+    /// host-visible completion is late.
+    ExtraLatency(SimDuration),
+    /// The device is dead: abort immediately with
+    /// [`NvmeStatus::DeviceUnavailable`] and touch no channel state.
+    Dead,
+}
+
+/// Per-command fault injection hook, consulted by [`FlashDevice::submit`]
+/// for every accepted command.
+///
+/// Installed via [`FlashDevice::set_fault_hook`]; when no hook is installed
+/// the device takes the exact same code path (and consumes the exact same
+/// RNG stream) as before this trait existed, so fault-free runs are
+/// byte-identical. Implementations needing randomness must bring their own
+/// [`SimRng`] stream — the device's stream is off-limits to keep healthy
+/// draws undisturbed.
+pub trait DeviceFaultHook: Send {
+    /// Decides the fate of `cmd` submitted at `now`.
+    fn on_command(&mut self, now: SimTime, cmd: &NvmeCommand) -> DeviceFaultAction;
 }
 
 struct QueuePair {
@@ -135,6 +170,7 @@ pub struct FlashDevice {
     last_write_at: Option<SimTime>,
     wear_factor: f64,
     stats: DeviceStats,
+    fault_hook: Option<Box<dyn DeviceFaultHook>>,
 }
 
 impl std::fmt::Debug for FlashDevice {
@@ -165,6 +201,7 @@ impl FlashDevice {
             last_write_at: None,
             wear_factor: 1.0,
             stats: DeviceStats::default(),
+            fault_hook: None,
         }
     }
 
@@ -184,6 +221,17 @@ impl FlashDevice {
     pub fn set_wear_factor(&mut self, factor: f64) {
         assert!(factor >= 1.0, "wear can only slow a device down");
         self.wear_factor = factor;
+    }
+
+    /// Installs a fault-injection hook consulted on every accepted command.
+    /// Replaces any previously installed hook.
+    pub fn set_fault_hook(&mut self, hook: Box<dyn DeviceFaultHook>) {
+        self.fault_hook = Some(hook);
+    }
+
+    /// Removes the fault hook, restoring healthy behaviour.
+    pub fn clear_fault_hook(&mut self) -> Option<Box<dyn DeviceFaultHook>> {
+        self.fault_hook.take()
     }
 
     /// Allocates a new hardware queue pair.
@@ -257,16 +305,47 @@ impl FlashDevice {
             return Ok(at);
         }
 
-        let completed_at = match cmd.op {
+        // Consult the fault hook first: a dead device aborts before any
+        // channel state is touched. With no hook installed this is a no-op
+        // and the healthy path below is bit-for-bit unchanged.
+        let fault = match self.fault_hook.as_mut() {
+            Some(hook) => hook.on_command(now, &cmd),
+            None => DeviceFaultAction::None,
+        };
+        if fault == DeviceFaultAction::Dead {
+            self.stats.unavailable += 1;
+            let at = now + SimDuration::from_micros(1);
+            let seq = self.next_seq();
+            self.push_completion(
+                qp,
+                CqEntry {
+                    at,
+                    seq,
+                    completion: NvmeCompletion {
+                        id: cmd.id,
+                        op: cmd.op,
+                        completed_at: at,
+                        status: NvmeStatus::DeviceUnavailable,
+                    },
+                },
+            );
+            return Ok(at);
+        }
+
+        let mut completed_at = match cmd.op {
             IoType::Read => self.service_read(now, &cmd),
             IoType::Write => self.service_write(now, &cmd),
         };
         debug_assert!(completed_at >= now);
+        if let DeviceFaultAction::ExtraLatency(extra) = fault {
+            completed_at += extra;
+        }
         // Failure injection: the read occupies the channel either way, but
         // ECC gives up and the completion reports a media error.
-        let status = if cmd.op.is_read()
-            && self.profile.media_error_rate > 0.0
-            && self.rng.chance(self.profile.media_error_rate)
+        let status = if fault == DeviceFaultAction::TransientError
+            || (cmd.op.is_read()
+                && self.profile.media_error_rate > 0.0
+                && self.rng.chance(self.profile.media_error_rate))
         {
             self.stats.media_errors += 1;
             NvmeStatus::MediaError
@@ -637,6 +716,87 @@ mod tests {
             "expected GC activity, got {:?}",
             d.stats()
         );
+    }
+
+    struct ScriptedHook {
+        actions: Vec<DeviceFaultAction>,
+    }
+
+    impl DeviceFaultHook for ScriptedHook {
+        fn on_command(&mut self, _now: SimTime, _cmd: &NvmeCommand) -> DeviceFaultAction {
+            if self.actions.is_empty() {
+                DeviceFaultAction::None
+            } else {
+                self.actions.remove(0)
+            }
+        }
+    }
+
+    #[test]
+    fn fault_hook_injects_transient_and_death() {
+        let (mut d, qp) = dev();
+        d.set_fault_hook(Box::new(ScriptedHook {
+            actions: vec![
+                DeviceFaultAction::TransientError,
+                DeviceFaultAction::Dead,
+                DeviceFaultAction::None,
+            ],
+        }));
+        let t0 = SimTime::ZERO;
+        for i in 0..3 {
+            d.submit(t0, qp, NvmeCommand::read(CmdId(i), i * 4096, 4096))
+                .unwrap();
+        }
+        let cs = d.poll_completions(SimTime::from_secs(1), qp, usize::MAX);
+        assert_eq!(cs.len(), 3);
+        let by_id = |id: u64| cs.iter().find(|c| c.id == CmdId(id)).unwrap();
+        assert_eq!(by_id(0).status, NvmeStatus::MediaError);
+        assert_eq!(by_id(1).status, NvmeStatus::DeviceUnavailable);
+        assert_eq!(by_id(2).status, NvmeStatus::Success);
+        assert_eq!(d.stats().media_errors, 1);
+        assert_eq!(d.stats().unavailable, 1);
+        // Dead completions abort fast, without paying the read latency.
+        assert!((by_id(1).completed_at - t0).as_micros_f64() < 2.0);
+    }
+
+    #[test]
+    fn fault_hook_extra_latency_delays_completion() {
+        let (mut d0, qp0) = dev();
+        let (mut d1, qp1) = dev();
+        d1.set_fault_hook(Box::new(ScriptedHook {
+            actions: vec![DeviceFaultAction::ExtraLatency(SimDuration::from_millis(2))],
+        }));
+        d0.submit(SimTime::ZERO, qp0, NvmeCommand::read(CmdId(1), 0, 4096))
+            .unwrap();
+        d1.submit(SimTime::ZERO, qp1, NvmeCommand::read(CmdId(1), 0, 4096))
+            .unwrap();
+        let healthy = d0.next_completion_time(qp0).unwrap();
+        let delayed = d1.next_completion_time(qp1).unwrap();
+        let gap = (delayed - healthy).as_micros_f64();
+        assert!((gap - 2_000.0).abs() < 1e-6, "gap {gap}us");
+    }
+
+    #[test]
+    fn fault_hook_does_not_perturb_healthy_rng_stream() {
+        // Same seed, one device with a pass-through hook: identical
+        // completion times (the hook must not consume device RNG).
+        let (mut d0, qp0) = dev();
+        let (mut d1, qp1) = dev();
+        d1.set_fault_hook(Box::new(ScriptedHook { actions: vec![] }));
+        for i in 0..50u64 {
+            let t = SimTime::from_micros(i * 10);
+            d0.submit(t, qp0, NvmeCommand::read(CmdId(i), i * 4096, 4096))
+                .unwrap();
+            d1.submit(t, qp1, NvmeCommand::read(CmdId(i), i * 4096, 4096))
+                .unwrap();
+            assert_eq!(
+                d0.next_completion_time(qp0),
+                d1.next_completion_time(qp1),
+                "diverged at cmd {i}"
+            );
+            d0.poll_completions(SimTime::from_secs(1), qp0, usize::MAX);
+            d1.poll_completions(SimTime::from_secs(1), qp1, usize::MAX);
+        }
     }
 
     #[test]

@@ -96,6 +96,9 @@ pub enum NvmeStatus {
     OutOfRange,
     /// Uncorrectable media error while reading (failure injection).
     MediaError,
+    /// The device has died: every command aborts immediately (fault
+    /// injection — whole-device death, see `reflex-faults`).
+    DeviceUnavailable,
 }
 
 /// A completed NVMe command popped from a completion queue.

@@ -91,6 +91,42 @@ struct Nic {
     rx_bytes: u64,
 }
 
+/// What a [`NetFaultHook`] does to one message in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// Lose the message on the wire. The sender still paid stack CPU and
+    /// uplink serialization (it did transmit); the receiver never sees it.
+    Drop,
+    /// Deliver twice (switch-level duplication / spurious retransmit). The
+    /// copy lands 500ns after the original.
+    Duplicate,
+    /// Deliver late by the given extra delay (congestion burst, pause
+    /// frames) on top of the modelled arrival time.
+    Delay(SimDuration),
+}
+
+/// Per-message fault injection hook, consulted by
+/// [`Fabric::send_to_queue`] for every message.
+///
+/// Installed via [`Fabric::set_fault_hook`]. The hook is consulted *after*
+/// the fabric has computed the message's timing, so NIC busy state and the
+/// per-NIC jitter RNG streams advance identically whether or not a fault
+/// fires — a hook that always returns [`NetFaultAction::Deliver`] is
+/// invisible. Implementations needing randomness must carry their own
+/// [`SimRng`] stream.
+pub trait NetFaultHook: Send {
+    /// Decides the fate of a `size`-byte message from `from` to `to`.
+    fn on_send(
+        &mut self,
+        now: SimTime,
+        from: MachineId,
+        to: MachineId,
+        size: u32,
+    ) -> NetFaultAction;
+}
+
 struct RxEntry<P> {
     at: SimTime,
     seq: u64,
@@ -139,6 +175,9 @@ pub struct Fabric<P> {
     rx_queues: Vec<Vec<BinaryHeap<Reverse<RxEntry<P>>>>>,
     seq: u64,
     next_conn: u64,
+    fault_hook: Option<Box<dyn NetFaultHook>>,
+    dropped: u64,
+    duplicated: u64,
 }
 
 impl<P> std::fmt::Debug for Fabric<P> {
@@ -162,7 +201,26 @@ impl<P> Fabric<P> {
             rx_queues: Vec::new(),
             seq: 0,
             next_conn: 0,
+            fault_hook: None,
+            dropped: 0,
+            duplicated: 0,
         }
+    }
+
+    /// Installs a fault-injection hook consulted on every message sent.
+    /// Replaces any previously installed hook.
+    pub fn set_fault_hook(&mut self, hook: Box<dyn NetFaultHook>) {
+        self.fault_hook = Some(hook);
+    }
+
+    /// Removes the fault hook, restoring lossless delivery.
+    pub fn clear_fault_hook(&mut self) -> Option<Box<dyn NetFaultHook>> {
+        self.fault_hook.take()
+    }
+
+    /// Messages lost / duplicated by the fault hook so far.
+    pub fn fault_counts(&self) -> (u64, u64) {
+        (self.dropped, self.duplicated)
     }
 
     /// The fabric's link configuration.
@@ -235,8 +293,23 @@ impl<P> Fabric<P> {
         conn: ConnId,
         size: u32,
         payload: P,
-    ) -> SimTime {
+    ) -> SimTime
+    where
+        P: Clone,
+    {
         self.send_to_queue(now, from, to, NicQueueId(0), conn, size, payload)
+    }
+
+    /// Replaces `machine`'s network stack profile. Used by fault injection
+    /// to model latency storms (a degraded stack for a window of time);
+    /// the NIC's jitter RNG stream is untouched.
+    pub fn set_stack(&mut self, machine: MachineId, stack: StackProfile) {
+        self.nics[machine.0 as usize].stack = stack;
+    }
+
+    /// The stack profile currently in force on `machine`.
+    pub fn stack(&self, machine: MachineId) -> &StackProfile {
+        &self.nics[machine.0 as usize].stack
     }
 
     /// Like [`send`](Self::send) but steers the message to a specific
@@ -257,7 +330,10 @@ impl<P> Fabric<P> {
         conn: ConnId,
         size: u32,
         payload: P,
-    ) -> SimTime {
+    ) -> SimTime
+    where
+        P: Clone,
+    {
         assert_ne!(from, to, "loopback is not modelled");
         // The flow's transport is the sender's (both ends of a connection
         // speak the same protocol).
@@ -279,22 +355,48 @@ impl<P> Fabric<P> {
         let rx_done = wire_arrival.max(dst.rx_busy) + ser;
         dst.rx_busy = rx_done;
         let rx_stack = dst.stack.sample_rx(&mut dst.rng);
-        let arrived_at = rx_done + rx_stack;
+        let mut arrived_at = rx_done + rx_stack;
         dst.rx_bytes += size as u64;
 
-        let seq = self.seq;
-        self.seq += 1;
-        self.rx_queues[to.0 as usize][queue.0 as usize].push(Reverse(RxEntry {
-            at: arrived_at,
-            seq,
-            delivery: Delivery {
-                from,
-                conn,
-                arrived_at,
-                size,
-                payload,
-            },
-        }));
+        // Fault hook last: the timing above (NIC busy state, jitter RNG)
+        // has already advanced exactly as in a healthy run, so disabling
+        // the hook cannot perturb any other message.
+        let fault = match self.fault_hook.as_mut() {
+            Some(hook) => hook.on_send(now, from, to, size),
+            None => NetFaultAction::Deliver,
+        };
+        let mut copies = 1u32;
+        match fault {
+            NetFaultAction::Deliver => {}
+            NetFaultAction::Drop => {
+                self.dropped += 1;
+                // Callers treat the return value as "when to look"; for a
+                // lost message nothing will be there, which is harmless.
+                return arrived_at;
+            }
+            NetFaultAction::Duplicate => {
+                self.duplicated += 1;
+                copies = 2;
+            }
+            NetFaultAction::Delay(extra) => arrived_at += extra,
+        }
+
+        for copy in 0..copies {
+            let at = arrived_at + SimDuration::from_nanos(500 * copy as u64);
+            let seq = self.seq;
+            self.seq += 1;
+            self.rx_queues[to.0 as usize][queue.0 as usize].push(Reverse(RxEntry {
+                at,
+                seq,
+                delivery: Delivery {
+                    from,
+                    conn,
+                    arrived_at: at,
+                    size,
+                    payload: payload.clone(),
+                },
+            }));
+        }
         arrived_at
     }
 
@@ -477,6 +579,80 @@ mod tests {
         let (mut f, a, _b) = fabric();
         let conn = f.new_conn();
         f.send(SimTime::ZERO, a, a, conn, 0, 0);
+    }
+
+    struct ScriptedNetHook {
+        actions: Vec<NetFaultAction>,
+    }
+
+    impl NetFaultHook for ScriptedNetHook {
+        fn on_send(
+            &mut self,
+            _now: SimTime,
+            _from: MachineId,
+            _to: MachineId,
+            _size: u32,
+        ) -> NetFaultAction {
+            if self.actions.is_empty() {
+                NetFaultAction::Deliver
+            } else {
+                self.actions.remove(0)
+            }
+        }
+    }
+
+    #[test]
+    fn fault_hook_drops_duplicates_and_delays() {
+        let (mut f, a, b) = fabric();
+        f.set_fault_hook(Box::new(ScriptedNetHook {
+            actions: vec![
+                NetFaultAction::Drop,
+                NetFaultAction::Duplicate,
+                NetFaultAction::Delay(SimDuration::from_millis(5)),
+                NetFaultAction::Deliver,
+            ],
+        }));
+        let conn = f.new_conn();
+        f.send(SimTime::ZERO, a, b, conn, 64, 0); // dropped
+        f.send(SimTime::from_micros(100), a, b, conn, 64, 1); // duplicated
+        let delayed_at = f.send(SimTime::from_micros(200), a, b, conn, 64, 2);
+        f.send(SimTime::from_micros(300), a, b, conn, 64, 3);
+        let all = f.poll(SimTime::from_secs(1), b, usize::MAX);
+        let payloads: Vec<u32> = all.iter().map(|d| d.payload).collect();
+        // 0 lost; 1 twice; 3 arrives before the delayed 2.
+        assert_eq!(payloads, vec![1, 1, 3, 2]);
+        assert!(delayed_at.as_micros_f64() > 5_000.0);
+        assert_eq!(f.fault_counts(), (1, 1));
+    }
+
+    #[test]
+    fn passthrough_hook_does_not_change_timing() {
+        let (mut f0, a0, b0) = fabric();
+        let (mut f1, a1, b1) = fabric();
+        f1.set_fault_hook(Box::new(ScriptedNetHook { actions: vec![] }));
+        let c0 = f0.new_conn();
+        let c1 = f1.new_conn();
+        for i in 0..100u64 {
+            let t = SimTime::from_micros(i * 7);
+            let x = f0.send(t, a0, b0, c0, 1024, i as u32);
+            let y = f1.send(t, a1, b1, c1, 1024, i as u32);
+            assert_eq!(x, y, "diverged at msg {i}");
+        }
+    }
+
+    #[test]
+    fn degraded_stack_swap_slows_delivery() {
+        let (mut f, a, b) = fabric();
+        let conn = f.new_conn();
+        let healthy = f.send(SimTime::ZERO, a, b, conn, 0, 0) - SimTime::ZERO;
+        let degraded = f.stack(a).degraded(10.0);
+        f.set_stack(a, degraded);
+        let t = SimTime::from_millis(1);
+        let stormy = f.send(t, a, b, conn, 0, 1) - t;
+        assert!(
+            stormy.as_micros_f64() > healthy.as_micros_f64() * 3.0,
+            "storm {stormy:?} vs healthy {healthy:?}"
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@ mod fabric;
 mod stack;
 mod wire;
 
-pub use fabric::{ConnId, Delivery, Fabric, LinkConfig, MachineId, NicQueueId};
+pub use fabric::{
+    ConnId, Delivery, Fabric, LinkConfig, MachineId, NetFaultAction, NetFaultHook, NicQueueId,
+};
 pub use stack::{StackProfile, Transport};
 pub use wire::{
     wire_bytes, wire_bytes_with, Opcode, ReflexHeader, WireError, FRAME_OVERHEAD, HEADER_SIZE,

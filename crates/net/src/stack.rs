@@ -134,6 +134,26 @@ impl StackProfile {
         }
     }
 
+    /// A degraded copy of this profile: medians multiplied by `factor` and
+    /// jitter widened (latency-storm fault injection swaps a machine's
+    /// stack for a degraded one during the storm window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0`.
+    pub fn degraded(&self, factor: f64) -> StackProfile {
+        assert!(factor >= 1.0, "degradation can only slow a stack down");
+        StackProfile {
+            name: format!("{}-degraded", self.name),
+            tx_median: self.tx_median.mul_f64(factor),
+            tx_sigma: (self.tx_sigma * factor.sqrt()).min(1.0),
+            rx_median: self.rx_median.mul_f64(factor),
+            rx_sigma: (self.rx_sigma * factor.sqrt()).min(1.0),
+            per_msg_cpu: self.per_msg_cpu,
+            transport: self.transport,
+        }
+    }
+
     /// Samples the transmit-side software latency.
     pub fn sample_tx(&self, rng: &mut SimRng) -> SimDuration {
         rng.lognormal(self.tx_median, self.tx_sigma)

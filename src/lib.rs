@@ -16,6 +16,7 @@
 //! | [`qos`] | `reflex-qos` | cost model, tokens, **Algorithm 1** scheduler |
 //! | [`dataplane`] | `reflex-dataplane` | polling server threads, Table-1 ABI, ACLs |
 //! | [`core`] | `reflex-core` | server + control plane + clients + [`core::Testbed`] |
+//! | [`faults`] | `reflex-faults` | deterministic fault injection + recovery measurement |
 //! | [`baselines`] | `reflex-baselines` | local SPDK, iSCSI, libaio comparisons |
 //! | [`workloads`] | `reflex-workloads` | FIO, FlashX-like, RocksDB-like apps |
 //!
@@ -47,6 +48,7 @@
 pub use reflex_baselines as baselines;
 pub use reflex_core as core;
 pub use reflex_dataplane as dataplane;
+pub use reflex_faults as faults;
 pub use reflex_flash as flash;
 pub use reflex_net as net;
 pub use reflex_qos as qos;
