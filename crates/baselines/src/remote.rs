@@ -298,7 +298,7 @@ impl ServerHarness for BaselineServer {
                     req.client,
                     req.conn,
                     payload,
-                    header.encode(),
+                    header.encode_array(),
                 );
                 progress = true;
             }

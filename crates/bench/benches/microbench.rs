@@ -125,6 +125,12 @@ fn header_codec(c: &mut Criterion) {
             ReflexHeader::decode(&bytes).expect("round trip")
         })
     });
+    c.bench_function("header_encode_array_decode", |b| {
+        b.iter(|| {
+            let bytes = hdr.encode_array();
+            ReflexHeader::decode(&bytes).expect("round trip")
+        })
+    });
 }
 
 /// Faithful replica of the pre-timer-wheel event queue: a `BinaryHeap` of
@@ -264,6 +270,20 @@ fn wheel_chain_event(w: &mut ChurnWorld, ctx: &mut reflex_sim::Ctx<'_, ChurnWorl
     }
 }
 
+/// The same chain as a pooled typed event: no `Box` per schedule, the
+/// variant payload lives inline in the recycled slab node.
+#[derive(Clone, Copy)]
+struct ChainTick;
+
+impl reflex_sim::TypedEvent<ChurnWorld> for ChainTick {
+    fn dispatch(self, w: &mut ChurnWorld, ctx: &mut reflex_sim::Ctx<'_, ChurnWorld, ChainTick>) {
+        w.dispatched += 1;
+        if let Some(delay) = w.draw_delay() {
+            ctx.schedule_event_after(delay, ChainTick);
+        }
+    }
+}
+
 /// The same event against the baseline heap engine.
 fn heap_chain_event(w: &mut ChurnWorld, ctx: &mut baseline_heap::Ctx<ChurnWorld>) {
     w.dispatched += 1;
@@ -281,6 +301,17 @@ fn engine_dispatch(c: &mut Criterion) {
                 let mut e = reflex_sim::Engine::new(ChurnWorld::new(budget, width));
                 for i in 0..width {
                     e.schedule_at(SimTime::from_nanos(i * 100), wheel_chain_event);
+                }
+                e.run_to_completion();
+                assert!(e.world().dispatched >= budget - width);
+                e.world().dispatched
+            })
+        });
+        group.bench_function(format!("typed_wheel_{width}w"), |b| {
+            b.iter(|| {
+                let mut e = reflex_sim::Engine::with_events(ChurnWorld::new(budget, width));
+                for i in 0..width {
+                    e.schedule_event_at(SimTime::from_nanos(i * 100), ChainTick);
                 }
                 e.run_to_completion();
                 assert!(e.world().dispatched >= budget - width);

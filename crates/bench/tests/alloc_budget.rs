@@ -1,0 +1,125 @@
+//! Steady-state allocation budget for the hot request path.
+//!
+//! Installs the counting allocator from `reflex_sim::alloc_count` as this
+//! binary's global allocator and measures two windows:
+//!
+//! 1. The engine alone: a self-rescheduling typed-event churn must run in
+//!    recycled slab nodes and wheel slots — effectively zero allocations
+//!    per dispatch once the population is built.
+//! 2. End to end: a closed-loop testbed in steady state. Every per-IO
+//!    structure (event nodes, in-flight slabs, scratch batch buffers, wire
+//!    headers) is pooled, so allocations per completed IO must stay under a
+//!    small fixed budget (amortized growth of long-lived containers and
+//!    the 10ms control tick are all that remain).
+//!
+//! The counters are process-global, so everything runs inside a single
+//! `#[test]` — no other test in this binary may allocate concurrently.
+
+use reflex_core::{Testbed, WorkloadSpec};
+use reflex_qos::{SloSpec, TenantClass, TenantId};
+use reflex_sim::alloc_count::{allocations, CountingAlloc};
+use reflex_sim::{Ctx, Engine, SimDuration, SimTime, TypedEvent};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+struct ChurnWorld {
+    rng: u64,
+    dispatched: u64,
+    budget: u64,
+    width: u64,
+}
+
+#[derive(Clone, Copy)]
+struct ChainTick;
+
+impl TypedEvent<ChurnWorld> for ChainTick {
+    fn dispatch(self, w: &mut ChurnWorld, ctx: &mut Ctx<'_, ChurnWorld, ChainTick>) {
+        w.dispatched += 1;
+        if w.dispatched + w.width > w.budget {
+            return; // drain
+        }
+        w.rng = w
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let nanos = 200 + w.rng % 2_000_000;
+        ctx.schedule_event_after(SimDuration::from_nanos(nanos), ChainTick);
+    }
+}
+
+fn engine_allocs_per_dispatch() -> f64 {
+    let width = 1024u64;
+    let budget = 200_000u64;
+    let mut e = Engine::with_events(ChurnWorld {
+        rng: 0x9e3779b97f4a7c15,
+        dispatched: 0,
+        budget,
+        width,
+    });
+    for i in 0..width {
+        e.schedule_event_at(SimTime::from_nanos(i * 100), ChainTick);
+    }
+    // Warm up: build the event population, the slab, and the wheel.
+    e.run_for(SimDuration::from_millis(40));
+    let warmed = e.world().dispatched;
+    let before = allocations();
+    e.run_to_completion();
+    let after = allocations();
+    let dispatched = e.world().dispatched - warmed;
+    assert!(dispatched > budget / 2, "churn must mostly run post-warmup");
+    (after - before) as f64 / dispatched as f64
+}
+
+fn testbed_allocs_per_io() -> f64 {
+    let mut tb = Testbed::builder().server_threads(1).build();
+    let tenant = TenantId(1);
+    let slo = SloSpec::new(200_000, 100, SimDuration::from_millis(1));
+    let mut spec =
+        WorkloadSpec::closed_loop("alloc-probe", tenant, TenantClass::LatencyCritical(slo), 16);
+    spec.conns = 4;
+    spec.read_pct = 80;
+    tb.add_workload(spec).expect("valid workload");
+    // Warm up: connections fill their queue depth, pools and histograms
+    // reach steady-state size.
+    tb.run(SimDuration::from_millis(200));
+    let ios_before = completed_ios(&tb);
+    let before = allocations();
+    tb.run(SimDuration::from_millis(300));
+    let after = allocations();
+    let ios = completed_ios(&tb) - ios_before;
+    assert!(
+        ios > 10_000,
+        "steady-state window must carry real load: {ios}"
+    );
+    (after - before) as f64 / ios as f64
+}
+
+fn completed_ios(tb: &Testbed) -> u64 {
+    let report = tb.report();
+    report
+        .threads
+        .iter()
+        .filter_map(|t| t.stats.as_ref())
+        .map(|s| s.completed)
+        .sum()
+}
+
+#[test]
+fn steady_state_allocations_stay_within_budget() {
+    let engine_rate = engine_allocs_per_dispatch();
+    assert!(
+        engine_rate < 0.01,
+        "engine steady state must not allocate per dispatch: {engine_rate:.4} allocs/event"
+    );
+
+    let e2e_rate = testbed_allocs_per_io();
+    eprintln!(
+        "steady-state allocation rates: engine {engine_rate:.5} allocs/event, \
+         end-to-end {e2e_rate:.5} allocs/IO"
+    );
+    assert!(
+        e2e_rate < 0.05,
+        "end-to-end steady state exceeded the allocation budget: {e2e_rate:.4} allocs/IO"
+    );
+}

@@ -51,4 +51,6 @@ pub use client::{
 pub use cluster::{ClusterPlanner, FailoverReport, PlacementError, ServerDescriptor, ServerId};
 pub use harness::ServerHarness;
 pub use server::{AdmissionError, ControlPlaneStats, ReflexServer, ServerConfig};
-pub use testbed::{Testbed, TestbedBuilder, TestbedError, TestbedReport, ThreadReport, World};
+pub use testbed::{
+    Testbed, TestbedBuilder, TestbedError, TestbedReport, ThreadReport, World, WorldEvent,
+};

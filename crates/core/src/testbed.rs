@@ -12,9 +12,11 @@ use std::collections::HashMap;
 
 use reflex_dataplane::WireMsg;
 use reflex_flash::{DeviceProfile, DeviceStats, FlashDevice};
-use reflex_net::{Fabric, LinkConfig, MachineId, Opcode, ReflexHeader, StackProfile};
+use reflex_net::{Delivery, Fabric, LinkConfig, MachineId, Opcode, ReflexHeader, StackProfile};
 use reflex_qos::{CostModel, TenantId};
-use reflex_sim::{Ctx, Engine, EventHandle, SimDuration, SimRng, SimTime, Zipf};
+use reflex_sim::{
+    Ctx, Engine, EventHandle, PoolKey, SimDuration, SimRng, SimTime, SlabPool, TypedEvent, Zipf,
+};
 
 use crate::capacity::CapacityProfile;
 use crate::client::{
@@ -58,6 +60,62 @@ struct ClientMachine {
     stack: StackProfile,
 }
 
+/// The recurring simulation events, dispatched through the engine's typed
+/// event path so the steady-state request loop allocates no per-event
+/// closures. Cold paths (retry backoff after a timeout or error) still
+/// schedule boxed closures — they fire rarely and carry more state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorldEvent {
+    /// Wake server thread `i` and run its dataplane pump loop.
+    PumpThread(usize),
+    /// Poll client machine `i` for delivered responses.
+    ClientPoll(usize),
+    /// Response deadline for the request whose slab key packs to `cookie`.
+    /// Generation checking makes a stale deadline (request already
+    /// answered, slot reused) a no-op.
+    Timeout(u64),
+    /// Open-loop generator tick for workload `i`.
+    OpenLoopGen(usize),
+    /// Replay step `pos` of workload `w_idx`'s trace (replay began at
+    /// `started`).
+    TraceReplay {
+        /// Workload index.
+        w_idx: usize,
+        /// Position in the trace.
+        pos: usize,
+        /// Simulated instant replay began.
+        started: SimTime,
+    },
+    /// Periodic control-plane tick.
+    Control(SimDuration),
+    /// Issue one request on `conn_idx` of workload `w_idx` (closed-loop
+    /// kickoff).
+    Issue {
+        /// Workload index.
+        w_idx: usize,
+        /// Connection index within the workload.
+        conn_idx: usize,
+    },
+}
+
+impl<S: ServerHarness + 'static> TypedEvent<World<S>> for WorldEvent {
+    fn dispatch(self, world: &mut World<S>, ctx: &mut Ctx<'_, World<S>, WorldEvent>) {
+        match self {
+            WorldEvent::PumpThread(i) => world.pump_event(i, ctx),
+            WorldEvent::ClientPoll(i) => world.client_poll_event(i, ctx),
+            WorldEvent::Timeout(cookie) => world.timeout_event(cookie, ctx),
+            WorldEvent::OpenLoopGen(i) => world.open_loop_gen_event(i, ctx),
+            WorldEvent::TraceReplay {
+                w_idx,
+                pos,
+                started,
+            } => world.trace_replay_event(w_idx, pos, started, ctx),
+            WorldEvent::Control(interval) => world.control_event(interval, ctx),
+            WorldEvent::Issue { w_idx, conn_idx } => world.issue_request(w_idx, conn_idx, ctx),
+        }
+    }
+}
+
 /// The simulation world: every component plus scheduling bookkeeping.
 pub struct World<S: ServerHarness = ReflexServer> {
     fabric: Fabric<WireMsg>,
@@ -66,8 +124,13 @@ pub struct World<S: ServerHarness = ReflexServer> {
     clients: Vec<ClientMachine>,
     workloads: Vec<WorkloadState>,
     client_threads_busy: Vec<Vec<SimTime>>, // [workload][client thread]
-    outstanding: HashMap<u64, OutstandingReq>,
-    cookie_seq: u64,
+    // In-flight requests live in a slab; the pool key (slot + generation)
+    // packs into the wire cookie, so responses and timeouts look the
+    // request up by index with no hashing and slot reuse recycles storage.
+    outstanding: SlabPool<OutstandingReq>,
+    // Recycled buffer for client-side response polling (a fresh Vec per
+    // poll event would be the last per-IO allocation on the client path).
+    poll_scratch: Vec<Delivery<WireMsg>>,
     rng: SimRng,
     // Pending wake per server thread / client machine: the instant plus a
     // handle to the scheduled event, so re-arming to an earlier instant
@@ -142,21 +205,25 @@ impl<S: ServerHarness + 'static> World<S> {
         }
     }
 
-    fn ensure_thread_wake(&mut self, ctx: &mut Ctx<World<S>>, thread: usize, at: SimTime) {
+    fn ensure_thread_wake(
+        &mut self,
+        ctx: &mut Ctx<World<S>, WorldEvent>,
+        thread: usize,
+        at: SimTime,
+    ) {
         let at = at.max(ctx.now());
         if let Some((pending, _)) = self.thread_wake[thread] {
             if at >= pending {
                 return; // an earlier (or equal) wake is already armed
             }
         }
-        let handle =
-            ctx.schedule_at_handle(at, move |w: &mut World<S>, ctx| w.pump_event(thread, ctx));
+        let handle = ctx.schedule_event_at_handle(at, WorldEvent::PumpThread(thread));
         if let Some((_, stale)) = self.thread_wake[thread].replace((at, handle)) {
             ctx.cancel(stale);
         }
     }
 
-    fn ensure_client_wake(&mut self, ctx: &mut Ctx<World<S>>, client: usize) {
+    fn ensure_client_wake(&mut self, ctx: &mut Ctx<World<S>, WorldEvent>, client: usize) {
         let machine = self.clients[client].machine;
         let Some(at) = self.fabric.next_arrival(machine) else {
             return;
@@ -167,15 +234,13 @@ impl<S: ServerHarness + 'static> World<S> {
                 return;
             }
         }
-        let handle = ctx.schedule_at_handle(at, move |w: &mut World<S>, ctx| {
-            w.client_poll_event(client, ctx)
-        });
+        let handle = ctx.schedule_event_at_handle(at, WorldEvent::ClientPoll(client));
         if let Some((_, stale)) = self.client_wake[client].replace((at, handle)) {
             ctx.cancel(stale);
         }
     }
 
-    fn pump_event(&mut self, thread: usize, ctx: &mut Ctx<World<S>>) {
+    fn pump_event(&mut self, thread: usize, ctx: &mut Ctx<World<S>, WorldEvent>) {
         self.thread_wake[thread] = None;
         let wake = self
             .server
@@ -201,15 +266,17 @@ impl<S: ServerHarness + 'static> World<S> {
         }
     }
 
-    fn client_poll_event(&mut self, client: usize, ctx: &mut Ctx<World<S>>) {
+    fn client_poll_event(&mut self, client: usize, ctx: &mut Ctx<World<S>, WorldEvent>) {
         self.client_wake[client] = None;
         let machine = self.clients[client].machine;
-        let deliveries = self.fabric.poll(ctx.now(), machine, usize::MAX);
-        for d in deliveries {
+        let mut deliveries = std::mem::take(&mut self.poll_scratch);
+        self.fabric
+            .poll_into(ctx.now(), machine, usize::MAX, &mut deliveries);
+        for d in deliveries.drain(..) {
             let Ok(header) = ReflexHeader::decode(&d.payload) else {
                 continue;
             };
-            let Some(req) = self.outstanding.remove(&header.cookie) else {
+            let Some(req) = self.outstanding.take(PoolKey::from_u64(header.cookie)) else {
                 // Duplicate delivery, or the response to an attempt that
                 // already timed out — a real client ignores both.
                 continue;
@@ -273,6 +340,7 @@ impl<S: ServerHarness + 'static> World<S> {
                 self.issue_request(req.workload, req.conn_idx, ctx);
             }
         }
+        self.poll_scratch = deliveries;
         self.ensure_client_wake(ctx, client);
     }
 
@@ -299,7 +367,12 @@ impl<S: ServerHarness + 'static> World<S> {
         }
     }
 
-    fn issue_request(&mut self, w_idx: usize, conn_idx: usize, ctx: &mut Ctx<World<S>>) {
+    fn issue_request(
+        &mut self,
+        w_idx: usize,
+        conn_idx: usize,
+        ctx: &mut Ctx<World<S>, WorldEvent>,
+    ) {
         let addr = self.next_addr(w_idx, conn_idx);
         let w = &mut self.workloads[w_idx];
         let spec = &w.spec;
@@ -328,7 +401,7 @@ impl<S: ServerHarness + 'static> World<S> {
         is_read: bool,
         addr: u64,
         io_size: u32,
-        ctx: &mut Ctx<World<S>>,
+        ctx: &mut Ctx<World<S>, WorldEvent>,
     ) {
         let now = ctx.now();
         let measured = self.measure_start.is_some_and(|m| now >= m);
@@ -351,7 +424,7 @@ impl<S: ServerHarness + 'static> World<S> {
         first_sent_at: SimTime,
         measured: bool,
         attempt: u32,
-        ctx: &mut Ctx<World<S>>,
+        ctx: &mut Ctx<World<S>, WorldEvent>,
     ) {
         let now = ctx.now();
         let w = &mut self.workloads[w_idx];
@@ -370,8 +443,20 @@ impl<S: ServerHarness + 'static> World<S> {
         let t_send = now.max(*busy);
         *busy = t_send + per_msg;
 
-        let cookie = self.cookie_seq;
-        self.cookie_seq += 1;
+        // Register the attempt first: the slab key becomes the wire cookie
+        // (slot + generation), so the response and the timeout both find it
+        // by index, and a reused slot invalidates stale cookies.
+        let key = self.outstanding.insert(OutstandingReq {
+            workload: w_idx,
+            conn_idx,
+            sent_at: first_sent_at,
+            is_read,
+            addr,
+            len: io_size,
+            measured,
+            attempt,
+        });
+        let cookie = key.as_u64();
         let header = ReflexHeader {
             opcode: if is_read { Opcode::Get } else { Opcode::Put },
             tenant: tenant.0,
@@ -390,24 +475,11 @@ impl<S: ServerHarness + 'static> World<S> {
             queue,
             conn,
             payload,
-            header.encode(),
+            header.encode_array(),
         );
         if measured && attempt == 1 {
             self.workloads[w_idx].issued += 1;
         }
-        self.outstanding.insert(
-            cookie,
-            OutstandingReq {
-                workload: w_idx,
-                conn_idx,
-                sent_at: first_sent_at,
-                is_read,
-                addr,
-                len: io_size,
-                measured,
-                attempt,
-            },
-        );
         match self.server.thread_of_conn(conn) {
             Some(thread) => self.ensure_thread_wake(ctx, thread, arrival),
             // Unbound connection (link currently down): the message still
@@ -416,9 +488,7 @@ impl<S: ServerHarness + 'static> World<S> {
             None => self.ensure_thread_wake(ctx, 0, arrival),
         }
         if let Some(timeout) = timeout {
-            ctx.schedule_at(t_send + timeout, move |w: &mut World<S>, ctx| {
-                w.timeout_event(cookie, ctx)
-            });
+            ctx.schedule_event_at(t_send + timeout, WorldEvent::Timeout(cookie));
         }
     }
 
@@ -426,8 +496,8 @@ impl<S: ServerHarness + 'static> World<S> {
     /// still outstanding the attempt is declared lost: retry with backoff
     /// while attempts remain, otherwise abandon the request (topping up
     /// closed-loop depth so the generator does not deflate).
-    fn timeout_event(&mut self, cookie: u64, ctx: &mut Ctx<World<S>>) {
-        let Some(req) = self.outstanding.remove(&cookie) else {
+    fn timeout_event(&mut self, cookie: u64, ctx: &mut Ctx<World<S>, WorldEvent>) {
+        let Some(req) = self.outstanding.take(PoolKey::from_u64(cookie)) else {
             return; // answered in time — nothing to do
         };
         let w = &mut self.workloads[req.workload];
@@ -453,7 +523,7 @@ impl<S: ServerHarness + 'static> World<S> {
         }
     }
 
-    fn open_loop_gen_event(&mut self, w_idx: usize, ctx: &mut Ctx<World<S>>) {
+    fn open_loop_gen_event(&mut self, w_idx: usize, ctx: &mut Ctx<World<S>, WorldEvent>) {
         let w = &self.workloads[w_idx];
         if w.stopped {
             return;
@@ -472,9 +542,7 @@ impl<S: ServerHarness + 'static> World<S> {
             // ±10% uniform jitter around the nominal gap.
             ArrivalProcess::Paced => mean.mul_f64(0.9 + 0.2 * self.rng.f64()),
         };
-        ctx.schedule_after(gap, move |w: &mut World<S>, ctx| {
-            w.open_loop_gen_event(w_idx, ctx)
-        });
+        ctx.schedule_event_after(gap, WorldEvent::OpenLoopGen(w_idx));
     }
 
     fn trace_replay_event(
@@ -482,7 +550,7 @@ impl<S: ServerHarness + 'static> World<S> {
         w_idx: usize,
         pos: usize,
         started: SimTime,
-        ctx: &mut Ctx<World<S>>,
+        ctx: &mut Ctx<World<S>, WorldEvent>,
     ) {
         let w = &self.workloads[w_idx];
         if w.stopped {
@@ -496,17 +564,20 @@ impl<S: ServerHarness + 'static> World<S> {
         if let Some(next) = trace.get(pos + 1) {
             let due = started + next.at;
             let at = due.max(ctx.now());
-            ctx.schedule_at(at, move |w: &mut World<S>, ctx| {
-                w.trace_replay_event(w_idx, pos + 1, started, ctx)
-            });
+            ctx.schedule_event_at(
+                at,
+                WorldEvent::TraceReplay {
+                    w_idx,
+                    pos: pos + 1,
+                    started,
+                },
+            );
         }
     }
 
-    fn control_event(&mut self, interval: SimDuration, ctx: &mut Ctx<World<S>>) {
+    fn control_event(&mut self, interval: SimDuration, ctx: &mut Ctx<World<S>, WorldEvent>) {
         let _ = self.server.control_tick(ctx.now(), interval);
-        ctx.schedule_after(interval, move |w: &mut World<S>, ctx| {
-            w.control_event(interval, ctx)
-        });
+        ctx.schedule_event_after(interval, WorldEvent::Control(interval));
     }
 }
 
@@ -716,8 +787,8 @@ impl TestbedBuilder {
             clients,
             workloads: Vec::new(),
             client_threads_busy: Vec::new(),
-            outstanding: HashMap::new(),
-            cookie_seq: 0,
+            outstanding: SlabPool::new(),
+            poll_scratch: Vec::new(),
             rng,
             thread_wake: vec![None; n_threads],
             client_wake: vec![None; n_clients],
@@ -728,11 +799,9 @@ impl TestbedBuilder {
             gen_cursor: Vec::new(),
             zipf: Vec::new(),
         };
-        let mut engine = Engine::new(world);
+        let mut engine = Engine::with_events(world);
         let interval = self.control_interval;
-        engine.schedule_at(SimTime::ZERO + interval, move |w: &mut World<S>, ctx| {
-            w.control_event(interval, ctx)
-        });
+        engine.schedule_event_at(SimTime::ZERO + interval, WorldEvent::Control(interval));
         Testbed {
             engine,
             measure_begin: SimTime::ZERO,
@@ -743,7 +812,7 @@ impl TestbedBuilder {
 /// The assembled simulation. See the module documentation.
 #[derive(Debug)]
 pub struct Testbed<S: ServerHarness = ReflexServer> {
-    engine: Engine<World<S>>,
+    engine: Engine<World<S>, WorldEvent>,
     measure_begin: SimTime,
 }
 
@@ -775,7 +844,7 @@ impl<S: ServerHarness + 'static> Testbed<S> {
     /// thread stalls) inside the simulation.
     pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
     where
-        F: FnOnce(&mut World<S>, &mut Ctx<World<S>>) + 'static,
+        F: FnOnce(&mut World<S>, &mut Ctx<World<S>, WorldEvent>) + 'static,
     {
         self.engine.schedule_at(at, f);
     }
@@ -859,10 +928,14 @@ impl<S: ServerHarness + 'static> Testbed<S> {
         if let Some(trace) = &spec.trace {
             let start = self.engine.now();
             let first_at = trace.first().expect("validated non-empty").at;
-            self.engine
-                .schedule_at(start + first_at, move |w: &mut World<S>, ctx| {
-                    w.trace_replay_event(w_idx, 0, start, ctx)
-                });
+            self.engine.schedule_event_at(
+                start + first_at,
+                WorldEvent::TraceReplay {
+                    w_idx,
+                    pos: 0,
+                    started: start,
+                },
+            );
             return Ok(());
         }
         match spec.pattern {
@@ -871,9 +944,7 @@ impl<S: ServerHarness + 'static> Testbed<S> {
                     .rng
                     .exponential(SimDuration::from_secs_f64(1.0 / iops));
                 self.engine
-                    .schedule_at(self.engine.now() + offset, move |w: &mut World<S>, ctx| {
-                        w.open_loop_gen_event(w_idx, ctx)
-                    });
+                    .schedule_event_at(self.engine.now() + offset, WorldEvent::OpenLoopGen(w_idx));
             }
             LoadPattern::ClosedLoop { queue_depth } => {
                 for conn_idx in 0..spec.conns as usize {
@@ -883,9 +954,9 @@ impl<S: ServerHarness + 'static> Testbed<S> {
                         let offset = SimDuration::from_nanos(
                             (conn_idx as u64 * queue_depth as u64 + q as u64) * 1_000,
                         );
-                        self.engine.schedule_at(
+                        self.engine.schedule_event_at(
                             self.engine.now() + offset,
-                            move |w: &mut World<S>, ctx| w.issue_request(w_idx, conn_idx, ctx),
+                            WorldEvent::Issue { w_idx, conn_idx },
                         );
                     }
                 }

@@ -19,22 +19,27 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bytes::Bytes;
-use reflex_flash::{CmdId, FlashDevice, IoType, NvmeCommand, NvmeStatus, QpId, SubmitError};
-use reflex_net::{ConnId, Delivery, Fabric, MachineId, NicQueueId, Opcode, ReflexHeader};
-use reflex_qos::{
-    CostModel, CostedRequest, LoadMix, QosError, QosScheduler, SchedulerParams, TenantClass,
-    TenantId, TokenRate,
+use reflex_flash::{
+    CmdId, FlashDevice, IoType, NvmeCommand, NvmeCompletion, NvmeStatus, QpId, SubmitError,
 };
-use reflex_sim::{Histogram, SimDuration, SimTime};
+use reflex_net::{
+    ConnId, Delivery, Fabric, MachineId, NicQueueId, Opcode, ReflexHeader, HEADER_SIZE,
+};
+use reflex_qos::{
+    CostModel, CostedRequest, LoadMix, QosError, QosScheduler, ScheduleOutcome, SchedulerParams,
+    TenantClass, TenantId, TokenRate,
+};
+use reflex_sim::{Histogram, PoolKey, SimDuration, SimTime, SlabPool};
 use std::sync::Arc;
 
 use crate::abi::{AbiStatus, BufHandle, Cookie, EventCond, Syscall, TenantHandle};
 use crate::config::DataplaneConfig;
 
-/// The payload carried on the simulated wire: an encoded ReFlex header.
-/// (Data blocks are represented by message sizes, not bytes.)
-pub type WireMsg = Bytes;
+/// The payload carried on the simulated wire: an encoded ReFlex header as
+/// a fixed stack array. (Data blocks are represented by message sizes, not
+/// bytes.) Being `Copy`, messages move through the fabric without any
+/// heap traffic.
+pub type WireMsg = [u8; HEADER_SIZE];
 
 /// Access-control entry for a tenant: a namespace (byte range of logical
 /// blocks), read/write permissions, and optionally the client machines
@@ -119,6 +124,16 @@ struct OrderingState {
     inflight: u32,
     fence: Option<ReqCtx>,
     buffered: VecDeque<(IoType, u32, ReqCtx)>,
+}
+
+/// Everything the thread tracks for one in-flight NVMe command. Lives in
+/// a [`SlabPool`]; the pool key — packed into the command's [`CmdId`] —
+/// both correlates the completion and recycles the slot, replacing the
+/// per-IO hash-map churn of `inflight` + `submit_times` maps.
+#[derive(Debug, Clone, Copy)]
+struct InflightIo {
+    ctx: ReqCtx,
+    submitted_at: SimTime,
 }
 
 /// Where a request's time goes inside the server (paper Figure 2): the
@@ -206,16 +221,21 @@ pub struct DataplaneThread {
     tenant_read_latency: HashMap<TenantId, Histogram>,
     conn_binding: HashMap<ConnId, (TenantId, MachineId)>,
     forwards: HashMap<ConnId, NicQueueId>,
-    inflight: HashMap<CmdId, ReqCtx>,
+    /// In-flight IOs, slot-recycled; the pool key rides in each command's
+    /// `CmdId` and is generation-checked on completion.
+    inflight: SlabPool<InflightIo>,
     retry_submit: VecDeque<(TenantId, CostedRequest<ReqCtx>)>,
-    cmd_seq: u64,
     core_busy: SimTime,
     busy_time: SimDuration,
     sched_time: SimDuration,
     last_sched: SimTime,
     max_sched_interval: SimDuration,
     breakdown: LatencyBreakdown,
-    submit_times: HashMap<CmdId, SimTime>,
+    /// Scratch buffers reused across pump iterations so steady-state
+    /// batches drain with zero allocations.
+    rx_scratch: Vec<Delivery<WireMsg>>,
+    cq_scratch: Vec<NvmeCompletion>,
+    sched_scratch: ScheduleOutcome<ReqCtx>,
     stats: ThreadStats,
 }
 
@@ -251,16 +271,17 @@ impl DataplaneThread {
             tenant_read_latency: HashMap::new(),
             conn_binding: HashMap::new(),
             forwards: HashMap::new(),
-            inflight: HashMap::new(),
+            inflight: SlabPool::new(),
             retry_submit: VecDeque::new(),
-            cmd_seq: 0,
             core_busy: now,
             busy_time: SimDuration::ZERO,
             sched_time: SimDuration::ZERO,
             last_sched: now,
             max_sched_interval: config.max_sched_interval,
             breakdown: LatencyBreakdown::default(),
-            submit_times: HashMap::new(),
+            rx_scratch: Vec::new(),
+            cq_scratch: Vec::new(),
+            sched_scratch: ScheduleOutcome::default(),
             stats: ThreadStats::default(),
         }
     }
@@ -559,7 +580,7 @@ impl DataplaneThread {
             ctx.client,
             ctx.conn,
             payload,
-            header.encode(),
+            header.encode_array(),
         );
     }
 
@@ -662,12 +683,12 @@ impl DataplaneThread {
             rx_started,
             enqueued: self.core_busy,
         };
-        let acl = self
+        let acl_verdict = self
             .acl
             .get(&tenant)
-            .cloned()
-            .expect("bound conn implies ACL entry");
-        if let Err(status) = acl.check(op, addr, len) {
+            .expect("bound conn implies ACL entry")
+            .check(op, addr, len);
+        if let Err(status) = acl_verdict {
             self.stats.acl_rejections += 1;
             self.send_error(fabric, ctx, status);
             return;
@@ -710,7 +731,7 @@ impl DataplaneThread {
             ctx.client,
             ctx.conn,
             0,
-            header.encode(),
+            header.encode_array(),
         );
     }
 
@@ -748,33 +769,40 @@ impl DataplaneThread {
         tenant: TenantId,
         req: CostedRequest<ReqCtx>,
     ) {
-        let id = CmdId(self.cmd_seq);
-        self.cmd_seq += 1;
+        // The in-flight slab slot doubles as the NVMe command id: the pool
+        // key (slot + generation) packs into the CmdId u64 and travels
+        // through the device, so completion lookup is a generation-checked
+        // index instead of a hash probe — and slot reuse recycles the
+        // storage with no per-IO allocation.
+        let key = self.inflight.insert(InflightIo {
+            ctx: req.payload,
+            submitted_at: self.core_busy,
+        });
+        let id = CmdId(key.as_u64());
         let cmd = match req.op {
             IoType::Read => NvmeCommand::read(id, req.payload.addr, req.len),
             IoType::Write => NvmeCommand::write(id, req.payload.addr, req.len),
         };
         match device.submit(self.core_busy, self.qp, cmd) {
             Ok(_) => {
-                self.submit_times.insert(id, self.core_busy);
-                self.inflight.insert(id, req.payload);
                 self.stats.submitted += 1;
             }
             Err(SubmitError::QueueFull) => {
+                let io = self.inflight.take(key).expect("just inserted");
                 self.stats.sq_full_retries += 1;
-                let payload = req.payload;
                 self.retry_submit.push_front((
                     tenant,
                     CostedRequest {
                         op: req.op,
                         len: req.len,
-                        payload,
+                        payload: io.ctx,
                     },
                 ));
             }
             Err(SubmitError::EmptyCommand) => {
                 // Zero-length requests were already rejected at parse time;
                 // treat defensively as a decode error.
+                self.inflight.take(key);
                 self.stats.decode_errors += 1;
             }
         }
@@ -786,11 +814,10 @@ impl DataplaneThread {
         completed: reflex_flash::NvmeCompletion,
     ) {
         self.stats.completed += 1;
-        let Some(ctx) = self.inflight.remove(&completed.id) else {
-            self.submit_times.remove(&completed.id);
+        let Some(io) = self.inflight.take(PoolKey::from_u64(completed.id.0)) else {
             return;
         };
-        let submitted_at = self.submit_times.remove(&completed.id);
+        let InflightIo { ctx, submitted_at } = io;
         let status = match completed.status {
             NvmeStatus::Success => AbiStatus::Ok,
             NvmeStatus::OutOfRange => AbiStatus::OutOfRange,
@@ -819,28 +846,26 @@ impl DataplaneThread {
             ctx.client,
             ctx.conn,
             payload,
-            header.encode(),
+            header.encode_array(),
         );
         if ctx.op.is_read() {
             if let Some(h) = self.tenant_read_latency.get_mut(&ctx.tenant) {
                 h.record(self.core_busy.saturating_since(ctx.arrived));
             }
         }
-        if let Some(submitted_at) = submitted_at {
-            let b = &mut self.breakdown;
-            b.samples += 1;
-            b.rx_wait_ns += ctx.rx_started.saturating_since(ctx.arrived).as_nanos();
-            b.rx_proc_ns += ctx.enqueued.saturating_since(ctx.rx_started).as_nanos();
-            b.sched_wait_ns += submitted_at.saturating_since(ctx.enqueued).as_nanos();
-            b.device_ns += completed
-                .completed_at
-                .saturating_since(submitted_at)
-                .as_nanos();
-            b.tx_ns += self
-                .core_busy
-                .saturating_since(completed.completed_at)
-                .as_nanos();
-        }
+        let b = &mut self.breakdown;
+        b.samples += 1;
+        b.rx_wait_ns += ctx.rx_started.saturating_since(ctx.arrived).as_nanos();
+        b.rx_proc_ns += ctx.enqueued.saturating_since(ctx.rx_started).as_nanos();
+        b.sched_wait_ns += submitted_at.saturating_since(ctx.enqueued).as_nanos();
+        b.device_ns += completed
+            .completed_at
+            .saturating_since(submitted_at)
+            .as_nanos();
+        b.tx_ns += self
+            .core_busy
+            .saturating_since(completed.completed_at)
+            .as_nanos();
         // Barrier release happens after the response is on the wire so the
         // client observes completions in order.
         self.note_completion(fabric, ctx.tenant);
@@ -864,19 +889,24 @@ impl DataplaneThread {
             let mut progress = false;
             let factor = self.config.conn_pressure.factor(self.connection_count());
 
-            // Step 1: NIC RX batch (bounded, adaptive).
-            let msgs = fabric.poll_queue(
+            // Step 1: NIC RX batch (bounded, adaptive). The scratch vector
+            // is owned by the thread and recycled tick over tick, so a
+            // steady-state pump round performs no RX-path allocation.
+            let mut msgs = std::mem::take(&mut self.rx_scratch);
+            fabric.poll_queue_into(
                 self.core_busy,
                 self.machine,
                 self.nic_queue,
                 self.config.batch_max,
+                &mut msgs,
             );
-            for d in msgs {
+            for d in msgs.drain(..) {
                 let rx_started = self.core_busy.max(d.arrived_at);
                 self.charge(self.config.rx_msg_cost.mul_f64(factor));
                 self.handle_rx(fabric, d, rx_started);
                 progress = true;
             }
+            self.rx_scratch = msgs;
 
             // Step 2: QoS scheduling + NVMe submission.
             // Retry anything the SQ refused last round first. The SQ is a
@@ -906,22 +936,32 @@ impl DataplaneThread {
                 } else {
                     LoadMix::Mixed
                 };
-                let outcome = self.sched.schedule(self.core_busy, mix);
+                let mut outcome = std::mem::take(&mut self.sched_scratch);
+                self.sched.schedule_into(self.core_busy, mix, &mut outcome);
                 let submitted_any = !outcome.submitted.is_empty();
-                for (tenant, req) in outcome.submitted {
+                for (tenant, req) in outcome.submitted.drain(..) {
                     self.submit_one(device, tenant, req);
                 }
+                self.sched_scratch = outcome;
                 if submitted_any {
                     progress = true;
                 }
             }
 
-            // Step 3: NVMe CQ batch -> events -> responses.
-            let comps = device.poll_completions(self.core_busy, self.qp, self.config.batch_max);
-            for c in comps {
+            // Step 3: NVMe CQ batch -> events -> responses, drained through
+            // the recycled completion scratch buffer.
+            let mut comps = std::mem::take(&mut self.cq_scratch);
+            device.poll_completions_into(
+                self.core_busy,
+                self.qp,
+                self.config.batch_max,
+                &mut comps,
+            );
+            for c in comps.drain(..) {
                 self.handle_completion(fabric, c);
                 progress = true;
             }
+            self.cq_scratch = comps;
 
             if !progress {
                 break;

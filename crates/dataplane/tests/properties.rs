@@ -93,7 +93,7 @@ proptest! {
                 }
             };
             let payload = if header.opcode == Opcode::Put { 4096 } else { 0 };
-            fabric.send(now, client, server, conn, payload, header.encode());
+            fabric.send(now, client, server, conn, payload, header.encode_array());
             sent += 1;
         }
 

@@ -4,8 +4,7 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
-use reflex_dataplane::{AclEntry, DataplaneConfig, DataplaneThread};
+use reflex_dataplane::{AclEntry, DataplaneConfig, DataplaneThread, WireMsg};
 use reflex_flash::{device_a, FlashDevice};
 use reflex_net::{
     ConnId, Fabric, LinkConfig, MachineId, NicQueueId, Opcode, ReflexHeader, StackProfile,
@@ -14,7 +13,7 @@ use reflex_qos::{CostModel, SchedulerParams, SloSpec, TenantClass, TenantId};
 use reflex_sim::{SimDuration, SimRng, SimTime};
 
 struct Rig {
-    fabric: Fabric<Bytes>,
+    fabric: Fabric<WireMsg>,
     device: FlashDevice,
     thread: DataplaneThread,
     client: MachineId,
@@ -99,7 +98,7 @@ fn read_request_round_trips() {
         r.thread.machine(),
         r.conn,
         0,
-        req.encode(),
+        req.encode_array(),
     );
 
     let responses = drive(&mut r, 1, SimTime::from_millis(10));
@@ -136,7 +135,7 @@ fn write_request_round_trips_faster_than_read() {
         r.thread.machine(),
         r.conn,
         4096,
-        req.encode(),
+        req.encode_array(),
     );
     let responses = drive(&mut r, 1, SimTime::from_millis(10));
     assert_eq!(responses.len(), 1);
@@ -182,7 +181,7 @@ fn acl_read_only_tenant_gets_error_for_writes() {
         fabricless.thread.machine(),
         conn2,
         4096,
-        req.encode(),
+        req.encode_array(),
     );
     let responses = drive(&mut fabricless, 1, SimTime::from_millis(5));
     assert_eq!(responses.len(), 1);
@@ -230,7 +229,7 @@ fn namespace_bounds_are_enforced() {
         r.thread.machine(),
         conn2,
         0,
-        ok.encode(),
+        ok.encode_array(),
     );
     r.fabric.send(
         SimTime::from_micros(1),
@@ -238,7 +237,7 @@ fn namespace_bounds_are_enforced() {
         r.thread.machine(),
         conn2,
         0,
-        bad.encode(),
+        bad.encode_array(),
     );
     let responses = drive(&mut r, 2, SimTime::from_millis(10));
     assert_eq!(responses.len(), 2);
@@ -267,7 +266,7 @@ fn unbound_connection_is_dropped() {
         r.thread.machine(),
         stray,
         0,
-        req.encode(),
+        req.encode_array(),
     );
     let responses = drive(&mut r, 1, SimTime::from_millis(2));
     assert!(responses.is_empty());
@@ -283,7 +282,7 @@ fn garbage_messages_count_as_decode_errors() {
         r.thread.machine(),
         r.conn,
         0,
-        Bytes::from_static(b"not a reflex header......."),
+        *b"not a reflex header.........",
     );
     let responses = drive(&mut r, 1, SimTime::from_millis(2));
     assert!(responses.is_empty());
@@ -310,7 +309,7 @@ fn pipelined_requests_are_batched_and_all_answered() {
             r.thread.machine(),
             r.conn,
             0,
-            req.encode(),
+            req.encode_array(),
         );
     }
     let responses = drive(&mut r, 512, SimTime::from_millis(100));
@@ -338,7 +337,7 @@ fn thread_cpu_time_tracks_work() {
             r.thread.machine(),
             r.conn,
             0,
-            req.encode(),
+            req.encode_array(),
         );
     }
     let _ = drive(&mut r, 100, SimTime::from_millis(50));
@@ -399,15 +398,21 @@ fn barrier_orders_requests() {
         addr: 0,
         len: 4096,
     };
-    r.fabric
-        .send(SimTime::ZERO, r.client, server, r.conn, 4096, w.encode());
+    r.fabric.send(
+        SimTime::ZERO,
+        r.client,
+        server,
+        r.conn,
+        4096,
+        w.encode_array(),
+    );
     r.fabric.send(
         SimTime::from_nanos(100),
         r.client,
         server,
         r.conn,
         0,
-        bar.encode(),
+        bar.encode_array(),
     );
     r.fabric.send(
         SimTime::from_nanos(200),
@@ -415,7 +420,7 @@ fn barrier_orders_requests() {
         server,
         r.conn,
         0,
-        rd.encode(),
+        rd.encode_array(),
     );
 
     let responses = drive(&mut r, 3, SimTime::from_millis(20));
@@ -444,7 +449,7 @@ fn barrier_with_nothing_outstanding_acks_immediately() {
         r.thread.machine(),
         r.conn,
         0,
-        bar.encode(),
+        bar.encode_array(),
     );
     let responses = drive(&mut r, 1, SimTime::from_millis(5));
     assert_eq!(responses.len(), 1);
@@ -472,7 +477,7 @@ fn double_barrier_is_rejected() {
             server,
             r.conn,
             4096,
-            w.encode(),
+            w.encode_array(),
         );
     }
     let b1 = ReflexHeader {
@@ -495,7 +500,7 @@ fn double_barrier_is_rejected() {
         server,
         r.conn,
         0,
-        b1.encode(),
+        b1.encode_array(),
     );
     r.fabric.send(
         SimTime::from_micros(2),
@@ -503,7 +508,7 @@ fn double_barrier_is_rejected() {
         server,
         r.conn,
         0,
-        b2.encode(),
+        b2.encode_array(),
     );
     let responses = drive(&mut r, 18, SimTime::from_millis(100));
     let b2_resp = responses
@@ -530,8 +535,14 @@ fn barrier_releases_buffered_requests_in_order() {
         addr: 0,
         len: 4096,
     };
-    r.fabric
-        .send(SimTime::ZERO, r.client, server, r.conn, 4096, w.encode());
+    r.fabric.send(
+        SimTime::ZERO,
+        r.client,
+        server,
+        r.conn,
+        4096,
+        w.encode_array(),
+    );
     let bar = ReflexHeader {
         opcode: Opcode::Barrier,
         tenant: 1,
@@ -545,7 +556,7 @@ fn barrier_releases_buffered_requests_in_order() {
         server,
         r.conn,
         0,
-        bar.encode(),
+        bar.encode_array(),
     );
     for i in 0..8u64 {
         let rd = ReflexHeader {
@@ -561,7 +572,7 @@ fn barrier_releases_buffered_requests_in_order() {
             server,
             r.conn,
             0,
-            rd.encode(),
+            rd.encode_array(),
         );
     }
     let responses = drive(&mut r, 10, SimTime::from_millis(50));

@@ -466,8 +466,23 @@ impl FlashDevice {
     /// Pops up to `max` completions with `completed_at <= now` from `qp`'s
     /// completion queue, in completion order.
     pub fn poll_completions(&mut self, now: SimTime, qp: QpId, max: usize) -> Vec<NvmeCompletion> {
-        let q = &mut self.qps[qp.0 as usize];
         let mut out = Vec::new();
+        self.poll_completions_into(now, qp, max, &mut out);
+        out
+    }
+
+    /// [`FlashDevice::poll_completions`] into a caller-owned buffer: `out`
+    /// is cleared and refilled, so a completion loop reusing one scratch
+    /// `Vec` drains batches without allocating in steady state.
+    pub fn poll_completions_into(
+        &mut self,
+        now: SimTime,
+        qp: QpId,
+        max: usize,
+        out: &mut Vec<NvmeCompletion>,
+    ) {
+        out.clear();
+        let q = &mut self.qps[qp.0 as usize];
         while out.len() < max {
             match q.cq.peek() {
                 Some(Reverse(e)) if e.at <= now => {
@@ -477,7 +492,6 @@ impl FlashDevice {
                 _ => break,
             }
         }
-        out
     }
 
     /// Instant of `qp`'s earliest pending completion, if any.

@@ -428,6 +428,18 @@ impl<P> Fabric<P> {
         self.poll_queue(now, machine, NicQueueId(0), max)
     }
 
+    /// [`Fabric::poll`] into a caller-owned buffer (queue 0): `out` is
+    /// cleared and refilled, letting pollers reuse one scratch `Vec`.
+    pub fn poll_into(
+        &mut self,
+        now: SimTime,
+        machine: MachineId,
+        max: usize,
+        out: &mut Vec<Delivery<P>>,
+    ) {
+        self.poll_queue_into(now, machine, NicQueueId(0), max, out);
+    }
+
     /// Pops up to `max` arrived messages from a specific receive queue.
     pub fn poll_queue(
         &mut self,
@@ -436,8 +448,24 @@ impl<P> Fabric<P> {
         queue: NicQueueId,
         max: usize,
     ) -> Vec<Delivery<P>> {
-        let q = &mut self.rx_queues[machine.0 as usize][queue.0 as usize];
         let mut out = Vec::new();
+        self.poll_queue_into(now, machine, queue, max, &mut out);
+        out
+    }
+
+    /// [`Fabric::poll_queue`] into a caller-owned buffer: `out` is cleared
+    /// and refilled, so a poll loop reusing one scratch `Vec` drains the
+    /// queue without allocating once the buffer has reached the batch size.
+    pub fn poll_queue_into(
+        &mut self,
+        now: SimTime,
+        machine: MachineId,
+        queue: NicQueueId,
+        max: usize,
+        out: &mut Vec<Delivery<P>>,
+    ) {
+        out.clear();
+        let q = &mut self.rx_queues[machine.0 as usize][queue.0 as usize];
         while out.len() < max {
             match q.peek() {
                 Some(Reverse(e)) if e.at <= now => {
@@ -446,7 +474,6 @@ impl<P> Fabric<P> {
                 _ => break,
             }
         }
-        out
     }
 
     /// Instant of the earliest undelivered message on `machine`'s queue 0.

@@ -110,17 +110,31 @@ impl std::error::Error for WireError {}
 impl ReflexHeader {
     /// Encodes the header into its 28-byte wire form.
     /// Layout: magic(1) opcode(1) reserved(2) tenant(4) cookie(8) addr(8) len(4).
+    ///
+    /// Allocates a [`Bytes`] buffer; hot paths that send headers per
+    /// message use [`ReflexHeader::encode_array`], which returns the same
+    /// 28 bytes on the stack.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(HEADER_SIZE);
-        buf.put_u8(MAGIC);
-        buf.put_u8(self.opcode as u8);
-        buf.put_u16(0); // reserved / padding
-        buf.put_u32(self.tenant);
-        buf.put_u64(self.cookie);
-        buf.put_u64(self.addr);
-        buf.put_u32(self.len);
-        debug_assert_eq!(buf.len(), HEADER_SIZE);
+        buf.put_slice(&self.encode_array());
         buf.freeze()
+    }
+
+    /// Encodes the header into a fixed 28-byte array — the allocation-free
+    /// form the dataplane and testbed hot paths ship on the simulated wire.
+    /// Byte-for-byte identical to [`ReflexHeader::encode`] (the golden
+    /// round-trip tests pin both).
+    #[inline]
+    pub fn encode_array(&self) -> [u8; HEADER_SIZE] {
+        let mut buf = [0u8; HEADER_SIZE];
+        buf[0] = MAGIC;
+        buf[1] = self.opcode as u8;
+        // buf[2..4] stays zero: reserved / padding.
+        buf[4..8].copy_from_slice(&self.tenant.to_be_bytes());
+        buf[8..16].copy_from_slice(&self.cookie.to_be_bytes());
+        buf[16..24].copy_from_slice(&self.addr.to_be_bytes());
+        buf[24..28].copy_from_slice(&self.len.to_be_bytes());
+        buf
     }
 
     /// Decodes a header from the front of `bytes`.
@@ -189,7 +203,35 @@ mod tests {
             let enc = hdr.encode();
             assert_eq!(enc.len(), HEADER_SIZE);
             assert_eq!(ReflexHeader::decode(&enc).expect("round trip"), hdr);
+            // The stack-array form is byte-identical to the Bytes form.
+            assert_eq!(hdr.encode_array().as_slice(), &enc[..]);
+            assert_eq!(ReflexHeader::decode(&hdr.encode_array()).unwrap(), hdr);
         }
+    }
+
+    #[test]
+    fn encode_array_matches_golden_layout() {
+        let hdr = ReflexHeader {
+            opcode: Opcode::Get,
+            tenant: 0x0102_0304,
+            cookie: 0x1122_3344_5566_7788,
+            addr: 0x99aa_bbcc_ddee_ff00,
+            len: 0x0a0b_0c0d,
+        };
+        let enc = hdr.encode_array();
+        assert_eq!(enc[0], MAGIC);
+        assert_eq!(enc[1], Opcode::Get as u8);
+        assert_eq!(&enc[2..4], &[0, 0]);
+        assert_eq!(&enc[4..8], &[0x01, 0x02, 0x03, 0x04]);
+        assert_eq!(
+            &enc[8..16],
+            &[0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88]
+        );
+        assert_eq!(
+            &enc[16..24],
+            &[0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff, 0x00]
+        );
+        assert_eq!(&enc[24..28], &[0x0a, 0x0b, 0x0c, 0x0d]);
     }
 
     #[test]

@@ -405,15 +405,27 @@ impl<R> QosScheduler<R> {
     /// Runs one scheduling round (Algorithm 1) at instant `now` under the
     /// device-wide load mix `mix`. Returns the admitted requests in order.
     pub fn schedule(&mut self, now: SimTime, mix: LoadMix) -> ScheduleOutcome<R> {
-        let elapsed = now.saturating_since(self.prev_sched_time);
-        self.prev_sched_time = now;
-        self.rounds += 1;
-
         let mut out = ScheduleOutcome {
             submitted: Vec::new(),
             deficit_notifications: Vec::new(),
             reset_bucket: false,
         };
+        self.schedule_into(now, mix, &mut out);
+        out
+    }
+
+    /// [`QosScheduler::schedule`] into a caller-owned outcome: `out`'s
+    /// vectors are cleared and refilled, so a thread loop reusing one
+    /// scratch [`ScheduleOutcome`] runs rounds without allocating in
+    /// steady state.
+    pub fn schedule_into(&mut self, now: SimTime, mix: LoadMix, out: &mut ScheduleOutcome<R>) {
+        let elapsed = now.saturating_since(self.prev_sched_time);
+        self.prev_sched_time = now;
+        self.rounds += 1;
+
+        out.submitted.clear();
+        out.deficit_notifications.clear();
+        out.reset_bucket = false;
 
         // --- Latency-critical tenants (Algorithm 1 lines 4-12) ---
         for &id in &self.lc_order {
@@ -490,7 +502,16 @@ impl<R> QosScheduler<R> {
         }
 
         out.reset_bucket = self.bucket.mark_round(self.thread_idx);
-        out
+    }
+}
+
+impl<R> Default for ScheduleOutcome<R> {
+    fn default() -> Self {
+        ScheduleOutcome {
+            submitted: Vec::new(),
+            deficit_notifications: Vec::new(),
+            reset_bucket: false,
+        }
     }
 }
 

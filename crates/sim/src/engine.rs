@@ -25,6 +25,19 @@
 //! [`EventHandle`]s are generation-checked indexes into that slab, which
 //! makes cancellation O(1) and ABA-safe.
 //!
+//! # Typed events
+//!
+//! Boxed closures cost one heap allocation per schedule. Hot recurring
+//! events (packet arrivals, NIC polls, flash completions, timeouts) can
+//! instead be described by a plain `enum` implementing [`TypedEvent`] and
+//! scheduled with the `schedule_event_*` methods: the enum value is stored
+//! inline in the slab node, so steady-state scheduling allocates nothing.
+//! An engine built with [`Engine::new`] uses the uninhabited [`NoEvent`]
+//! type and supports only closures; [`Engine::with_events`] selects the
+//! typed-event world. Both kinds share one queue, one clock and one FIFO
+//! order, and closures remain available as a cold fallback for rare
+//! one-off events.
+//!
 //! # Examples
 //!
 //! ```
@@ -48,7 +61,41 @@ use std::collections::BinaryHeap;
 use crate::time::{SimDuration, SimTime};
 
 /// A one-shot event handler over world `W`.
-pub type EventFn<W> = Box<dyn for<'e> FnOnce(&mut W, &mut Ctx<'e, W>)>;
+pub type EventFn<W, E = NoEvent> = Box<dyn for<'e> FnOnce(&mut W, &mut Ctx<'e, W, E>)>;
+
+/// A plain-data event dispatched without boxing.
+///
+/// Implement this on a cheap (ideally `Copy`) enum describing the hot
+/// recurring events of a simulation, then schedule values of it with
+/// [`Ctx::schedule_event_at`] and friends. Dispatch stores the value
+/// inline in the queue's node slab — no per-event heap allocation.
+pub trait TypedEvent<W>: 'static {
+    /// Consumes the event, applying it to the world.
+    fn dispatch(self, world: &mut W, ctx: &mut Ctx<'_, W, Self>)
+    where
+        Self: Sized;
+}
+
+/// The uninhabited typed-event type of closure-only engines.
+///
+/// [`Engine::new`] produces `Engine<W, NoEvent>`, so existing closure-based
+/// code needs no type annotations; `NoEvent` values cannot be constructed,
+/// and its dispatch arm is statically unreachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoEvent {}
+
+impl<W> TypedEvent<W> for NoEvent {
+    fn dispatch(self, _world: &mut W, _ctx: &mut Ctx<'_, W, Self>) {
+        match self {}
+    }
+}
+
+/// What a slab node runs at dispatch: an inline typed event (hot path,
+/// allocation-free) or a boxed closure (cold fallback).
+enum Action<W, E> {
+    Typed(E),
+    Boxed(EventFn<W, E>),
+}
 
 /// Nanoseconds per wheel tick, as a shift: 1024ns, or roughly 1us.
 const TICK_SHIFT: u32 = 10;
@@ -88,14 +135,14 @@ enum Loc {
 }
 
 /// Slab node holding one scheduled event.
-struct Node<W> {
+struct Node<W, E> {
     at: SimTime,
     seq: u64,
     /// Bumped every time the node is freed; stale handles mismatch.
     gen: u32,
     loc: Loc,
     /// `None` once dispatched or cancelled.
-    action: Option<EventFn<W>>,
+    action: Option<Action<W, E>>,
     /// Free-list link, `NIL` while the node is live.
     next_free: u32,
 }
@@ -109,8 +156,8 @@ struct Node<W> {
 /// * every event in the wheel is earlier than every event in `far`
 ///   (`far` only holds ticks `>= base_tick + WHEEL_SLOTS`; `advance_to`
 ///   re-homes far events whenever `base_tick` moves forward).
-struct EventQueue<W> {
-    nodes: Vec<Node<W>>,
+struct EventQueue<W, E> {
+    nodes: Vec<Node<W, E>>,
     free_head: u32,
     /// Per-slot buckets of slab indexes; capacity is retained across drains.
     wheel: Vec<Vec<u32>>,
@@ -131,16 +178,16 @@ struct EventQueue<W> {
 }
 
 /// Outcome of asking the queue for its next event.
-enum Pop<W> {
+enum Pop<W, E> {
     /// The earliest live event, removed from the queue.
-    Event { at: SimTime, action: EventFn<W> },
+    Event { at: SimTime, action: Action<W, E> },
     /// The earliest live event is after the deadline; nothing was removed.
     Deadline,
     /// No live events at all.
     Empty,
 }
 
-impl<W> EventQueue<W> {
+impl<W, E> EventQueue<W, E> {
     fn new() -> Self {
         EventQueue {
             nodes: Vec::new(),
@@ -156,7 +203,7 @@ impl<W> EventQueue<W> {
         }
     }
 
-    fn alloc(&mut self, at: SimTime, seq: u64, action: EventFn<W>) -> u32 {
+    fn alloc(&mut self, at: SimTime, seq: u64, action: Action<W, E>) -> u32 {
         if self.free_head != NIL {
             let idx = self.free_head;
             let node = &mut self.nodes[idx as usize];
@@ -210,7 +257,7 @@ impl<W> EventQueue<W> {
         }
     }
 
-    fn insert(&mut self, at: SimTime, action: EventFn<W>) -> EventHandle {
+    fn insert(&mut self, at: SimTime, action: Action<W, E>) -> EventHandle {
         let seq = self.seq;
         self.seq += 1;
         let idx = self.alloc(at, seq, action);
@@ -312,7 +359,7 @@ impl<W> EventQueue<W> {
     }
 
     /// Removes and returns the earliest live event at or before `deadline`.
-    fn pop_next(&mut self, deadline: SimTime) -> Pop<W> {
+    fn pop_next(&mut self, deadline: SimTime) -> Pop<W, E> {
         loop {
             // 1. Drain the current-tick heap first: everything in it is
             //    earlier than anything in the wheel or far heap.
@@ -401,13 +448,13 @@ impl<W> EventQueue<W> {
 /// scheduled through it go straight into the timer wheel with no
 /// intermediate buffering; they may be at the current instant (they will
 /// run after all previously-queued events for that instant) or in the future.
-pub struct Ctx<'e, W> {
+pub struct Ctx<'e, W, E = NoEvent> {
     now: SimTime,
     stop: bool,
-    queue: &'e mut EventQueue<W>,
+    queue: &'e mut EventQueue<W, E>,
 }
 
-impl<W> std::fmt::Debug for Ctx<'_, W> {
+impl<W, E> std::fmt::Debug for Ctx<'_, W, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Ctx")
             .field("now", &self.now)
@@ -417,7 +464,7 @@ impl<W> std::fmt::Debug for Ctx<'_, W> {
     }
 }
 
-impl<W> Ctx<'_, W> {
+impl<W, E> Ctx<'_, W, E> {
     /// The current simulation instant.
     pub fn now(&self) -> SimTime {
         self.now
@@ -430,7 +477,7 @@ impl<W> Ctx<'_, W> {
     /// Panics if `at` is before the current instant.
     pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
     {
         self.schedule_at_handle(at, action);
     }
@@ -438,7 +485,7 @@ impl<W> Ctx<'_, W> {
     /// Schedules `action` to run `delay` after the current instant.
     pub fn schedule_after<F>(&mut self, delay: SimDuration, action: F)
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
     {
         self.schedule_after_handle(delay, action);
     }
@@ -451,24 +498,57 @@ impl<W> Ctx<'_, W> {
     /// Panics if `at` is before the current instant.
     pub fn schedule_at_handle<F>(&mut self, at: SimTime, action: F) -> EventHandle
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
     {
         assert!(
             at >= self.now,
             "cannot schedule into the past ({at} < {})",
             self.now
         );
-        self.queue.insert(at, Box::new(action))
+        self.queue.insert(at, Action::Boxed(Box::new(action)))
     }
 
     /// Schedules `action` to run `delay` after the current instant,
     /// returning a cancellable handle.
     pub fn schedule_after_handle<F>(&mut self, delay: SimDuration, action: F) -> EventHandle
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
     {
         let at = self.now + delay;
-        self.queue.insert(at, Box::new(action))
+        self.queue.insert(at, Action::Boxed(Box::new(action)))
+    }
+
+    /// Schedules typed `event` at absolute instant `at` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current instant.
+    pub fn schedule_event_at(&mut self, at: SimTime, event: E) {
+        self.schedule_event_at_handle(at, event);
+    }
+
+    /// Schedules typed `event` to run `delay` after the current instant.
+    pub fn schedule_event_after(&mut self, delay: SimDuration, event: E) {
+        self.queue.insert(self.now + delay, Action::Typed(event));
+    }
+
+    /// Schedules typed `event` at `at`, returning a cancellable handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current instant.
+    pub fn schedule_event_at_handle(&mut self, at: SimTime, event: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        self.queue.insert(at, Action::Typed(event))
+    }
+
+    /// Schedules typed `event` after `delay`, returning a cancellable handle.
+    pub fn schedule_event_after_handle(&mut self, delay: SimDuration, event: E) -> EventHandle {
+        self.queue.insert(self.now + delay, Action::Typed(event))
     }
 
     /// Cancels a scheduled event.
@@ -511,14 +591,14 @@ enum Dispatched {
 ///
 /// See the module documentation for an example and a description of the
 /// timer-wheel queue.
-pub struct Engine<W> {
+pub struct Engine<W, E = NoEvent> {
     world: W,
-    queue: EventQueue<W>,
+    queue: EventQueue<W, E>,
     now: SimTime,
     dispatched: u64,
 }
 
-impl<W: std::fmt::Debug> std::fmt::Debug for Engine<W> {
+impl<W: std::fmt::Debug, E> std::fmt::Debug for Engine<W, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("now", &self.now)
@@ -530,8 +610,19 @@ impl<W: std::fmt::Debug> std::fmt::Debug for Engine<W> {
 }
 
 impl<W> Engine<W> {
-    /// Creates an engine at `t=0` wrapping `world`.
+    /// Creates a closure-only engine at `t=0` wrapping `world`.
+    ///
+    /// The typed-event parameter is pinned to [`NoEvent`]; use
+    /// [`Engine::with_events`] for a typed-event engine.
     pub fn new(world: W) -> Self {
+        Engine::with_events(world)
+    }
+}
+
+impl<W, E: TypedEvent<W>> Engine<W, E> {
+    /// Creates an engine at `t=0` wrapping `world`, dispatching typed
+    /// events of type `E` (plus boxed closures as a cold fallback).
+    pub fn with_events(world: W) -> Self {
         Engine {
             world,
             queue: EventQueue::new(),
@@ -582,7 +673,7 @@ impl<W> Engine<W> {
     /// Panics if `at` is before the current instant.
     pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
     {
         self.schedule_at_handle(at, action);
     }
@@ -590,7 +681,7 @@ impl<W> Engine<W> {
     /// Schedules `action` to run `delay` after the current instant.
     pub fn schedule_after<F>(&mut self, delay: SimDuration, action: F)
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
     {
         self.schedule_at(self.now + delay, action);
     }
@@ -603,23 +694,56 @@ impl<W> Engine<W> {
     /// Panics if `at` is before the current instant.
     pub fn schedule_at_handle<F>(&mut self, at: SimTime, action: F) -> EventHandle
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
     {
         assert!(
             at >= self.now,
             "cannot schedule into the past ({at} < {})",
             self.now
         );
-        self.queue.insert(at, Box::new(action))
+        self.queue.insert(at, Action::Boxed(Box::new(action)))
     }
 
     /// Schedules `action` to run `delay` after the current instant,
     /// returning a cancellable handle.
     pub fn schedule_after_handle<F>(&mut self, delay: SimDuration, action: F) -> EventHandle
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
     {
         self.schedule_at_handle(self.now + delay, action)
+    }
+
+    /// Schedules typed `event` at absolute instant `at` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current instant.
+    pub fn schedule_event_at(&mut self, at: SimTime, event: E) {
+        self.schedule_event_at_handle(at, event);
+    }
+
+    /// Schedules typed `event` to run `delay` after the current instant.
+    pub fn schedule_event_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule_event_at(self.now + delay, event);
+    }
+
+    /// Schedules typed `event` at `at`, returning a cancellable handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current instant.
+    pub fn schedule_event_at_handle(&mut self, at: SimTime, event: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        self.queue.insert(at, Action::Typed(event))
+    }
+
+    /// Schedules typed `event` after `delay`, returning a cancellable handle.
+    pub fn schedule_event_after_handle(&mut self, delay: SimDuration, event: E) -> EventHandle {
+        self.schedule_event_at_handle(self.now + delay, event)
     }
 
     /// Cancels a scheduled event.
@@ -648,7 +772,10 @@ impl<W> Engine<W> {
                     stop: false,
                     queue: &mut self.queue,
                 };
-                action(&mut self.world, &mut ctx);
+                match action {
+                    Action::Typed(event) => event.dispatch(&mut self.world, &mut ctx),
+                    Action::Boxed(f) => f(&mut self.world, &mut ctx),
+                }
                 let stop = ctx.stop;
                 Dispatched::Ran { at, stop }
             }
@@ -895,6 +1022,77 @@ mod tests {
         assert_eq!(e.next_event_time(), Some(SimTime::from_micros(3)));
         e.cancel(h);
         assert_eq!(e.next_event_time(), Some(SimTime::from_millis(1)));
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum TestEvent {
+        Push(u32),
+        Chain(u32),
+    }
+
+    impl TypedEvent<Vec<u32>> for TestEvent {
+        fn dispatch(self, world: &mut Vec<u32>, ctx: &mut Ctx<'_, Vec<u32>, Self>) {
+            match self {
+                TestEvent::Push(v) => world.push(v),
+                TestEvent::Chain(v) => {
+                    world.push(v);
+                    ctx.schedule_event_after(SimDuration::from_micros(1), TestEvent::Push(v + 100));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_events_interleave_with_closures_in_fifo_order() {
+        let mut e: Engine<Vec<u32>, TestEvent> = Engine::with_events(Vec::new());
+        let t = SimTime::from_micros(5);
+        e.schedule_event_at(t, TestEvent::Push(1));
+        e.schedule_at(t, |w: &mut Vec<u32>, _| w.push(2));
+        e.schedule_event_at(t, TestEvent::Push(3));
+        e.run_until(SimTime::from_micros(10));
+        assert_eq!(e.world(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn typed_events_chain_and_reschedule() {
+        let mut e: Engine<Vec<u32>, TestEvent> = Engine::with_events(Vec::new());
+        e.schedule_event_at(SimTime::from_micros(1), TestEvent::Chain(7));
+        e.run_until(SimTime::from_micros(10));
+        assert_eq!(e.world(), &[7, 107]);
+        assert_eq!(e.dispatched(), 2);
+    }
+
+    #[test]
+    fn typed_events_are_cancellable() {
+        let mut e: Engine<Vec<u32>, TestEvent> = Engine::with_events(Vec::new());
+        let h = e.schedule_event_at_handle(SimTime::from_micros(5), TestEvent::Push(1));
+        e.schedule_event_at(SimTime::from_micros(6), TestEvent::Push(2));
+        assert!(e.cancel(h));
+        assert!(!e.cancel(h));
+        e.run_until(SimTime::from_micros(10));
+        assert_eq!(e.world(), &[2]);
+    }
+
+    #[test]
+    fn typed_event_churn_reuses_slab_nodes() {
+        #[derive(Clone, Copy)]
+        struct Tick;
+        impl TypedEvent<u64> for Tick {
+            fn dispatch(self, world: &mut u64, _ctx: &mut Ctx<'_, u64, Self>) {
+                *world += 1;
+            }
+        }
+        let mut e: Engine<u64, Tick> = Engine::with_events(0);
+        for round in 0..1_000u64 {
+            e.schedule_event_after(SimDuration::from_nanos(round % 97 + 1), Tick);
+            e.run_to_completion();
+        }
+        assert_eq!(*e.world(), 1_000);
+        assert!(
+            e.queue.nodes.len() <= 2,
+            "slab grew to {} nodes despite one-at-a-time churn",
+            e.queue.nodes.len()
+        );
     }
 
     #[test]

@@ -44,14 +44,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count;
 mod engine;
 mod hist;
 mod rng;
 mod series;
+mod slab;
 mod time;
 
-pub use engine::{Ctx, Engine, EventFn, EventHandle, Step};
+pub use engine::{Ctx, Engine, EventFn, EventHandle, NoEvent, Step, TypedEvent};
 pub use hist::Histogram;
 pub use rng::{SimRng, Zipf};
 pub use series::{Counter, RatePoint, RateSeries};
+pub use slab::{PoolKey, SlabPool};
 pub use time::{SimDuration, SimTime};

@@ -1,7 +1,7 @@
 //! Property-based tests of the simulation substrate.
 
 use proptest::prelude::*;
-use reflex_sim::{Engine, Histogram, SimDuration, SimRng, SimTime, Zipf};
+use reflex_sim::{Engine, Histogram, PoolKey, SimDuration, SimRng, SimTime, SlabPool, Zipf};
 
 proptest! {
     /// Histogram percentiles are monotone in the percentile for any input.
@@ -153,6 +153,55 @@ proptest! {
 
         prop_assert_eq!(&engine.world().log, &model.log);
         prop_assert_eq!(&engine.world().cancel_results, &model.cancel_results);
+    }
+
+    /// Slab slot reuse never aliases a live entry: under arbitrary
+    /// insert/take interleavings, every live key keeps resolving to its
+    /// own value, retired keys (whose slots may have been recycled many
+    /// times) always miss, and keys survive the u64 cookie round trip the
+    /// dataplane and testbed use on the wire.
+    #[test]
+    fn slab_reuse_never_aliases_live_entries(
+        ops in prop::collection::vec((0u8..4, any::<u64>(), any::<u64>()), 1..300),
+    ) {
+        let mut pool: SlabPool<u64> = SlabPool::new();
+        let mut live: Vec<(PoolKey, u64)> = Vec::new();
+        let mut retired: Vec<PoolKey> = Vec::new();
+        for (op, idx, val) in ops {
+            match op {
+                // Weighted toward inserts so slots churn through reuse.
+                0 | 1 => {
+                    let key = pool.insert(val);
+                    prop_assert_eq!(PoolKey::from_u64(key.as_u64()), key);
+                    prop_assert!(
+                        !live.iter().any(|(k, _)| *k == key),
+                        "fresh key aliases a live entry"
+                    );
+                    live.push((key, val));
+                }
+                2 => {
+                    let Some(i) = (!live.is_empty()).then(|| idx as usize % live.len()) else {
+                        continue;
+                    };
+                    let (key, val) = live.swap_remove(i);
+                    prop_assert_eq!(pool.take(key), Some(val));
+                    prop_assert_eq!(pool.take(key), None, "double take must miss");
+                    retired.push(key);
+                }
+                _ => {
+                    let Some(i) = (!retired.is_empty()).then(|| idx as usize % retired.len()) else {
+                        continue;
+                    };
+                    let key = retired[i];
+                    prop_assert!(pool.get(key).is_none(), "stale key resolved");
+                    prop_assert!(pool.take(key).is_none(), "stale key took a value");
+                }
+            }
+            for (k, v) in &live {
+                prop_assert_eq!(pool.get(*k), Some(v), "live entry lost or aliased");
+            }
+        }
+        prop_assert_eq!(pool.len(), live.len());
     }
 }
 
