@@ -139,4 +139,5 @@ fn main() {
         }
     }
     result.write_json_or_warn();
+    reflex_bench::telemetry::flush("ablations");
 }

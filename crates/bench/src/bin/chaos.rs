@@ -21,6 +21,7 @@ fn main() {
     let summary = chaos::faults_summary(&result);
     result.set_faults(summary);
     result.write_json_or_warn();
+    reflex_bench::telemetry::flush("chaos");
     eprintln!(
         "[chaos] injected={} recovered={} unrecovered={} downtime={:.1}ms",
         summary.injected,

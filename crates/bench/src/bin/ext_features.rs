@@ -162,4 +162,5 @@ fn main() {
         value("one_tenant_iops", 1)
     );
     result.write_json_or_warn();
+    reflex_bench::telemetry::flush("ext_features");
 }

@@ -51,4 +51,5 @@ fn main() {
     println!("read_pct\ttotal_kiops\tp95_read_us");
     result.print_tsv();
     result.write_json_or_warn();
+    reflex_bench::telemetry::flush("fig1_interference");
 }

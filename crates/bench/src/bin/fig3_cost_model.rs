@@ -151,4 +151,5 @@ fn main() {
         print_device(&result, profile, *published);
     }
     result.write_json_or_warn();
+    reflex_bench::telemetry::flush("fig3_cost_model");
 }

@@ -119,4 +119,5 @@ fn main() {
     println!("curve\toffered_kiops\tachieved_kiops\tp95_us");
     result.print_tsv();
     result.write_json_or_warn();
+    reflex_bench::telemetry::flush("fig4_throughput");
 }

@@ -100,5 +100,6 @@ fn main() {
         println!();
     }
     result.write_json_or_warn();
+    reflex_bench::telemetry::flush("fig5_qos");
     let _ = LoadPattern::ClosedLoop { queue_depth: 1 }; // (doc reference)
 }

@@ -104,4 +104,5 @@ fn main() {
     println!("cores\tlc_kiops\tbe_kiops\ttoken_usage_ktokens_s\tmax_lc_p95_us");
     result.print_tsv();
     result.write_json_or_warn();
+    reflex_bench::telemetry::flush("fig6a_core_scaling");
 }

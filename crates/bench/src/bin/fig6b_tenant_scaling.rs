@@ -87,4 +87,5 @@ fn main() {
         println!();
     }
     result.write_json_or_warn();
+    reflex_bench::telemetry::flush("fig6b_tenant_scaling");
 }

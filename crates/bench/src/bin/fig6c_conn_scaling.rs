@@ -74,4 +74,5 @@ fn main() {
         println!();
     }
     result.write_json_or_warn();
+    reflex_bench::telemetry::flush("fig6c_conn_scaling");
 }

@@ -73,4 +73,5 @@ fn main() {
         println!();
     }
     result.write_json_or_warn();
+    reflex_bench::telemetry::flush("fig7a_fio");
 }

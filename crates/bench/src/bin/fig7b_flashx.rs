@@ -49,4 +49,5 @@ fn main() {
     println!("algo\tlocal_s\treflex_s\tiscsi_s\treflex_slowdown\tiscsi_slowdown");
     result.print_tsv();
     result.write_json_or_warn();
+    reflex_bench::telemetry::flush("fig7b_flashx");
 }

@@ -1,10 +1,12 @@
 //! Where do the "+21µs over local Flash" go? (paper Figure 2 / Table 2)
 //!
 //! Decomposes the unloaded remote read path into its stages — client
-//! stack, wire, NIC batching wait, RX processing, QoS scheduling wait,
-//! device, completion+TX — from the dataplane's per-request trace,
+//! stack (ingress), request fabric, NIC batching wait, RX processing,
+//! QoS scheduling wait, device, completion, response egress — from the
+//! shared telemetry spans the testbed records on every component,
 //! comparing low load against heavy load (where batching and queueing
-//! appear).
+//! appear). Each stage reports count, mean, p50, p95 and p99 from the
+//! same log-bucketed histograms every harness uses.
 //!
 //! Run: `cargo run --release -p reflex-bench --bin latency_breakdown`
 
@@ -12,9 +14,27 @@ use reflex_bench::sweep::{PointOutcome, Sweep};
 use reflex_core::{Testbed, WorkloadSpec};
 use reflex_qos::{SloSpec, TenantClass, TenantId};
 use reflex_sim::SimDuration;
+use reflex_telemetry::{Stage, TenantKey};
+
+/// `(stage, tenant key, TSV label)` — the request path in traversal
+/// order. Fabric stages are recorded per direction, not per tenant, so
+/// they sit under the global key.
+const PATH: &[(Stage, TenantKey, &str)] = &[
+    (Stage::Ingress, TenantKey(1), "client_ingress"),
+    (Stage::Fabric, TenantKey::GLOBAL, "request_fabric"),
+    (Stage::NicQueue, TenantKey(1), "nic_batch_wait"),
+    (Stage::Dataplane, TenantKey(1), "rx_processing"),
+    (Stage::FlashSq, TenantKey(1), "qos_sched_wait"),
+    (Stage::Channel, TenantKey(1), "flash_device"),
+    (Stage::Cq, TenantKey(1), "completion_tx"),
+    (Stage::Egress, TenantKey::GLOBAL, "response_egress"),
+];
 
 fn breakdown_point(label: &str, offered: f64) -> PointOutcome {
     let mut tb = Testbed::builder().seed(131).build();
+    // Spans are recorded passively, so instrumenting the run does not
+    // shift the latencies it decomposes.
+    tb.enable_telemetry();
     let slo = SloSpec::new(450_000, 100, SimDuration::from_millis(2));
     let mut spec = WorkloadSpec::open_loop(
         "app",
@@ -31,34 +51,49 @@ fn breakdown_point(label: &str, offered: f64) -> PointOutcome {
     tb.run(SimDuration::from_millis(200));
     let report = tb.report();
     let w = report.workload("app");
-    let b = tb.world().server().threads()[0].latency_breakdown();
-    let (rx_wait, rx_proc, sched_wait, device, tx) = b.means_us();
-    let server_total = rx_wait + rx_proc + sched_wait + device + tx;
-    let client_and_wire = w.mean_read_us() - server_total;
-    PointOutcome::new(w.p95_read_us())
+    let telemetry = report.telemetry.as_ref().expect("telemetry enabled");
+    if reflex_bench::telemetry::enabled() {
+        reflex_bench::telemetry::merge(telemetry);
+    }
+    let mut point = PointOutcome::new(w.p95_read_us())
         .with_row(format!(
             "\n## {label} ({offered:.0} IOPS offered, {:.0} achieved)",
             w.iops
         ))
-        .with_row("stage\tmean_us")
-        .with_row(format!("client+wire\t{client_and_wire:.1}"))
-        .with_row(format!("nic_batch_wait\t{rx_wait:.1}"))
-        .with_row(format!("rx_processing\t{rx_proc:.1}"))
-        .with_row(format!("qos_sched_wait\t{sched_wait:.1}"))
-        .with_row(format!("flash_device\t{device:.1}"))
-        .with_row(format!("completion_tx\t{tx:.1}"))
+        .with_row("stage\tcount\tmean_us\tp50_us\tp95_us\tp99_us");
+    let mut server_mean = 0.0f64;
+    for &(stage, tenant, name) in PATH {
+        let Some(h) = telemetry.stage(tenant, stage) else {
+            continue;
+        };
+        point = point
+            .with_row(format!(
+                "{name}\t{}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+                h.count(),
+                h.mean().as_micros_f64(),
+                h.p50().as_micros_f64(),
+                h.p95().as_micros_f64(),
+                h.p99().as_micros_f64(),
+            ))
+            .with_metric(format!("{name}_mean_us"), h.mean().as_micros_f64())
+            .with_metric(format!("{name}_p95_us"), h.p95().as_micros_f64());
+        if tenant == TenantKey(1) && stage != Stage::Ingress {
+            server_mean += h.mean().as_micros_f64();
+        }
+    }
+    point
         .with_row(format!(
-            "end_to_end_mean\t{:.1}\tp95\t{:.1}",
+            "end_to_end\t{}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+            w.read_latency.count(),
             w.mean_read_us(),
-            w.p95_read_us()
+            w.read_latency.p50().as_micros_f64(),
+            w.p95_read_us(),
+            w.read_latency.p99().as_micros_f64(),
         ))
+        .with_row(format!("server_stages_mean_sum\t-\t{server_mean:.1}"))
         .with_metric("achieved_iops", w.iops)
-        .with_metric("client_wire_us", client_and_wire)
-        .with_metric("nic_batch_wait_us", rx_wait)
-        .with_metric("rx_processing_us", rx_proc)
-        .with_metric("qos_sched_wait_us", sched_wait)
-        .with_metric("flash_device_us", device)
-        .with_metric("completion_tx_us", tx)
+        .with_metric("end_to_end_mean_us", w.mean_read_us())
+        .with_metric("server_stages_mean_us", server_mean)
         .with_events(report.engine_events)
 }
 
@@ -77,4 +112,5 @@ fn main() {
     println!("# Server-side latency decomposition (Figure 2 stages)");
     result.print_tsv();
     result.write_json_or_warn();
+    reflex_bench::telemetry::flush("latency_breakdown");
 }

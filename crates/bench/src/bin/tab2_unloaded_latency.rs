@@ -128,4 +128,5 @@ fn main() {
     println!("config\tread_avg\tread_p95\twrite_avg\twrite_p95");
     result.print_tsv();
     result.write_json_or_warn();
+    reflex_bench::telemetry::flush("tab2_unloaded_latency");
 }

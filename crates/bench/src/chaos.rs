@@ -21,6 +21,7 @@ use reflex_core::{
 use reflex_faults::{install, FaultKind, FaultPlan};
 use reflex_qos::{CostModel, SloSpec, TenantClass, TenantId};
 use reflex_sim::{RatePoint, SimDuration, SimTime};
+use reflex_telemetry::TenantKey;
 
 use crate::sweep::{FaultsSummary, PointOutcome, Sweep, SweepResult};
 
@@ -63,6 +64,7 @@ struct ChaosOutcome {
     downtime_secs: f64,
     recovery_ms: f64,
     engine_events: u64,
+    slo_violations: u64,
 }
 
 impl ChaosOutcome {
@@ -77,6 +79,7 @@ impl ChaosOutcome {
             .with_metric("unrecovered", self.unrecovered as f64)
             .with_metric("downtime_s", self.downtime_secs)
             .with_metric("recovery_ms", self.recovery_ms)
+            .with_metric("slo_violations", self.slo_violations as f64)
             .with_events(self.engine_events)
     }
 }
@@ -103,12 +106,25 @@ fn run_faulted(
     )
     .expect("chaos workload rejected");
     let stats = install(plan, &mut tb);
+    // Chaos points always record telemetry (recording is passive, so the
+    // TSV is unaffected): the sweep JSON reports how many rolling SLO
+    // windows each fault pushed over the tenant's p95 target.
+    tb.enable_telemetry();
     tb.run(warmup(smoke));
     tb.begin_measurement();
     tb.run(measure(smoke));
     let report = tb.report();
     let w = report.workload("app");
     let snap = stats.snapshot();
+    let slo_violations = report
+        .telemetry
+        .as_ref()
+        .map_or(0, |t| t.slo.get(&TenantKey(1)).map_or(0, |s| s.violations));
+    if crate::telemetry::enabled() {
+        if let Some(t) = &report.telemetry {
+            crate::telemetry::merge(t);
+        }
+    }
     ChaosOutcome {
         iops: w.iops,
         p95_us: w.p95_read_us(),
@@ -119,6 +135,7 @@ fn run_faulted(
         downtime_secs: snap.downtime.as_secs_f64(),
         recovery_ms: up_at.map_or(-1.0, |t| recovery_ms(&w.iops_series, t)),
         engine_events: report.engine_events,
+        slo_violations,
     }
 }
 
@@ -190,6 +207,7 @@ fn server_death_point(tenants_per_server: u32) -> PointOutcome {
         downtime_secs: recovery / 1_000.0,
         recovery_ms: recovery,
         engine_events: 0,
+        slo_violations: 0,
     };
     o.into_point("server-death", &format!("{total}-tenants"))
 }

@@ -24,6 +24,7 @@
 
 pub mod chaos;
 pub mod sweep;
+pub mod telemetry;
 
 use reflex_core::{ServerHarness, Testbed, TestbedReport, WorkloadSpec};
 use reflex_sim::SimDuration;
@@ -46,6 +47,9 @@ pub fn run_testbed<S: ServerHarness + 'static>(
     warmup: SimDuration,
     measure: SimDuration,
 ) -> TestbedReport {
+    if telemetry::enabled() {
+        tb.enable_telemetry();
+    }
     for spec in workloads {
         let name = spec.name.clone();
         tb.add_workload(spec)
@@ -54,7 +58,11 @@ pub fn run_testbed<S: ServerHarness + 'static>(
     tb.run(warmup);
     tb.begin_measurement();
     tb.run(measure);
-    tb.report()
+    let report = tb.report();
+    if let Some(snapshot) = &report.telemetry {
+        telemetry::merge(snapshot);
+    }
+    report
 }
 
 /// Worst p95 read latency (µs) across a report's workloads — the cutoff

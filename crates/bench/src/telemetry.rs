@@ -1,0 +1,82 @@
+//! Opt-in telemetry sink for the harness binaries.
+//!
+//! Telemetry is off by default, so every figure TSV stays byte-identical
+//! to the uninstrumented harness. Setting `REFLEX_TELEMETRY=1` (or
+//! calling [`force`] from a test) turns it on:
+//! [`run_testbed`](crate::run_testbed) then enables recording on every
+//! testbed it drives and folds each point's snapshot into one
+//! process-wide snapshot — snapshot merge is commutative and
+//! associative, so parallel sweep workers fold in any order with a
+//! deterministic result. A binary's final [`flush`] writes
+//! `TELEMETRY_<name>.json` and `TELEMETRY_<name>.tsv` next to the
+//! `BENCH_<name>.json` artifact.
+//!
+//! Recording itself is passive (no RNG draws, no scheduled events), so
+//! an instrumented run produces byte-identical TSVs — pinned by
+//! `tests/telemetry_determinism.rs`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+use reflex_telemetry::TelemetrySnapshot;
+
+// 0 = follow the environment, 1 = forced off, 2 = forced on.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+static SINK: Mutex<Option<TelemetrySnapshot>> = Mutex::new(None);
+
+/// `true` when telemetry recording is on for this process: forced via
+/// [`force`], else `REFLEX_TELEMETRY=1` (or `true`) in the environment.
+pub fn enabled() -> bool {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => std::env::var("REFLEX_TELEMETRY")
+            .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true")),
+    }
+}
+
+/// Overrides the environment switch for this process (`None` reverts to
+/// the environment). Tests use this to compare instrumented and
+/// uninstrumented runs in-process without mutating the environment.
+pub fn force(on: Option<bool>) {
+    let v = match on {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    FORCED.store(v, Ordering::Relaxed);
+}
+
+/// Folds `snapshot` into the process-wide sink.
+pub fn merge(snapshot: &TelemetrySnapshot) {
+    let mut sink = SINK.lock().expect("telemetry sink poisoned");
+    sink.get_or_insert_with(TelemetrySnapshot::default)
+        .merge(snapshot);
+}
+
+/// Takes the merged snapshot accumulated so far, leaving the sink empty.
+pub fn take() -> Option<TelemetrySnapshot> {
+    SINK.lock().expect("telemetry sink poisoned").take()
+}
+
+/// Writes `TELEMETRY_<name>.json` and `TELEMETRY_<name>.tsv` from the
+/// merged sink and drains it. A no-op (and silent) when telemetry is
+/// disabled or nothing was recorded; file errors go to stderr — the
+/// artifact is best-effort, like `BENCH_<name>.json`.
+pub fn flush(name: &str) {
+    if !enabled() {
+        return;
+    }
+    let Some(snapshot) = take() else { return };
+    if snapshot.is_empty() {
+        return;
+    }
+    for (ext, body) in [("json", snapshot.to_json()), ("tsv", snapshot.to_tsv())] {
+        let path = PathBuf::from(format!("TELEMETRY_{name}.{ext}"));
+        match std::fs::write(&path, body) {
+            Ok(()) => eprintln!("[{name}] telemetry -> {}", path.display()),
+            Err(e) => eprintln!("[{name}] could not write {}: {e}", path.display()),
+        }
+    }
+}

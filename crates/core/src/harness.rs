@@ -12,6 +12,7 @@ use reflex_flash::FlashDevice;
 use reflex_net::{ConnId, Fabric, MachineId, NicQueueId};
 use reflex_qos::{TenantClass, TenantId};
 use reflex_sim::{SimDuration, SimTime};
+use reflex_telemetry::Telemetry;
 
 use crate::server::AdmissionError;
 
@@ -106,6 +107,11 @@ pub trait ServerHarness {
     fn control_tick(&mut self, _now: SimTime, _window: SimDuration) -> Vec<TenantId> {
         Vec::new()
     }
+
+    /// Installs a telemetry handle on the server's workers. Servers
+    /// without instrumentation ignore it (the testbed still records
+    /// client-side and fabric telemetry around them).
+    fn set_telemetry(&mut self, _telemetry: Telemetry) {}
 
     /// Cumulative CPU time of worker `i`.
     fn busy_time(&self, i: usize) -> SimDuration;

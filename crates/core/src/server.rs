@@ -933,6 +933,14 @@ impl crate::harness::ServerHarness for ReflexServer {
         ReflexServer::control_tick(self, now, window)
     }
 
+    fn set_telemetry(&mut self, telemetry: reflex_telemetry::Telemetry) {
+        // Every dataplane thread (active or not — scale-up may activate
+        // more later) shares the one sink.
+        for t in &mut self.threads {
+            t.set_telemetry(telemetry.clone());
+        }
+    }
+
     fn busy_time(&self, i: usize) -> SimDuration {
         self.threads[i].busy_time()
     }

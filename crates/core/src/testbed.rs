@@ -17,6 +17,7 @@ use reflex_qos::{CostModel, TenantId};
 use reflex_sim::{
     Ctx, Engine, EventHandle, PoolKey, SimDuration, SimRng, SimTime, SlabPool, TypedEvent, Zipf,
 };
+use reflex_telemetry::{Stage, Telemetry, TelemetrySnapshot, TenantKey};
 
 use crate::capacity::CapacityProfile;
 use crate::client::{
@@ -143,6 +144,10 @@ pub struct World<S: ServerHarness = ReflexServer> {
     spent_snapshot: HashMap<TenantId, i64>,
     gen_cursor: Vec<usize>,
     zipf: Vec<Option<Zipf>>,
+    // Disabled by default: a single branch on the hot path. When enabled
+    // (see [`Testbed::enable_telemetry`]) the same handle is shared by the
+    // device, fabric, server threads and the client-side span/SLO probes.
+    telemetry: Telemetry,
 }
 
 impl<S: ServerHarness> std::fmt::Debug for World<S> {
@@ -330,6 +335,13 @@ impl<S: ServerHarness + 'static> World<S> {
                     let latency = d.arrived_at.saturating_since(req.sent_at);
                     if req.is_read {
                         w.read_hist.record(latency);
+                        // Feed the SLO monitor: rolling p95 per tenant
+                        // against the registered qos::slo target.
+                        self.telemetry.slo_observe(
+                            TenantKey(w.spec.tenant.0),
+                            latency,
+                            d.arrived_at,
+                        );
                     } else {
                         w.write_hist.record(latency);
                     }
@@ -442,6 +454,13 @@ impl<S: ServerHarness + 'static> World<S> {
         let busy = &mut self.client_threads_busy[w_idx][th];
         let t_send = now.max(*busy);
         *busy = t_send + per_msg;
+        // Ingress span: time the request waited for a client stack thread
+        // before hitting the wire.
+        self.telemetry.span(
+            TenantKey(tenant.0),
+            Stage::Ingress,
+            t_send.saturating_since(now),
+        );
 
         // Register the attempt first: the slab key becomes the wire cookie
         // (slot + generation), so the response and the timeout both find it
@@ -611,6 +630,10 @@ pub struct TestbedReport {
     /// Total events dispatched by the engine since the testbed was built
     /// (a proxy for simulation work; sweep harnesses report events/sec).
     pub engine_events: u64,
+    /// Telemetry snapshot (counters, per-tenant per-stage spans, IO
+    /// conservation counters, SLO windows/violations) — `None` unless
+    /// [`Testbed::enable_telemetry`] was called.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl TestbedReport {
@@ -798,6 +821,7 @@ impl TestbedBuilder {
             spent_snapshot: HashMap::new(),
             gen_cursor: Vec::new(),
             zipf: Vec::new(),
+            telemetry: Telemetry::disabled(),
         };
         let mut engine = Engine::with_events(world);
         let interval = self.control_interval;
@@ -892,6 +916,13 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             world
                 .server
                 .register_tenant(spec.tenant, spec.class, acl, spec.io_size)?;
+        }
+        // Latency-critical tenants get an SLO monitor entry keyed on their
+        // p95 read-latency target (no-op while telemetry is disabled).
+        if let Some(slo) = spec.class.slo() {
+            world
+                .telemetry
+                .slo_register(TenantKey(spec.tenant.0), slo.p95_read_latency);
         }
 
         let client_machine = world.clients[spec.client_machine].machine;
@@ -1040,6 +1071,45 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             device: world.device.stats(),
             renegotiations: world.server.renegotiations(),
             engine_events: self.engine.dispatched(),
+            telemetry: world.telemetry.snapshot(),
         }
+    }
+
+    /// Turns on telemetry: installs one shared [`Telemetry`] sink on the
+    /// device, fabric, server threads, the engine's dispatch probe and the
+    /// client-side span/SLO probes. Recording is strictly passive — it
+    /// draws no randomness and schedules nothing, so an instrumented run
+    /// produces byte-identical results to an uninstrumented one. Returns a
+    /// clone of the handle for direct inspection.
+    pub fn enable_telemetry(&mut self) -> Telemetry {
+        let telemetry = Telemetry::enabled();
+        self.set_telemetry(telemetry.clone());
+        telemetry
+    }
+
+    /// Installs `telemetry` on every instrumented component (pass
+    /// [`Telemetry::disabled`] to switch recording back off). SLO targets
+    /// of workloads added before this call are re-registered.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if let Some(probe) = telemetry.engine_probe() {
+            self.engine.set_probe(probe);
+        } else {
+            self.engine.clear_probe();
+        }
+        let world = self.engine.world_mut();
+        world.device.set_telemetry(telemetry.clone());
+        world.fabric.set_telemetry(telemetry.clone());
+        world.server.set_telemetry(telemetry.clone());
+        for w in &world.workloads {
+            if let Some(slo) = w.spec.class.slo() {
+                telemetry.slo_register(TenantKey(w.spec.tenant.0), slo.p95_read_latency);
+            }
+        }
+        world.telemetry = telemetry;
+    }
+
+    /// The current telemetry snapshot, when telemetry is enabled.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.engine.world().telemetry.snapshot()
     }
 }

@@ -20,4 +20,4 @@ mod thread;
 
 pub use abi::{AbiStatus, BufHandle, Cookie, EventCond, Syscall, TenantHandle};
 pub use config::{ConnPressure, DataplaneConfig};
-pub use thread::{AclEntry, DataplaneThread, LatencyBreakdown, ReqCtx, ThreadStats, WireMsg};
+pub use thread::{AclEntry, DataplaneThread, ReqCtx, ThreadStats, WireMsg};

@@ -30,6 +30,7 @@ use reflex_qos::{
     TenantClass, TenantId, TokenRate,
 };
 use reflex_sim::{Histogram, PoolKey, SimDuration, SimTime, SlabPool};
+use reflex_telemetry::{Stage, Telemetry, TenantKey};
 use std::sync::Arc;
 
 use crate::abi::{AbiStatus, BufHandle, Cookie, EventCond, Syscall, TenantHandle};
@@ -136,45 +137,6 @@ struct InflightIo {
     submitted_at: SimTime,
 }
 
-/// Where a request's time goes inside the server (paper Figure 2): the
-/// queueing and processing stages between NIC arrival and response
-/// transmit, accumulated over sampled requests. This decomposes the
-/// "+21µs over local Flash" headline into its parts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct LatencyBreakdown {
-    /// Requests sampled.
-    pub samples: u64,
-    /// NIC arrival → start of RX processing (batching/queueing delay).
-    pub rx_wait_ns: u64,
-    /// RX processing + protocol parse + ACL + syscall (steps 2-3).
-    pub rx_proc_ns: u64,
-    /// Software queue wait until the QoS scheduler admits it (step 4).
-    pub sched_wait_ns: u64,
-    /// NVMe submission → device completion (steps 5-6).
-    pub device_ns: u64,
-    /// Completion available → response on the wire (steps 7-8, including
-    /// CQ polling delay and TX processing).
-    pub tx_ns: u64,
-}
-
-impl LatencyBreakdown {
-    /// Mean microseconds per stage: (rx_wait, rx_proc, sched_wait, device,
-    /// tx). Zero when nothing was sampled.
-    pub fn means_us(&self) -> (f64, f64, f64, f64, f64) {
-        if self.samples == 0 {
-            return (0.0, 0.0, 0.0, 0.0, 0.0);
-        }
-        let n = self.samples as f64 * 1_000.0;
-        (
-            self.rx_wait_ns as f64 / n,
-            self.rx_proc_ns as f64 / n,
-            self.sched_wait_ns as f64 / n,
-            self.device_ns as f64 / n,
-            self.tx_ns as f64 / n,
-        )
-    }
-}
-
 /// Aggregate statistics of one dataplane thread.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ThreadStats {
@@ -230,7 +192,9 @@ pub struct DataplaneThread {
     sched_time: SimDuration,
     last_sched: SimTime,
     max_sched_interval: SimDuration,
-    breakdown: LatencyBreakdown,
+    /// Observability sink shared with the rest of the testbed; disabled
+    /// by default, in which case every recording call is one branch.
+    telemetry: Telemetry,
     /// Scratch buffers reused across pump iterations so steady-state
     /// batches drain with zero allocations.
     rx_scratch: Vec<Delivery<WireMsg>>,
@@ -278,7 +242,7 @@ impl DataplaneThread {
             sched_time: SimDuration::ZERO,
             last_sched: now,
             max_sched_interval: config.max_sched_interval,
-            breakdown: LatencyBreakdown::default(),
+            telemetry: Telemetry::disabled(),
             rx_scratch: Vec::new(),
             cq_scratch: Vec::new(),
             sched_scratch: ScheduleOutcome::default(),
@@ -286,9 +250,13 @@ impl DataplaneThread {
         }
     }
 
-    /// Per-stage latency decomposition accumulated so far (Figure 2).
-    pub fn latency_breakdown(&self) -> LatencyBreakdown {
-        self.breakdown
+    /// Installs a telemetry handle and forwards it to the thread's QoS
+    /// scheduler. Per-stage latency spans (paper Figure 2) are then
+    /// recorded per tenant on every completed request; recording is purely
+    /// passive and perturbs neither timing nor scheduling.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.sched.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// Sets the upper bound on the scheduling interval (the control plane
@@ -693,6 +661,10 @@ impl DataplaneThread {
             self.send_error(fabric, ctx, status);
             return;
         }
+        // The request is accepted from here on: it will be answered by
+        // exactly one completion, so its telemetry span opens now (closed
+        // in `handle_completion` when the response hits the wire).
+        self.telemetry.open_span(TenantKey(tenant.0));
         let ordering = self.ordering.entry(tenant).or_default();
         if ordering.fence.is_some() {
             // Requests behind a barrier wait for it to complete.
@@ -783,6 +755,7 @@ impl DataplaneThread {
             IoType::Read => NvmeCommand::read(id, req.payload.addr, req.len),
             IoType::Write => NvmeCommand::write(id, req.payload.addr, req.len),
         };
+        self.telemetry.note_submitted(TenantKey(tenant.0));
         match device.submit(self.core_busy, self.qp, cmd) {
             Ok(_) => {
                 self.stats.submitted += 1;
@@ -790,6 +763,7 @@ impl DataplaneThread {
             Err(SubmitError::QueueFull) => {
                 let io = self.inflight.take(key).expect("just inserted");
                 self.stats.sq_full_retries += 1;
+                self.telemetry.note_retried(TenantKey(tenant.0));
                 self.retry_submit.push_front((
                     tenant,
                     CostedRequest {
@@ -804,6 +778,8 @@ impl DataplaneThread {
                 // treat defensively as a decode error.
                 self.inflight.take(key);
                 self.stats.decode_errors += 1;
+                self.telemetry.note_failed(TenantKey(tenant.0));
+                self.telemetry.close_span(TenantKey(tenant.0));
             }
         }
     }
@@ -853,19 +829,44 @@ impl DataplaneThread {
                 h.record(self.core_busy.saturating_since(ctx.arrived));
             }
         }
-        let b = &mut self.breakdown;
-        b.samples += 1;
-        b.rx_wait_ns += ctx.rx_started.saturating_since(ctx.arrived).as_nanos();
-        b.rx_proc_ns += ctx.enqueued.saturating_since(ctx.rx_started).as_nanos();
-        b.sched_wait_ns += submitted_at.saturating_since(ctx.enqueued).as_nanos();
-        b.device_ns += completed
-            .completed_at
-            .saturating_since(submitted_at)
-            .as_nanos();
-        b.tx_ns += self
-            .core_busy
-            .saturating_since(completed.completed_at)
-            .as_nanos();
+        if self.telemetry.is_enabled() {
+            // Per-stage decomposition of the request's server-side life
+            // (paper Figure 2), attributed to its tenant. The single-take
+            // guard above means a stale/duplicated completion can never
+            // reach this point, so each request is decomposed exactly once.
+            let t = TenantKey(ctx.tenant.0);
+            self.telemetry.span(
+                t,
+                Stage::NicQueue,
+                ctx.rx_started.saturating_since(ctx.arrived),
+            );
+            self.telemetry.span(
+                t,
+                Stage::Dataplane,
+                ctx.enqueued.saturating_since(ctx.rx_started),
+            );
+            self.telemetry.span(
+                t,
+                Stage::FlashSq,
+                submitted_at.saturating_since(ctx.enqueued),
+            );
+            self.telemetry.span(
+                t,
+                Stage::Channel,
+                completed.completed_at.saturating_since(submitted_at),
+            );
+            self.telemetry.span(
+                t,
+                Stage::Cq,
+                self.core_busy.saturating_since(completed.completed_at),
+            );
+            if status == AbiStatus::Ok {
+                self.telemetry.note_completed(t);
+            } else {
+                self.telemetry.note_failed(t);
+            }
+            self.telemetry.close_span(t);
+        }
         // Barrier release happens after the response is on the wire so the
         // client observes completions in order.
         self.note_completion(fabric, ctx.tenant);
@@ -990,24 +991,6 @@ impl DataplaneThread {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn latency_breakdown_means() {
-        let mut b = LatencyBreakdown::default();
-        assert_eq!(b.means_us(), (0.0, 0.0, 0.0, 0.0, 0.0));
-        b.samples = 2;
-        b.rx_wait_ns = 2_000;
-        b.rx_proc_ns = 4_000;
-        b.sched_wait_ns = 6_000;
-        b.device_ns = 100_000;
-        b.tx_ns = 1_000;
-        let (rx_wait, rx_proc, sched, device, tx) = b.means_us();
-        assert_eq!(rx_wait, 1.0);
-        assert_eq!(rx_proc, 2.0);
-        assert_eq!(sched, 3.0);
-        assert_eq!(device, 50.0);
-        assert_eq!(tx, 0.5);
-    }
 
     #[test]
     fn acl_client_permits() {

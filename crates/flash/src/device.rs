@@ -14,6 +14,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use reflex_sim::{SimDuration, SimRng, SimTime};
+use reflex_telemetry::{Stage, Telemetry, TenantKey};
 use serde::{Deserialize, Serialize};
 
 use crate::profile::DeviceProfile;
@@ -171,6 +172,7 @@ pub struct FlashDevice {
     wear_factor: f64,
     stats: DeviceStats,
     fault_hook: Option<Box<dyn DeviceFaultHook>>,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for FlashDevice {
@@ -202,7 +204,14 @@ impl FlashDevice {
             wear_factor: 1.0,
             stats: DeviceStats::default(),
             fault_hook: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle. Recording is purely passive — the
+    /// device's timing, RNG draws, and stats are bit-for-bit unchanged.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The device's performance profile.
@@ -282,11 +291,13 @@ impl FlashDevice {
             return Err(SubmitError::EmptyCommand);
         }
         if self.qps[qp.0 as usize].outstanding >= self.profile.sq_depth {
+            self.telemetry.count("device.sq_full", 1);
             return Err(SubmitError::QueueFull);
         }
 
         if cmd.addr.saturating_add(cmd.len as u64) > self.profile.capacity_bytes {
             self.stats.out_of_range += 1;
+            self.telemetry.count("device.out_of_range", 1);
             let at = now + SimDuration::from_micros(1);
             let seq = self.next_seq();
             self.push_completion(
@@ -314,6 +325,7 @@ impl FlashDevice {
         };
         if fault == DeviceFaultAction::Dead {
             self.stats.unavailable += 1;
+            self.telemetry.count("device.unavailable", 1);
             let at = now + SimDuration::from_micros(1);
             let seq = self.next_seq();
             self.push_completion(
@@ -348,10 +360,17 @@ impl FlashDevice {
                 && self.rng.chance(self.profile.media_error_rate))
         {
             self.stats.media_errors += 1;
+            self.telemetry.count("device.media_errors", 1);
             NvmeStatus::MediaError
         } else {
             NvmeStatus::Success
         };
+        self.telemetry.count("device.commands", 1);
+        self.telemetry.span(
+            TenantKey::GLOBAL,
+            Stage::Channel,
+            completed_at.saturating_since(now),
+        );
         let seq = self.next_seq();
         self.push_completion(
             qp,

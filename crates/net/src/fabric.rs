@@ -11,6 +11,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use reflex_sim::{SimDuration, SimRng, SimTime};
+use reflex_telemetry::{Stage, Telemetry, TenantKey};
 use serde::{Deserialize, Serialize};
 
 use crate::stack::StackProfile;
@@ -178,6 +179,7 @@ pub struct Fabric<P> {
     fault_hook: Option<Box<dyn NetFaultHook>>,
     dropped: u64,
     duplicated: u64,
+    telemetry: Telemetry,
 }
 
 impl<P> std::fmt::Debug for Fabric<P> {
@@ -204,7 +206,15 @@ impl<P> Fabric<P> {
             fault_hook: None,
             dropped: 0,
             duplicated: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle. Wire-time spans are recorded per
+    /// message (`Stage::Fabric` for [`send_to_queue`], `Stage::Egress` for
+    /// [`send`]); recording is purely passive and perturbs no timing.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Installs a fault-injection hook consulted on every message sent.
@@ -297,7 +307,18 @@ impl<P> Fabric<P> {
     where
         P: Clone,
     {
-        self.send_to_queue(now, from, to, NicQueueId(0), conn, size, payload)
+        // Responses (server → client) travel through `send`; their wire
+        // time is the telemetry Egress stage.
+        self.transfer(
+            now,
+            from,
+            to,
+            NicQueueId(0),
+            conn,
+            size,
+            payload,
+            Stage::Egress,
+        )
     }
 
     /// Replaces `machine`'s network stack profile. Used by fault injection
@@ -330,6 +351,26 @@ impl<P> Fabric<P> {
         conn: ConnId,
         size: u32,
         payload: P,
+    ) -> SimTime
+    where
+        P: Clone,
+    {
+        // Flow-steered requests (client → server) are the telemetry
+        // Fabric stage.
+        self.transfer(now, from, to, queue, conn, size, payload, Stage::Fabric)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn transfer(
+        &mut self,
+        now: SimTime,
+        from: MachineId,
+        to: MachineId,
+        queue: NicQueueId,
+        conn: ConnId,
+        size: u32,
+        payload: P,
+        stage: Stage,
     ) -> SimTime
     where
         P: Clone,
@@ -370,16 +411,21 @@ impl<P> Fabric<P> {
             NetFaultAction::Deliver => {}
             NetFaultAction::Drop => {
                 self.dropped += 1;
+                self.telemetry.count("net.dropped", 1);
                 // Callers treat the return value as "when to look"; for a
                 // lost message nothing will be there, which is harmless.
                 return arrived_at;
             }
             NetFaultAction::Duplicate => {
                 self.duplicated += 1;
+                self.telemetry.count("net.duplicated", 1);
                 copies = 2;
             }
             NetFaultAction::Delay(extra) => arrived_at += extra,
         }
+        self.telemetry.count("net.messages", 1);
+        self.telemetry
+            .span(TenantKey::GLOBAL, stage, arrived_at.saturating_since(now));
 
         for copy in 0..copies {
             let at = arrived_at + SimDuration::from_nanos(500 * copy as u64);

@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use reflex_flash::IoType;
 use reflex_sim::SimTime;
+use reflex_telemetry::Telemetry;
 
 use crate::bucket::GlobalBucket;
 use crate::cost::{CostModel, LoadMix};
@@ -169,6 +170,7 @@ pub struct QosScheduler<R> {
     be_cursor: usize,
     be_rate_per_tenant: TokenRate,
     rounds: u64,
+    telemetry: Telemetry,
 }
 
 impl<R> QosScheduler<R> {
@@ -194,7 +196,15 @@ impl<R> QosScheduler<R> {
             be_cursor: 0,
             be_rate_per_tenant: TokenRate::ZERO,
             rounds: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle; scheduling rounds then bump admission
+    /// and deficit counters. Recording is purely passive — token flows and
+    /// submission order are bit-for-bit unchanged.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The cost model in force.
@@ -459,6 +469,8 @@ impl<R> QosScheduler<R> {
             }
         }
 
+        let lc_admitted = out.submitted.len();
+
         // --- Best-effort tenants, round-robin (lines 13-21) ---
         let n_be = self.be_order.len();
         for k in 0..n_be {
@@ -502,6 +514,21 @@ impl<R> QosScheduler<R> {
         }
 
         out.reset_bucket = self.bucket.mark_round(self.thread_idx);
+
+        if self.telemetry.is_enabled() {
+            self.telemetry.count("qos.rounds", 1);
+            if lc_admitted > 0 {
+                self.telemetry.count("qos.lc_admitted", lc_admitted as u64);
+            }
+            let be_admitted = out.submitted.len() - lc_admitted;
+            if be_admitted > 0 {
+                self.telemetry.count("qos.be_admitted", be_admitted as u64);
+            }
+            if !out.deficit_notifications.is_empty() {
+                self.telemetry
+                    .count("qos.deficit_events", out.deficit_notifications.len() as u64);
+            }
+        }
     }
 }
 

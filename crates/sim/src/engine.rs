@@ -587,6 +587,17 @@ enum Dispatched {
     Idle,
 }
 
+/// Passive observer of engine dispatches.
+///
+/// Probes let observability layers count events without the engine
+/// depending on them (the telemetry crate sits above `reflex-sim`). A
+/// probe must be purely passive: it sees the clock but cannot schedule,
+/// mutate the world, or otherwise perturb the simulation.
+pub trait EngineProbe: Send {
+    /// Called once per dispatched event, after the clock advanced to `now`.
+    fn on_dispatch(&mut self, now: SimTime);
+}
+
 /// A deterministic discrete-event engine over a world `W`.
 ///
 /// See the module documentation for an example and a description of the
@@ -596,6 +607,7 @@ pub struct Engine<W, E = NoEvent> {
     queue: EventQueue<W, E>,
     now: SimTime,
     dispatched: u64,
+    probe: Option<Box<dyn EngineProbe>>,
 }
 
 impl<W: std::fmt::Debug, E> std::fmt::Debug for Engine<W, E> {
@@ -604,6 +616,7 @@ impl<W: std::fmt::Debug, E> std::fmt::Debug for Engine<W, E> {
             .field("now", &self.now)
             .field("queued", &self.queue.len)
             .field("dispatched", &self.dispatched)
+            .field("probe", &self.probe.is_some())
             .field("world", &self.world)
             .finish()
     }
@@ -628,7 +641,20 @@ impl<W, E: TypedEvent<W>> Engine<W, E> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             dispatched: 0,
+            probe: None,
         }
+    }
+
+    /// Installs an observability probe invoked once per dispatched event.
+    /// Replaces any previously installed probe. Leave unset on hot paths:
+    /// the unprobed dispatch cost is a single branch.
+    pub fn set_probe(&mut self, probe: Box<dyn EngineProbe>) {
+        self.probe = Some(probe);
+    }
+
+    /// Removes the probe, returning it.
+    pub fn clear_probe(&mut self) -> Option<Box<dyn EngineProbe>> {
+        self.probe.take()
     }
 
     /// The current simulation instant.
@@ -767,6 +793,9 @@ impl<W, E: TypedEvent<W>> Engine<W, E> {
                 debug_assert!(at >= self.now, "event queue emitted a past event");
                 self.now = at;
                 self.dispatched += 1;
+                if let Some(probe) = self.probe.as_mut() {
+                    probe.on_dispatch(at);
+                }
                 let mut ctx = Ctx {
                     now: at,
                     stop: false,

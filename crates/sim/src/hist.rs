@@ -35,7 +35,7 @@ const BUCKET_COUNT: usize = (MAX_EXP + 1 - SUB_BUCKET_BITS as usize) * SUB_BUCKE
 /// let p95 = h.percentile(95.0).as_micros_f64();
 /// assert!((94.0..=97.0).contains(&p95));
 /// ```
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -211,6 +211,68 @@ impl Histogram {
         self.sum = 0;
         self.min = u64::MAX;
         self.max = 0;
+    }
+
+    /// Serializes the histogram into a compact sparse byte string: a
+    /// version tag, the summary fields, then `(bucket index, count)` pairs
+    /// for the occupied buckets only, all little-endian.
+    pub fn encode(&self) -> Vec<u8> {
+        let occupied = self.buckets.iter().filter(|&&c| c != 0).count();
+        let mut out = Vec::with_capacity(1 + 8 + 16 + 8 + 8 + 4 + occupied * 12);
+        out.push(1u8); // format version
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.sum.to_le_bytes());
+        out.extend_from_slice(&self.min.to_le_bytes());
+        out.extend_from_slice(&self.max.to_le_bytes());
+        out.extend_from_slice(&(occupied as u32).to_le_bytes());
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c != 0 {
+                out.extend_from_slice(&(i as u32).to_le_bytes());
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a histogram from [`encode`](Self::encode) output.
+    /// Returns `None` on truncated, malformed, or inconsistent input.
+    pub fn decode(bytes: &[u8]) -> Option<Histogram> {
+        fn take<const N: usize>(b: &mut &[u8]) -> Option<[u8; N]> {
+            let (head, rest) = b.split_at_checked(N)?;
+            *b = rest;
+            head.try_into().ok()
+        }
+        let mut b = bytes;
+        if take::<1>(&mut b)? != [1] {
+            return None;
+        }
+        let count = u64::from_le_bytes(take(&mut b)?);
+        let sum = u128::from_le_bytes(take(&mut b)?);
+        let min = u64::from_le_bytes(take(&mut b)?);
+        let max = u64::from_le_bytes(take(&mut b)?);
+        let entries = u32::from_le_bytes(take(&mut b)?);
+        let mut h = Histogram::new();
+        let mut total = 0u64;
+        let mut last_index = None;
+        for _ in 0..entries {
+            let index = u32::from_le_bytes(take(&mut b)?) as usize;
+            let c = u64::from_le_bytes(take(&mut b)?);
+            // Indices must be strictly increasing, in range, and non-empty.
+            if index >= BUCKET_COUNT || c == 0 || last_index.is_some_and(|l| index <= l) {
+                return None;
+            }
+            last_index = Some(index);
+            h.buckets[index] = c;
+            total = total.checked_add(c)?;
+        }
+        if !b.is_empty() || total != count || (count == 0) != (min == u64::MAX) {
+            return None;
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        Some(h)
     }
 }
 

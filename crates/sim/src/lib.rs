@@ -53,7 +53,7 @@ mod series;
 mod slab;
 mod time;
 
-pub use engine::{Ctx, Engine, EventFn, EventHandle, NoEvent, Step, TypedEvent};
+pub use engine::{Ctx, Engine, EngineProbe, EventFn, EventHandle, NoEvent, Step, TypedEvent};
 pub use hist::Histogram;
 pub use rng::{SimRng, Zipf};
 pub use series::{Counter, RatePoint, RateSeries};

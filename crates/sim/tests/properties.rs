@@ -155,6 +155,69 @@ proptest! {
         prop_assert_eq!(&engine.world().cancel_results, &model.cancel_results);
     }
 
+    /// Histogram merge is commutative: a∪b and b∪a are the same
+    /// histogram, bucket for bucket (telemetry folds sweep-worker
+    /// snapshots in arbitrary order and relies on this).
+    #[test]
+    fn histogram_merge_commutative(
+        a in prop::collection::vec(1u64..1_000_000_000, 0..200),
+        b in prop::collection::vec(1u64..1_000_000_000, 0..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        for v in &a { ha.record_nanos(*v); }
+        for v in &b { hb.record_nanos(*v); }
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Histogram merge is associative: (a∪b)∪c == a∪(b∪c), so any fold
+    /// tree over partial snapshots yields the same result.
+    #[test]
+    fn histogram_merge_associative(
+        a in prop::collection::vec(1u64..1_000_000_000, 0..150),
+        b in prop::collection::vec(1u64..1_000_000_000, 0..150),
+        c in prop::collection::vec(1u64..1_000_000_000, 0..150),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hc = Histogram::new();
+        for v in &a { ha.record_nanos(*v); }
+        for v in &b { hb.record_nanos(*v); }
+        for v in &c { hc.record_nanos(*v); }
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// The sparse wire encoding round-trips every histogram exactly,
+    /// and decode rejects arbitrary truncations of a valid image.
+    #[test]
+    fn histogram_encode_round_trip(
+        values in prop::collection::vec(1u64..u64::MAX / 2, 0..300),
+        cut in any::<usize>(),
+    ) {
+        let mut h = Histogram::new();
+        for v in &values { h.record_nanos(*v); }
+        let bytes = h.encode();
+        let back = Histogram::decode(&bytes);
+        prop_assert_eq!(back.as_ref(), Some(&h));
+        // Any strict prefix must fail cleanly, never panic or produce a
+        // histogram that silently lost samples.
+        if bytes.len() > 1 {
+            let cut = 1 + cut % (bytes.len() - 1);
+            prop_assert_eq!(Histogram::decode(&bytes[..cut]), None);
+        }
+    }
+
     /// Slab slot reuse never aliases a live entry: under arbitrary
     /// insert/take interleavings, every live key keeps resolving to its
     /// own value, retired keys (whose slots may have been recycled many

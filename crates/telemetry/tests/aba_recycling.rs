@@ -1,0 +1,145 @@
+//! Telemetry counters vs `SlabPool` slot recycling.
+//!
+//! The dataplane records `note_completed`/`close_span` only after
+//! `SlabPool::take` succeeds on the completion's pool key. Slots recycle
+//! aggressively (the key packs slot + generation), so a stale completion
+//! — one whose cookie names a slot that has since been reused — must
+//! never reach the telemetry sink: `take` misses and the handler
+//! returns. These properties drive arbitrary submit/complete/stale-replay
+//! interleavings through exactly that discipline and check the
+//! conservation invariant the soak test asserts at exit.
+
+use proptest::prelude::*;
+use reflex_sim::{PoolKey, SlabPool};
+use reflex_telemetry::{Telemetry, TenantKey};
+
+/// The dataplane's completion discipline, reduced to its essentials:
+/// telemetry is only touched when the pool key still resolves.
+struct Model {
+    telemetry: Telemetry,
+    inflight: SlabPool<u32>,
+    live: Vec<PoolKey>,
+    retired: Vec<PoolKey>,
+}
+
+impl Model {
+    fn submit(&mut self, tenant: u32) {
+        self.telemetry.open_span(TenantKey(tenant));
+        self.telemetry.note_submitted(TenantKey(tenant));
+        self.live.push(self.inflight.insert(tenant));
+    }
+
+    /// Delivers a completion for `key`; recording is gated on `take`,
+    /// exactly like `DataplaneThread::handle_completion`.
+    fn complete(&mut self, key: PoolKey, fail: bool) -> bool {
+        let Some(tenant) = self.inflight.take(key) else {
+            return false; // stale cookie: slot reused or already drained
+        };
+        let t = TenantKey(tenant);
+        self.telemetry
+            .span_nanos(t, reflex_telemetry::Stage::Channel, 1_000);
+        if fail {
+            self.telemetry.note_failed(t);
+        } else {
+            self.telemetry.note_completed(t);
+        }
+        self.telemetry.close_span(t);
+        true
+    }
+}
+
+proptest! {
+    /// Under arbitrary interleavings of submissions, completions,
+    /// failures and stale-cookie replays — with slots recycling many
+    /// times — every tenant's counters conserve
+    /// (`submitted == completed + failed + retried`) and no span is left
+    /// open once the in-flight set drains.
+    #[test]
+    fn no_double_count_across_slot_recycling(
+        ops in prop::collection::vec((0u8..4, any::<u64>(), 0u32..3), 1..400),
+    ) {
+        let mut m = Model {
+            telemetry: Telemetry::enabled(),
+            inflight: SlabPool::new(),
+            live: Vec::new(),
+            retired: Vec::new(),
+        };
+        for (op, pick, tenant) in ops {
+            match op {
+                // Weighted toward submits so slots churn through reuse.
+                0 | 1 => m.submit(tenant),
+                2 => {
+                    let Some(i) = (!m.live.is_empty()).then(|| pick as usize % m.live.len()) else {
+                        continue;
+                    };
+                    let key = m.live.swap_remove(i);
+                    prop_assert!(m.complete(key, pick % 5 == 0), "live completion missed");
+                    m.retired.push(key);
+                }
+                _ => {
+                    // Replay a retired cookie: its slot may be empty or
+                    // re-occupied by a *different* request (ABA). Either
+                    // way the generation check must reject it and the
+                    // sink must see nothing.
+                    let Some(i) = (!m.retired.is_empty()).then(|| pick as usize % m.retired.len()) else {
+                        continue;
+                    };
+                    let before = m.telemetry.snapshot().expect("enabled");
+                    prop_assert!(!m.complete(m.retired[i], false), "stale cookie resolved");
+                    let after = m.telemetry.snapshot().expect("enabled");
+                    prop_assert_eq!(&before.ios, &after.ios, "stale completion touched counters");
+                }
+            }
+        }
+        // Drain: deliver every still-live completion exactly once.
+        for key in std::mem::take(&mut m.live) {
+            prop_assert!(m.complete(key, false));
+        }
+        let snapshot = m.telemetry.snapshot().expect("enabled");
+        let mut submitted = 0u64;
+        for (tenant, io) in &snapshot.ios {
+            prop_assert_eq!(
+                io.submitted,
+                io.completed + io.failed + io.retried,
+                "conservation violated for tenant {:?}",
+                tenant
+            );
+            prop_assert_eq!(io.open_spans, 0, "span left open for tenant {:?}", tenant);
+            submitted += io.submitted;
+        }
+        // Every submit was recorded exactly once in aggregate too.
+        prop_assert_eq!(submitted, snapshot.ios.values().map(|io| io.completed + io.failed).sum::<u64>());
+    }
+
+    /// Double delivery of the *same* completion: the second take misses,
+    /// so counters move exactly once per request no matter how many
+    /// duplicate cookies arrive.
+    #[test]
+    fn duplicate_completions_count_once(n in 1usize..60, dups in 1usize..4) {
+        let telemetry = Telemetry::enabled();
+        let mut pool: SlabPool<u32> = SlabPool::new();
+        let mut keys = Vec::new();
+        for _ in 0..n {
+            telemetry.open_span(TenantKey(7));
+            telemetry.note_submitted(TenantKey(7));
+            keys.push(pool.insert(7));
+        }
+        for key in &keys {
+            for _ in 0..=dups {
+                if pool.take(*key).is_some() {
+                    telemetry.note_completed(TenantKey(7));
+                    telemetry.close_span(TenantKey(7));
+                }
+            }
+        }
+        let snap = telemetry.snapshot().expect("enabled");
+        let io = snap.ios[&TenantKey(7)];
+        prop_assert_eq!(io.submitted, n as u64);
+        prop_assert_eq!(io.completed, n as u64);
+        prop_assert_eq!(io.open_spans, 0);
+        // Round-trip through the u64 cookie encoding, as on the wire.
+        for key in keys {
+            prop_assert_eq!(PoolKey::from_u64(key.as_u64()), key);
+        }
+    }
+}

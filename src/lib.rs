@@ -16,6 +16,7 @@
 //! | [`qos`] | `reflex-qos` | cost model, tokens, **Algorithm 1** scheduler |
 //! | [`dataplane`] | `reflex-dataplane` | polling server threads, Table-1 ABI, ACLs |
 //! | [`core`] | `reflex-core` | server + control plane + clients + [`core::Testbed`] |
+//! | [`telemetry`] | `reflex-telemetry` | counters, per-tenant stage spans, SLO monitor, snapshots |
 //! | [`faults`] | `reflex-faults` | deterministic fault injection + recovery measurement |
 //! | [`baselines`] | `reflex-baselines` | local SPDK, iSCSI, libaio comparisons |
 //! | [`workloads`] | `reflex-workloads` | FIO, FlashX-like, RocksDB-like apps |
@@ -53,4 +54,5 @@ pub use reflex_flash as flash;
 pub use reflex_net as net;
 pub use reflex_qos as qos;
 pub use reflex_sim as sim;
+pub use reflex_telemetry as telemetry;
 pub use reflex_workloads as workloads;

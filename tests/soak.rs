@@ -5,6 +5,7 @@
 use reflex::core::{ServerConfig, Testbed, WorkloadSpec};
 use reflex::qos::{SloSpec, TenantClass, TenantId};
 use reflex::sim::SimDuration;
+use reflex::telemetry::{Stage, TenantKey};
 
 #[test]
 fn two_second_mixed_soak_holds_invariants() {
@@ -21,6 +22,9 @@ fn two_second_mixed_soak_holds_invariants() {
             reflex::net::StackProfile::linux_tcp(),
         ])
         .build();
+    // Instrument the whole soak: recording is passive, and the exit
+    // checks below hold the sink to the conservation invariants.
+    tb.enable_telemetry();
 
     // LC tenants of different classes and ratios.
     let lc = |iops, read_pct, p95_us| {
@@ -140,11 +144,62 @@ fn two_second_mixed_soak_holds_invariants() {
         gold.iops_series.len()
     );
 
-    // 6. The world keeps functioning after the soak: one more burst runs
+    // 6. Telemetry recorded the soak: per-stage spans exist for every
+    // tenant the dataplane served, and the SLO monitor closed rolling
+    // windows for the LC tenants.
+    let snap = report.telemetry.as_ref().expect("telemetry enabled");
+    for tenant in [1u32, 2, 4, 5] {
+        let t = TenantKey(tenant);
+        for stage in [Stage::NicQueue, Stage::Dataplane, Stage::Channel, Stage::Cq] {
+            let h = snap
+                .stage(t, stage)
+                .unwrap_or_else(|| panic!("tenant {tenant} missing {} span", stage.name()));
+            assert!(!h.is_empty(), "tenant {tenant} empty {} span", stage.name());
+        }
+    }
+    // The sharded tenant ("bulk") serves traffic under its internal
+    // shard ids (0x8000_0000..), one per thread it spans.
+    let shard_spans = snap
+        .spans
+        .keys()
+        .filter(|(t, s)| t.0 >= 0x8000_0000 && t.0 != u32::MAX && *s == Stage::Channel)
+        .count();
+    assert!(
+        shard_spans >= 2,
+        "expected >= 2 shard span keys, got {shard_spans}"
+    );
+    for tenant in [1u32, 2] {
+        let slo = &snap.slo[&TenantKey(tenant)];
+        assert!(slo.windows > 0, "tenant {tenant} closed no SLO windows");
+        assert!(slo.target_p95_nanos > 0);
+    }
+
+    // 7. The world keeps functioning after the soak: one more burst runs
     // clean.
     tb.begin_measurement();
     tb.run(SimDuration::from_millis(100));
     let after = tb.report();
     assert!(after.workload("gold").iops > 75_000.0);
     let _ = tb.world().server().active_threads(); // still queryable
+
+    // 8. Exit conservation: stop the generators, let every queue drain,
+    // then require exact balance — every accepted request was answered
+    // (submitted == completed + failed + retried per tenant) and no span
+    // is left open anywhere.
+    tb.world_mut().stop_all_workloads();
+    tb.run(SimDuration::from_millis(200));
+    let drained = tb.telemetry_snapshot().expect("telemetry enabled");
+    assert!(!drained.ios.is_empty(), "no IO counters recorded");
+    for (tenant, io) in &drained.ios {
+        assert_eq!(
+            io.submitted,
+            io.completed + io.failed + io.retried,
+            "tenant {tenant:?} leaked IOs after drain: {io:?}"
+        );
+        assert_eq!(
+            io.open_spans, 0,
+            "tenant {tenant:?} left spans open after drain: {io:?}"
+        );
+        assert!(io.submitted > 0, "tenant {tenant:?} recorded no traffic");
+    }
 }
