@@ -34,9 +34,11 @@ fn load_specs(total_iops: f64, clients: usize) -> Vec<WorkloadSpec> {
 }
 
 fn reflex_point(threads: u32, offered: f64) -> (f64, f64, u64) {
-    // Two IX client machines and a 40GbE link so the network never caps
-    // the 1KB experiment (the paper notes the 10GbE bottleneck explicitly
-    // and uses 1KB requests to stress server IOPS instead).
+    // Four IX client machines (the paper's testbed size) and a 40GbE link
+    // so the network never caps the 1KB experiment (the paper notes the
+    // 10GbE bottleneck explicitly and uses 1KB requests to stress server
+    // IOPS instead). Four machines also give `REFLEX_SIM_SHARDS=4` a full
+    // client shard per core.
     let tb = Testbed::builder()
         .seed(31)
         .server(ServerConfig {
@@ -44,10 +46,10 @@ fn reflex_point(threads: u32, offered: f64) -> (f64, f64, u64) {
             max_threads: threads,
             ..ServerConfig::default()
         })
-        .client_machines(vec![StackProfile::ix_tcp(), StackProfile::ix_tcp()])
+        .client_machines(vec![StackProfile::ix_tcp(); 4])
         .link(LinkConfig::forty_gbe())
         .build();
-    let report = run_testbed(tb, load_specs(offered, 2), WARMUP, MEASURE);
+    let report = run_testbed(tb, load_specs(offered, 4), WARMUP, MEASURE);
     let total: f64 = report.workloads.iter().map(|w| w.iops).sum();
     (total, max_p95_read_us(&report), report.engine_events)
 }
@@ -57,12 +59,12 @@ fn libaio_point(workers: u32, offered: f64) -> (f64, f64, u64) {
     let tb = TestbedBuilder::new()
         .seed(32)
         .server_stack(StackProfile::linux_tcp())
-        .client_machines(vec![StackProfile::ix_tcp(), StackProfile::ix_tcp()])
+        .client_machines(vec![StackProfile::ix_tcp(); 4])
         .link(LinkConfig::forty_gbe())
         .build_with(move |fabric, device, machine| {
             BaselineServer::new(machine, fabric, device, config, 33)
         });
-    let report = run_testbed(tb, load_specs(offered, 2), WARMUP, MEASURE);
+    let report = run_testbed(tb, load_specs(offered, 4), WARMUP, MEASURE);
     let total: f64 = report.workloads.iter().map(|w| w.iops).sum();
     (total, max_p95_read_us(&report), report.engine_events)
 }

@@ -35,7 +35,21 @@ pub const WARMUP: SimDuration = SimDuration::from_millis(100);
 /// Standard measurement window used by the harnesses.
 pub const MEASURE: SimDuration = SimDuration::from_millis(400);
 
+/// Number of simulation shards requested via `REFLEX_SIM_SHARDS`
+/// (default 1 — single-shard). Orthogonal to `REFLEX_BENCH_THREADS`,
+/// which parallelizes *across* sweep points; this splits one simulation
+/// across cores while keeping its results byte-identical.
+pub fn sim_shards() -> usize {
+    std::env::var("REFLEX_SIM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 /// Adds `workloads` to a testbed, runs warmup + measurement, and reports.
+/// Honors `REFLEX_SIM_SHARDS` (sharding applies before workloads are
+/// added; results are byte-identical at any shard count).
 ///
 /// # Panics
 ///
@@ -47,6 +61,10 @@ pub fn run_testbed<S: ServerHarness + 'static>(
     warmup: SimDuration,
     measure: SimDuration,
 ) -> TestbedReport {
+    let shards = sim_shards();
+    if shards > 1 {
+        tb = tb.with_shards(shards);
+    }
     if telemetry::enabled() {
         tb.enable_telemetry();
     }

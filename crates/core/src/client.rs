@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use reflex_net::ConnId;
 use reflex_qos::{TenantClass, TenantId};
-use reflex_sim::{Histogram, RatePoint, RateSeries, SimDuration, SimTime};
+use reflex_sim::{Histogram, RatePoint, RateSeries, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// One operation of a recorded I/O trace (offsets are relative to the
@@ -377,9 +377,20 @@ impl WorkloadReport {
 }
 
 /// Internal per-workload runtime state (used by the testbed).
-#[derive(Debug)]
+///
+/// `Clone` because sharded testbeds replicate every workload's state onto
+/// every shard (indices must align across engines); only the copy on the
+/// shard owning the workload's client machine ever advances.
+#[derive(Debug, Clone)]
 pub(crate) struct WorkloadState {
     pub spec: WorkloadSpec,
+    /// This workload's private randomness (address pattern, read/write
+    /// mix, open-loop gaps). Keyed by the workload's registration index via
+    /// [`SimRng::stream`] rather than forked from a shared generator, so
+    /// the stream is a stable function of the workload's identity — draws
+    /// by one workload (or by the fabric/device) can never shift another's
+    /// stream, which is what keeps sharded runs byte-identical.
+    pub rng: SimRng,
     pub conns: Vec<ConnId>,
     /// Client thread index serving each connection.
     pub conn_thread: Vec<u32>,
@@ -404,9 +415,10 @@ pub(crate) struct WorkloadState {
 }
 
 impl WorkloadState {
-    pub fn new(spec: WorkloadSpec) -> Self {
+    pub fn new(spec: WorkloadSpec, rng: SimRng) -> Self {
         WorkloadState {
             spec,
+            rng,
             conns: Vec::new(),
             conn_thread: Vec::new(),
             seq_cursor: Vec::new(),
@@ -524,7 +536,7 @@ mod tests {
 
     #[test]
     fn report_computes_rates() {
-        let mut st = WorkloadState::new(spec());
+        let mut st = WorkloadState::new(spec(), SimRng::stream(0, 0));
         st.completed_reads = 500;
         st.completed_writes = 100;
         st.read_bytes = 500 * 4096;

@@ -19,9 +19,19 @@ use crate::server::AdmissionError;
 /// A server under test: owns its dataplane/worker threads and NVMe queue
 /// pairs, serves requests arriving on its machine's NIC queues, and sends
 /// responses back over the fabric.
-pub trait ServerHarness {
+pub trait ServerHarness: Send {
     /// The server's machine on the fabric.
     fn machine(&self) -> MachineId;
+
+    /// Whether the server's connection → thread routing is static for the
+    /// whole run, which is what sharded execution needs: client shards
+    /// cache routes at bind time and never see later rebalancing. Servers
+    /// that migrate connections at runtime (e.g. autoscaling) return
+    /// `false`, and [`Testbed::with_shards`](crate::Testbed::with_shards)
+    /// silently stays single-shard.
+    fn supports_sharding(&self) -> bool {
+        true
+    }
 
     /// Number of active worker threads.
     fn active_threads(&self) -> usize;

@@ -869,6 +869,13 @@ impl crate::harness::ServerHarness for ReflexServer {
         ReflexServer::machine(self)
     }
 
+    fn supports_sharding(&self) -> bool {
+        // Autoscaling migrates connections between threads at runtime;
+        // client shards cache routes at bind time, so the two compose only
+        // when routing is static.
+        !self.config.auto_scale
+    }
+
     fn active_threads(&self) -> usize {
         ReflexServer::active_threads(self)
     }

@@ -12,10 +12,14 @@ use std::collections::HashMap;
 
 use reflex_dataplane::WireMsg;
 use reflex_flash::{DeviceProfile, DeviceStats, FlashDevice};
-use reflex_net::{Delivery, Fabric, LinkConfig, MachineId, Opcode, ReflexHeader, StackProfile};
+use reflex_net::{
+    ConnId, Delivery, Fabric, Flight, LinkConfig, MachineId, NicQueueId, Opcode, ReflexHeader,
+    StackProfile,
+};
 use reflex_qos::{CostModel, TenantId};
 use reflex_sim::{
-    Ctx, Engine, EventHandle, PoolKey, SimDuration, SimRng, SimTime, SlabPool, TypedEvent, Zipf,
+    Ctx, Engine, EventHandle, PoolKey, ShardWorld, ShardedEngine, SimDuration, SimRng, SimTime,
+    SlabPool, TypedEvent, Zipf,
 };
 use reflex_telemetry::{Stage, Telemetry, TelemetrySnapshot, TenantKey};
 
@@ -56,6 +60,7 @@ impl From<AdmissionError> for TestbedError {
     }
 }
 
+#[derive(Clone)]
 struct ClientMachine {
     machine: MachineId,
     stack: StackProfile,
@@ -101,6 +106,11 @@ pub enum WorldEvent {
 
 impl<S: ServerHarness + 'static> TypedEvent<World<S>> for WorldEvent {
     fn dispatch(self, world: &mut World<S>, ctx: &mut Ctx<'_, World<S>, WorldEvent>) {
+        // Windowed delivery: raise the fabric's resolution horizon to this
+        // event's scheduled instant before any handler looks at arrivals.
+        // (The event's *scheduled* time, not a busy-advanced one, so the
+        // horizon is a pure function of the event timeline.)
+        world.fabric.observe(ctx.now());
         match self {
             WorldEvent::PumpThread(i) => world.pump_event(i, ctx),
             WorldEvent::ClientPoll(i) => world.client_poll_event(i, ctx),
@@ -120,8 +130,24 @@ impl<S: ServerHarness + 'static> TypedEvent<World<S>> for WorldEvent {
 /// The simulation world: every component plus scheduling bookkeeping.
 pub struct World<S: ServerHarness = ReflexServer> {
     fabric: Fabric<WireMsg>,
-    device: FlashDevice,
-    server: S,
+    // Device and server live on shard 0 only; client shards carry `None`
+    // and route requests through `route_table` instead. Single-shard runs
+    // always hold both.
+    device: Option<FlashDevice>,
+    server: Option<S>,
+    /// The server's machine id, known to every shard.
+    server_machine: MachineId,
+    /// Static conn → NIC-queue routes cached at bind time, consulted by
+    /// shards that do not hold the server (sharding requires servers whose
+    /// routing is static — see [`ServerHarness::supports_sharding`]).
+    route_table: HashMap<ConnId, NicQueueId>,
+    /// Whether client machine `i` is simulated by this world (all true in
+    /// a single-shard run).
+    client_local: Vec<bool>,
+    /// Seed from which per-workload RNG streams derive
+    /// ([`SimRng::stream`] keyed by registration index, so a workload's
+    /// draws do not depend on what other workloads do).
+    gen_seed: u64,
     clients: Vec<ClientMachine>,
     workloads: Vec<WorkloadState>,
     client_threads_busy: Vec<Vec<SimTime>>, // [workload][client thread]
@@ -132,7 +158,6 @@ pub struct World<S: ServerHarness = ReflexServer> {
     // Recycled buffer for client-side response polling (a fresh Vec per
     // poll event would be the last per-IO allocation on the client path).
     poll_scratch: Vec<Delivery<WireMsg>>,
-    rng: SimRng,
     // Pending wake per server thread / client machine: the instant plus a
     // handle to the scheduled event, so re-arming to an earlier instant
     // cancels the old wake instead of leaving a dead event in the queue.
@@ -161,14 +186,26 @@ impl<S: ServerHarness> std::fmt::Debug for World<S> {
 
 impl<S: ServerHarness + 'static> World<S> {
     /// The simulated Flash device.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a client shard's world (the device lives on shard 0).
     pub fn device(&self) -> &FlashDevice {
-        &self.device
+        self.device
+            .as_ref()
+            .expect("device lives on the server shard")
     }
 
     /// Exclusive access to the device (fault injection installs hooks
     /// here).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a client shard's world (the device lives on shard 0).
     pub fn device_mut(&mut self) -> &mut FlashDevice {
-        &mut self.device
+        self.device
+            .as_mut()
+            .expect("device lives on the server shard")
     }
 
     /// The network fabric.
@@ -183,13 +220,21 @@ impl<S: ServerHarness + 'static> World<S> {
     }
 
     /// The server under test.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a client shard's world (the server lives on shard 0).
     pub fn server(&self) -> &S {
-        &self.server
+        self.server.as_ref().expect("server lives on shard 0")
     }
 
     /// Exclusive access to the server (tests and advanced harnesses).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a client shard's world (the server lives on shard 0).
     pub fn server_mut(&mut self) -> &mut S {
-        &mut self.server
+        self.server.as_mut().expect("server lives on shard 0")
     }
 
     /// Machine id of client machine `idx` (panics if out of range).
@@ -246,33 +291,83 @@ impl<S: ServerHarness + 'static> World<S> {
     }
 
     fn pump_event(&mut self, thread: usize, ctx: &mut Ctx<World<S>, WorldEvent>) {
-        self.thread_wake[thread] = None;
-        let wake = self
-            .server
-            .pump_thread(thread, ctx.now(), &mut self.fabric, &mut self.device);
+        // Canonical same-instant order: wake *insertion* order can differ
+        // between a single-shard run (wakes armed at send time) and a
+        // sharded run (wakes armed at the window exchange), so one pump
+        // event services every thread whose wake is due, in ascending
+        // thread order, cancelling the siblings' queued events. The pump
+        // sequence then depends only on the due set, never on insertion
+        // order.
+        let now = ctx.now();
+        for i in 0..self.thread_wake.len() {
+            let due = i == thread || self.thread_wake[i].is_some_and(|(at, _)| at <= now);
+            if !due {
+                continue;
+            }
+            if let Some((_, stale)) = self.thread_wake[i].take() {
+                if i != thread {
+                    ctx.cancel(stale);
+                }
+            }
+            self.pump_one(i, ctx);
+        }
+    }
+
+    fn pump_one(&mut self, thread: usize, ctx: &mut Ctx<World<S>, WorldEvent>) {
+        let server = self.server.as_mut().expect("pump runs on the server shard");
+        let device = self.device.as_mut().expect("device lives with the server");
+        let wake = server.pump_thread(thread, ctx.now(), &mut self.fabric, device);
         if let Some(at) = wake {
             self.ensure_thread_wake(ctx, thread, at);
         }
         // Responses (and rebalance forwards) may now be in flight.
         for c in 0..self.clients.len() {
-            self.ensure_client_wake(ctx, c);
+            if self.client_local[c] {
+                self.ensure_client_wake(ctx, c);
+            }
         }
-        // Forwarded messages land on sibling queues: re-arm every active
-        // thread whose queue has pending arrivals.
-        for i in 0..self.server.active_threads() {
-            if i != thread {
-                if let Some(at) = self
-                    .fabric
-                    .next_arrival_queue(self.server.machine(), self.server.nic_queue(i))
-                {
-                    self.ensure_thread_wake(ctx, i, at);
-                }
+        // Re-arm every active thread whose queue has pending arrivals —
+        // including the thread just pumped. Its own `pump_thread` hint also
+        // covers the next arrival, but folded together with the core-busy
+        // horizon (`max(next_arrival, core_busy)`), whereas a sharded run's
+        // window exchange arms the *raw* arrival bound. Arming the raw
+        // bound here too makes the effective wake
+        // `min(bound, max(other sources, core_busy))` in both modes, so
+        // pump instants are identical at any shard count.
+        let server = self.server.as_ref().expect("server shard");
+        let n_active = server.active_threads();
+        let machine = server.machine();
+        for i in 0..n_active {
+            let queue = self.server.as_ref().expect("server shard").nic_queue(i);
+            if let Some(at) = self.fabric.next_arrival_queue(machine, queue) {
+                self.ensure_thread_wake(ctx, i, at);
             }
         }
     }
 
     fn client_poll_event(&mut self, client: usize, ctx: &mut Ctx<World<S>, WorldEvent>) {
-        self.client_wake[client] = None;
+        // Same canonicalization as `pump_event`: poll every local client
+        // whose wake is due, ascending, so the poll sequence at an instant
+        // is independent of wake insertion order.
+        let now = ctx.now();
+        for c in 0..self.clients.len() {
+            if !self.client_local[c] {
+                continue;
+            }
+            let due = c == client || self.client_wake[c].is_some_and(|(at, _)| at <= now);
+            if !due {
+                continue;
+            }
+            if let Some((_, stale)) = self.client_wake[c].take() {
+                if c != client {
+                    ctx.cancel(stale);
+                }
+            }
+            self.poll_client(c, ctx);
+        }
+    }
+
+    fn poll_client(&mut self, client: usize, ctx: &mut Ctx<World<S>, WorldEvent>) {
         let machine = self.clients[client].machine;
         let mut deliveries = std::mem::take(&mut self.poll_scratch);
         self.fabric
@@ -362,7 +457,7 @@ impl<S: ServerHarness + 'static> World<S> {
         let size = w.spec.io_size as u64;
         let slots = (ns_len / size).max(1);
         match w.spec.addr_pattern {
-            AddrPattern::UniformRandom => ns_start + self.rng.below(slots) * size,
+            AddrPattern::UniformRandom => ns_start + w.rng.below(slots) * size,
             AddrPattern::Sequential => {
                 let cur = w.seq_cursor[conn_idx];
                 w.seq_cursor[conn_idx] = (cur + 1) % slots;
@@ -372,7 +467,7 @@ impl<S: ServerHarness + 'static> World<S> {
                 let z = self.zipf[w_idx].as_ref().expect("built at add_workload");
                 // Scramble the rank so hot blocks scatter over the address
                 // space (ranks map to blocks via a fixed permutation).
-                let rank = z.sample(&mut self.rng);
+                let rank = z.sample(&mut w.rng);
                 let block = rank.wrapping_mul(0x9e37_79b9_7f4a_7c15) % slots;
                 ns_start + block * size
             }
@@ -388,8 +483,9 @@ impl<S: ServerHarness + 'static> World<S> {
         let addr = self.next_addr(w_idx, conn_idx);
         let w = &mut self.workloads[w_idx];
         let spec = &w.spec;
+        let read_pct = spec.read_pct;
         let is_read = match spec.mix {
-            MixProcess::Bernoulli => self.rng.below(100) < spec.read_pct as u64,
+            MixProcess::Bernoulli => w.rng.below(100) < read_pct as u64,
             MixProcess::Deterministic => {
                 w.read_debt += spec.read_pct as u32;
                 if w.read_debt >= 100 {
@@ -485,8 +581,14 @@ impl<S: ServerHarness + 'static> World<S> {
         };
         let payload = if is_read { 0 } else { io_size };
         let client_machine = self.clients[client_idx].machine;
-        let server_machine = self.server.machine();
-        let queue = self.server.route(conn).unwrap_or_default();
+        let server_machine = self.server_machine;
+        let queue = match &self.server {
+            Some(s) => s.route(conn).unwrap_or_default(),
+            // Client shard: static route cached at bind time. The
+            // server-side wake is armed by the window exchange on the
+            // shard that holds the server.
+            None => self.route_table.get(&conn).copied().unwrap_or_default(),
+        };
         let arrival = self.fabric.send_to_queue(
             t_send,
             client_machine,
@@ -499,12 +601,15 @@ impl<S: ServerHarness + 'static> World<S> {
         if measured && attempt == 1 {
             self.workloads[w_idx].issued += 1;
         }
-        match self.server.thread_of_conn(conn) {
-            Some(thread) => self.ensure_thread_wake(ctx, thread, arrival),
+        let server_thread = self.server.as_ref().map(|s| s.thread_of_conn(conn));
+        match server_thread {
+            Some(Some(thread)) => self.ensure_thread_wake(ctx, thread, arrival),
             // Unbound connection (link currently down): the message still
             // lands on queue 0 where the dataplane drops it — wake thread 0
             // so the drop is processed even with no other traffic.
-            None => self.ensure_thread_wake(ctx, 0, arrival),
+            Some(None) => self.ensure_thread_wake(ctx, 0, arrival),
+            // No server on this shard: nothing to wake locally.
+            None => {}
         }
         if let Some(timeout) = timeout {
             ctx.schedule_event_at(t_send + timeout, WorldEvent::Timeout(cookie));
@@ -556,10 +661,11 @@ impl<S: ServerHarness + 'static> World<S> {
         self.gen_cursor[w_idx] += 1;
         self.issue_request(w_idx, conn_idx, ctx);
         let mean = SimDuration::from_secs_f64(1.0 / iops);
+        let w = &mut self.workloads[w_idx];
         let gap = match arrival {
-            ArrivalProcess::Poisson => self.rng.exponential(mean),
+            ArrivalProcess::Poisson => w.rng.exponential(mean),
             // ±10% uniform jitter around the nominal gap.
-            ArrivalProcess::Paced => mean.mul_f64(0.9 + 0.2 * self.rng.f64()),
+            ArrivalProcess::Paced => mean.mul_f64(0.9 + 0.2 * w.rng.f64()),
         };
         ctx.schedule_event_after(gap, WorldEvent::OpenLoopGen(w_idx));
     }
@@ -595,8 +701,41 @@ impl<S: ServerHarness + 'static> World<S> {
     }
 
     fn control_event(&mut self, interval: SimDuration, ctx: &mut Ctx<World<S>, WorldEvent>) {
-        let _ = self.server.control_tick(ctx.now(), interval);
+        if let Some(server) = self.server.as_mut() {
+            let _ = server.control_tick(ctx.now(), interval);
+        }
         ctx.schedule_event_after(interval, WorldEvent::Control(interval));
+    }
+}
+
+// Sharded execution: a `World` ships departed cross-shard flights at each
+// window boundary and folds arrivals from peer shards back into its own
+// fabric, arming the same wakes the sender would have armed locally.
+impl<S: ServerHarness + 'static> ShardWorld<WorldEvent> for World<S> {
+    type Flight = Flight<WireMsg>;
+
+    fn flush_outbound(&mut self, sink: &mut Vec<(usize, Self::Flight)>) {
+        self.fabric.take_outbound(sink);
+    }
+
+    fn deliver(&mut self, ctx: &mut Ctx<'_, Self, WorldEvent>, flights: &mut Vec<Self::Flight>) {
+        for flight in flights.drain(..) {
+            let to = flight.to();
+            let conn = flight.conn();
+            let bound = flight.bound();
+            self.fabric.accept_flight(flight);
+            if to == self.server_machine {
+                let thread = self
+                    .server
+                    .as_ref()
+                    .expect("flights to the server land on its shard")
+                    .thread_of_conn(conn)
+                    .unwrap_or(0);
+                self.ensure_thread_wake(ctx, thread, bound);
+            } else if let Some(c) = self.clients.iter().position(|c| c.machine == to) {
+                self.ensure_client_wake(ctx, c);
+            }
+        }
     }
 }
 
@@ -801,18 +940,26 @@ impl TestbedBuilder {
             .collect();
         let server_machine = fabric.add_machine(self.server_stack.clone());
         let server = make_server(&mut fabric, &mut device, server_machine);
+        // Windowed delivery is the testbed's delivery model: identical
+        // semantics at one shard and at N, so splitting the world never
+        // changes results.
+        fabric.enable_windowed();
+        let gen_seed = rng.next_u64();
         let n_threads = server.max_threads();
         let n_clients = clients.len();
         let world = World {
             fabric,
-            device,
-            server,
+            device: Some(device),
+            server: Some(server),
+            server_machine,
+            route_table: HashMap::new(),
+            client_local: vec![true; n_clients],
+            gen_seed,
             clients,
             workloads: Vec::new(),
             client_threads_busy: Vec::new(),
             outstanding: SlabPool::new(),
             poll_scratch: Vec::new(),
-            rng,
             thread_wake: vec![None; n_threads],
             client_wake: vec![None; n_clients],
             measure_start: None,
@@ -827,17 +974,30 @@ impl TestbedBuilder {
         let interval = self.control_interval;
         engine.schedule_event_at(SimTime::ZERO + interval, WorldEvent::Control(interval));
         Testbed {
-            engine,
+            engine: ShardedEngine::single(engine),
             measure_begin: SimTime::ZERO,
+            control_interval: interval,
+            owner: Vec::new(),
         }
     }
 }
 
 /// The assembled simulation. See the module documentation.
-#[derive(Debug)]
 pub struct Testbed<S: ServerHarness = ReflexServer> {
-    engine: Engine<World<S>, WorldEvent>,
+    engine: ShardedEngine<World<S>, WorldEvent>,
     measure_begin: SimTime,
+    control_interval: SimDuration,
+    /// Shard that owns each workload's generator, in registration order.
+    owner: Vec<usize>,
+}
+
+impl<S: ServerHarness + 'static> std::fmt::Debug for Testbed<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Testbed")
+            .field("shards", &self.engine.shards())
+            .field("now", &self.engine.now())
+            .finish()
+    }
 }
 
 impl Testbed<ReflexServer> {
@@ -853,24 +1013,123 @@ impl<S: ServerHarness + 'static> Testbed<S> {
         self.engine.now()
     }
 
-    /// Shared access to the world.
+    /// Number of shards the simulation runs on (1 unless
+    /// [`with_shards`](Self::with_shards) split it).
+    pub fn shards(&self) -> usize {
+        self.engine.shards()
+    }
+
+    /// Shared access to the world (shard 0 — the server's shard — when
+    /// sharded).
     pub fn world(&self) -> &World<S> {
-        self.engine.world()
+        self.engine.engine(0).world()
     }
 
-    /// Exclusive access to the world.
+    /// Exclusive access to the world (shard 0 when sharded).
     pub fn world_mut(&mut self) -> &mut World<S> {
-        self.engine.world_mut()
+        self.engine.engine_mut(0).world_mut()
     }
 
-    /// Schedules an arbitrary event against the world at instant `at` —
-    /// the hook fault injectors use to fire timed events (link flaps,
-    /// thread stalls) inside the simulation.
+    /// Schedules an arbitrary event against the (shard 0) world at instant
+    /// `at` — the hook fault injectors use to fire timed events (link
+    /// flaps, thread stalls) inside the simulation.
     pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
     where
-        F: FnOnce(&mut World<S>, &mut Ctx<World<S>, WorldEvent>) + 'static,
+        F: FnOnce(&mut World<S>, &mut Ctx<World<S>, WorldEvent>) + Send + 'static,
     {
-        self.engine.schedule_at(at, f);
+        self.engine.engine_mut(0).schedule_at(at, f);
+    }
+
+    /// Splits the simulated world by machine across up to `n` OS threads:
+    /// shard 0 keeps the server (and the Flash device); client machines
+    /// round-robin over the remaining shards. Shards advance in lockstep
+    /// windows equal to the link propagation delay (the conservative-PDES
+    /// lookahead) and exchange in-flight messages at window boundaries in
+    /// a deterministic total order, so results are **byte-identical** to
+    /// the single-shard run.
+    ///
+    /// Silently stays single-shard when `n <= 1`, when there are no client
+    /// machines to split off, when the server rebalances routes at runtime
+    /// ([`ServerHarness::supports_sharding`] is `false`), or when a
+    /// network fault hook is installed (fault campaigns are single-shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after a workload was added or after the simulation
+    /// has started running.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        let world0 = self.engine.engine(0).world();
+        let n_clients = world0.clients.len();
+        let n_eff = 1 + n.saturating_sub(1).min(n_clients);
+        if self.engine.shards() != 1 || n_eff <= 1 {
+            return self;
+        }
+        if !world0.server().supports_sharding() || world0.fabric.has_fault_hook() {
+            return self;
+        }
+        assert!(
+            world0.workloads.is_empty(),
+            "with_shards must be called before add_workload"
+        );
+        assert_eq!(
+            self.engine.now(),
+            SimTime::ZERO,
+            "with_shards must be called before the simulation runs"
+        );
+        let engine = self
+            .engine
+            .into_engines()
+            .pop()
+            .expect("single-shard testbed holds one engine");
+        let mut world = engine.into_world();
+        let mut shard_of = vec![0usize; world.fabric.machines()];
+        for (i, c) in world.clients.iter().enumerate() {
+            shard_of[c.machine.0 as usize] = 1 + i % (n_eff - 1);
+        }
+        let window = world.fabric.lookahead();
+        let mut server = world.server.take();
+        let mut device = world.device.take();
+        let mut engines = Vec::with_capacity(n_eff);
+        for s in 0..n_eff {
+            let shard_world = World {
+                fabric: world.fabric.split_for_shard(&shard_of, s),
+                device: if s == 0 { device.take() } else { None },
+                server: if s == 0 { server.take() } else { None },
+                server_machine: world.server_machine,
+                route_table: HashMap::new(),
+                client_local: world
+                    .clients
+                    .iter()
+                    .map(|c| shard_of[c.machine.0 as usize] == s)
+                    .collect(),
+                gen_seed: world.gen_seed,
+                clients: world.clients.clone(),
+                workloads: Vec::new(),
+                client_threads_busy: Vec::new(),
+                outstanding: SlabPool::new(),
+                poll_scratch: Vec::new(),
+                thread_wake: vec![None; world.thread_wake.len()],
+                client_wake: vec![None; world.client_wake.len()],
+                measure_start: None,
+                busy_snapshot: Vec::new(),
+                sched_snapshot: Vec::new(),
+                spent_snapshot: HashMap::new(),
+                gen_cursor: Vec::new(),
+                zipf: Vec::new(),
+                telemetry: world.telemetry.clone(),
+            };
+            let mut eng = Engine::with_events(shard_world);
+            if s == 0 {
+                // The control plane ticks with the server.
+                eng.schedule_event_at(
+                    SimTime::ZERO + self.control_interval,
+                    WorldEvent::Control(self.control_interval),
+                );
+            }
+            engines.push(eng);
+        }
+        self.engine = ShardedEngine::new(engines, window);
+        self
     }
 
     /// Registers a workload: admits its tenant, opens and binds its
@@ -882,13 +1141,16 @@ impl<S: ServerHarness + 'static> Testbed<S> {
     pub fn add_workload(&mut self, spec: WorkloadSpec) -> Result<(), TestbedError> {
         let mut spec = spec;
         spec.validate().map_err(TestbedError::InvalidSpec)?;
-        let world = self.engine.world_mut();
+        let shards = self.engine.shards();
+        // Validation and tenant/connection registration run against the
+        // server's shard (shard 0 — the only shard in a single-shard run).
+        let world = self.engine.engine_mut(0).world_mut();
         if spec.client_machine >= world.clients.len() {
             return Err(TestbedError::NoSuchClient(spec.client_machine));
         }
         // Clamp the namespace to the device capacity so default specs work
         // on any profile.
-        let capacity = world.device.profile().capacity_bytes;
+        let capacity = world.device().profile().capacity_bytes;
         if spec.namespace.0 >= capacity {
             return Err(TestbedError::InvalidSpec(
                 "namespace beyond device capacity".into(),
@@ -905,7 +1167,7 @@ impl<S: ServerHarness + 'static> Testbed<S> {
         if spec.shards > 1 {
             // Sharded registration goes through the concrete ReFlex path;
             // harness servers without sharding treat it as an error.
-            world.server.register_tenant_sharded(
+            world.server_mut().register_tenant_sharded(
                 spec.tenant,
                 spec.class,
                 acl,
@@ -914,7 +1176,7 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             )?;
         } else {
             world
-                .server
+                .server_mut()
                 .register_tenant(spec.tenant, spec.class, acl, spec.io_size)?;
         }
         // Latency-critical tenants get an SLO monitor entry keyed on their
@@ -926,18 +1188,25 @@ impl<S: ServerHarness + 'static> Testbed<S> {
         }
 
         let client_machine = world.clients[spec.client_machine].machine;
-        let mut state = WorkloadState::new(spec.clone());
+        let w_idx = world.workloads.len();
+        // Each workload draws from its own RNG stream, keyed by its stable
+        // registration index — draws never depend on other workloads or on
+        // event interleaving, so sharded runs replay the same sequences.
+        let mut state =
+            WorkloadState::new(spec.clone(), SimRng::stream(world.gen_seed, w_idx as u64));
+        let mut routes = Vec::with_capacity(spec.conns as usize);
         for i in 0..spec.conns {
             let conn = world.fabric.new_conn();
             world
-                .server
+                .server_mut()
                 .bind_connection(conn, spec.tenant, client_machine)
                 .map_err(TestbedError::Admission)?;
+            let queue = world.server().route(conn).unwrap_or_default();
+            routes.push((conn, queue));
             state.conns.push(conn);
             state.conn_thread.push(i % spec.client_threads);
             state.seq_cursor.push(0);
         }
-        let w_idx = world.workloads.len();
         let zipf = match spec.addr_pattern {
             AddrPattern::Zipfian { theta_permille } => {
                 let slots = (spec.namespace.1 / spec.io_size as u64).max(2);
@@ -948,18 +1217,44 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             }
             _ => None,
         };
-        world.zipf.push(zipf);
-        world.workloads.push(state);
-        world
-            .client_threads_busy
-            .push(vec![SimTime::ZERO; spec.client_threads as usize]);
-        world.gen_cursor.push(0);
+        // Open-loop kickoff offset comes out of the workload's own stream
+        // *before* the state is replicated, so every shard's copy agrees
+        // on the stream position.
+        let open_loop_offset = match (&spec.trace, spec.pattern) {
+            (None, LoadPattern::OpenLoop { iops }) => Some(
+                state
+                    .rng
+                    .exponential(SimDuration::from_secs_f64(1.0 / iops)),
+            ),
+            _ => None,
+        };
+
+        // Replicate the workload's bookkeeping onto every shard so indices
+        // line up everywhere; only the owner shard's copy ever advances.
+        for s in 0..shards {
+            let w = self.engine.engine_mut(s).world_mut();
+            debug_assert_eq!(w.workloads.len(), w_idx);
+            w.zipf.push(zipf.clone());
+            w.workloads.push(state.clone());
+            w.client_threads_busy
+                .push(vec![SimTime::ZERO; spec.client_threads as usize]);
+            w.gen_cursor.push(0);
+            for &(conn, queue) in &routes {
+                w.route_table.insert(conn, queue);
+            }
+        }
+        // The generator runs on the shard simulating the client machine.
+        let owner = (0..shards)
+            .find(|&s| self.engine.engine(s).world().client_local[spec.client_machine])
+            .expect("every client machine is local to exactly one shard");
+        self.owner.push(owner);
 
         // Kick off the generator (trace replay overrides the pattern).
+        let eng = self.engine.engine_mut(owner);
         if let Some(trace) = &spec.trace {
-            let start = self.engine.now();
+            let start = eng.now();
             let first_at = trace.first().expect("validated non-empty").at;
-            self.engine.schedule_event_at(
+            eng.schedule_event_at(
                 start + first_at,
                 WorldEvent::TraceReplay {
                     w_idx,
@@ -970,12 +1265,10 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             return Ok(());
         }
         match spec.pattern {
-            LoadPattern::OpenLoop { iops } => {
-                let offset = world
-                    .rng
-                    .exponential(SimDuration::from_secs_f64(1.0 / iops));
-                self.engine
-                    .schedule_event_at(self.engine.now() + offset, WorldEvent::OpenLoopGen(w_idx));
+            LoadPattern::OpenLoop { .. } => {
+                let offset = open_loop_offset.expect("drawn above for open-loop patterns");
+                let at = eng.now() + offset;
+                eng.schedule_event_at(at, WorldEvent::OpenLoopGen(w_idx));
             }
             LoadPattern::ClosedLoop { queue_depth } => {
                 for conn_idx in 0..spec.conns as usize {
@@ -985,10 +1278,8 @@ impl<S: ServerHarness + 'static> Testbed<S> {
                         let offset = SimDuration::from_nanos(
                             (conn_idx as u64 * queue_depth as u64 + q as u64) * 1_000,
                         );
-                        self.engine.schedule_event_at(
-                            self.engine.now() + offset,
-                            WorldEvent::Issue { w_idx, conn_idx },
-                        );
+                        let at = eng.now() + offset;
+                        eng.schedule_event_at(at, WorldEvent::Issue { w_idx, conn_idx });
                     }
                 }
             }
@@ -1001,21 +1292,26 @@ impl<S: ServerHarness + 'static> Testbed<S> {
     pub fn begin_measurement(&mut self) {
         let now = self.engine.now();
         self.measure_begin = now;
-        let world = self.engine.world_mut();
-        world.measure_start = Some(now);
-        for w in &mut world.workloads {
-            w.reset_measurement();
+        for s in 0..self.engine.shards() {
+            let world = self.engine.engine_mut(s).world_mut();
+            world.measure_start = Some(now);
+            for w in &mut world.workloads {
+                w.reset_measurement();
+            }
+            if let Some(server) = world.server.as_ref() {
+                world.busy_snapshot = (0..server.max_threads())
+                    .map(|i| server.busy_time(i))
+                    .collect();
+                world.sched_snapshot = (0..server.max_threads())
+                    .map(|i| server.sched_time(i))
+                    .collect();
+                world.spent_snapshot = server.tenants_spent_millitokens();
+            }
         }
-        world.busy_snapshot = (0..world.server.max_threads())
-            .map(|i| world.server.busy_time(i))
-            .collect();
-        world.sched_snapshot = (0..world.server.max_threads())
-            .map(|i| world.server.sched_time(i))
-            .collect();
-        world.spent_snapshot = world.server.tenants_spent_millitokens();
     }
 
-    /// Advances the simulation by `span`.
+    /// Advances the simulation by `span` (all shards in lockstep windows
+    /// when sharded).
     pub fn run(&mut self, span: SimDuration) {
         self.engine.run_for(span);
     }
@@ -1023,12 +1319,18 @@ impl<S: ServerHarness + 'static> Testbed<S> {
     /// Produces the measurement report for the window since
     /// [`begin_measurement`](Self::begin_measurement).
     pub fn report(&self) -> TestbedReport {
-        let world = self.engine.world();
+        let world = self.engine.engine(0).world();
         let window = self.engine.now().saturating_since(self.measure_begin);
-        let workloads: Vec<WorkloadReport> =
-            world.workloads.iter().map(|w| w.report(window)).collect();
+        // Workload state advances only on its owner shard — read it there.
+        let workloads: Vec<WorkloadReport> = (0..world.workloads.len())
+            .map(|i| {
+                let s = self.owner.get(i).copied().unwrap_or(0);
+                self.engine.engine(s).world().workloads[i].report(window)
+            })
+            .collect();
+        let world_server = world.server();
         let mut threads = Vec::new();
-        for i in 0..world.server.active_threads() {
+        for i in 0..world_server.active_threads() {
             let busy0 = world
                 .busy_snapshot
                 .get(i)
@@ -1041,22 +1343,20 @@ impl<S: ServerHarness + 'static> Testbed<S> {
                 .unwrap_or(SimDuration::ZERO);
             let secs = window.as_secs_f64().max(1e-12);
             threads.push(ThreadReport {
-                busy_fraction: world
-                    .server
+                busy_fraction: world_server
                     .busy_time(i)
                     .saturating_sub(busy0)
                     .as_secs_f64()
                     / secs,
-                sched_fraction: world
-                    .server
+                sched_fraction: world_server
                     .sched_time(i)
                     .saturating_sub(sched0)
                     .as_secs_f64()
                     / secs,
-                stats: world.server.thread_stats(i),
+                stats: world_server.thread_stats(i),
             });
         }
-        let spent_now = world.server.tenants_spent_millitokens();
+        let spent_now = world_server.tenants_spent_millitokens();
         let mut spent_delta = 0i64;
         for (id, now_mt) in &spent_now {
             let before = world.spent_snapshot.get(id).copied().unwrap_or(0);
@@ -1068,9 +1368,11 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             workloads,
             threads,
             token_usage_per_sec,
-            device: world.device.stats(),
-            renegotiations: world.server.renegotiations(),
-            engine_events: self.engine.dispatched(),
+            device: world.device().stats(),
+            renegotiations: world_server.renegotiations(),
+            engine_events: (0..self.engine.shards())
+                .map(|s| self.engine.engine(s).dispatched())
+                .sum(),
             telemetry: world.telemetry.snapshot(),
         }
     }
@@ -1091,25 +1393,36 @@ impl<S: ServerHarness + 'static> Testbed<S> {
     /// [`Telemetry::disabled`] to switch recording back off). SLO targets
     /// of workloads added before this call are re-registered.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
-        if let Some(probe) = telemetry.engine_probe() {
-            self.engine.set_probe(probe);
-        } else {
-            self.engine.clear_probe();
+        // One shared handle across every shard: its counters and span sinks
+        // are commutative merges, so concurrent shard threads recording
+        // into it never change the snapshot's value.
+        for s in 0..self.engine.shards() {
+            let eng = self.engine.engine_mut(s);
+            if let Some(probe) = telemetry.engine_probe() {
+                eng.set_probe(probe);
+            } else {
+                eng.clear_probe();
+            }
+            let world = eng.world_mut();
+            world.fabric.set_telemetry(telemetry.clone());
+            if let Some(device) = world.device.as_mut() {
+                device.set_telemetry(telemetry.clone());
+            }
+            if let Some(server) = world.server.as_mut() {
+                server.set_telemetry(telemetry.clone());
+            }
+            world.telemetry = telemetry.clone();
         }
-        let world = self.engine.world_mut();
-        world.device.set_telemetry(telemetry.clone());
-        world.fabric.set_telemetry(telemetry.clone());
-        world.server.set_telemetry(telemetry.clone());
+        let world = self.engine.engine(0).world();
         for w in &world.workloads {
             if let Some(slo) = w.spec.class.slo() {
                 telemetry.slo_register(TenantKey(w.spec.tenant.0), slo.p95_read_latency);
             }
         }
-        world.telemetry = telemetry;
     }
 
     /// The current telemetry snapshot, when telemetry is enabled.
     pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
-        self.engine.world().telemetry.snapshot()
+        self.engine.engine(0).world().telemetry.snapshot()
     }
 }

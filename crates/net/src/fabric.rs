@@ -83,6 +83,7 @@ pub struct Delivery<P> {
     pub payload: P,
 }
 
+#[derive(Clone)]
 struct Nic {
     stack: StackProfile,
     tx_busy: SimTime,
@@ -90,6 +91,9 @@ struct Nic {
     rng: SimRng,
     tx_bytes: u64,
     rx_bytes: u64,
+    /// Monotone per-source transmit counter; the tie-break of the windowed
+    /// delivery order (see [`Flight`]).
+    tx_seq: u64,
 }
 
 /// What a [`NetFaultHook`] does to one message in flight.
@@ -128,6 +132,7 @@ pub trait NetFaultHook: Send {
     ) -> NetFaultAction;
 }
 
+#[derive(Clone)]
 struct RxEntry<P> {
     at: SimTime,
     seq: u64,
@@ -149,6 +154,102 @@ impl<P> Ord for RxEntry<P> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
+}
+
+/// A message whose transmit half has completed but whose receive half has
+/// not yet been resolved (windowed delivery mode, see
+/// [`Fabric::enable_windowed`]).
+///
+/// Flights are totally ordered by `(departed, src, tx_seq)` — departure
+/// instant off the sender's uplink, source machine id, and the source NIC's
+/// monotone transmit counter. The receive half of every flight addressed to
+/// a machine is resolved in exactly this order, which is what makes
+/// windowed delivery independent of event interleaving: however sends race
+/// across shards, the per-destination resolution sequence (and therefore
+/// the destination NIC's busy state and jitter-RNG stream) is a pure
+/// function of the flight set.
+#[derive(Debug, Clone)]
+pub struct Flight<P> {
+    departed: SimTime,
+    src: MachineId,
+    tx_seq: u64,
+    to: MachineId,
+    queue: NicQueueId,
+    conn: ConnId,
+    size: u32,
+    ser: SimDuration,
+    sent_at: SimTime,
+    /// Earliest possible arrival: `departed + propagation`. The true
+    /// arrival adds receive-side contention, stack latency, and any fault
+    /// delay, all of which resolve later.
+    bound: SimTime,
+    stage: Stage,
+    fault: NetFaultAction,
+    payload: P,
+}
+
+impl<P> Flight<P> {
+    /// Destination machine.
+    pub fn to(&self) -> MachineId {
+        self.to
+    }
+
+    /// Destination NIC receive queue.
+    pub fn queue(&self) -> NicQueueId {
+        self.queue
+    }
+
+    /// Connection the message belongs to.
+    pub fn conn(&self) -> ConnId {
+        self.conn
+    }
+
+    /// Source machine.
+    pub fn src(&self) -> MachineId {
+        self.src
+    }
+
+    /// Departure instant off the sender's uplink (first component of the
+    /// delivery order).
+    pub fn departed(&self) -> SimTime {
+        self.departed
+    }
+
+    /// Conservative lower bound on the arrival instant
+    /// (`departed + propagation`); receivers arm their next poll at this
+    /// time.
+    pub fn bound(&self) -> SimTime {
+        self.bound
+    }
+
+    fn key(&self) -> (SimTime, MachineId, u64) {
+        (self.departed, self.src, self.tx_seq)
+    }
+}
+
+impl<P> PartialEq for Flight<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<P> Eq for Flight<P> {}
+impl<P> PartialOrd for Flight<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Flight<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Machine → shard routing for a fabric endpoint that lives inside one
+/// shard of a sharded run.
+#[derive(Debug, Clone)]
+struct ShardRoutes {
+    own: usize,
+    shard_of: Vec<usize>,
 }
 
 /// The shared network fabric over which all machines communicate.
@@ -180,6 +281,36 @@ pub struct Fabric<P> {
     dropped: u64,
     duplicated: u64,
     telemetry: Telemetry,
+    /// Windowed delivery state; `None` in (default) immediate mode.
+    windowed: Option<Windowed<P>>,
+}
+
+/// State of windowed delivery mode (split send: the transmit half runs at
+/// send time, the receive half when the horizon passes the departure).
+struct Windowed<P> {
+    /// Horizon quantum in nanoseconds (= link propagation, the lookahead).
+    window_ns: u64,
+    /// All flights departing strictly before this instant are resolved.
+    horizon: SimTime,
+    /// Per-destination-machine min-heaps of unresolved flights.
+    pending: Vec<BinaryHeap<Reverse<Flight<P>>>>,
+    /// Present when this fabric endpoint is one shard of a sharded run.
+    routes: Option<ShardRoutes>,
+    /// Flights addressed to machines owned by other shards, awaiting the
+    /// next window-boundary exchange.
+    outbound: Vec<(usize, Flight<P>)>,
+}
+
+impl<P: Clone> Clone for Windowed<P> {
+    fn clone(&self) -> Self {
+        Windowed {
+            window_ns: self.window_ns,
+            horizon: self.horizon,
+            pending: self.pending.clone(),
+            routes: self.routes.clone(),
+            outbound: self.outbound.clone(),
+        }
+    }
 }
 
 impl<P> std::fmt::Debug for Fabric<P> {
@@ -207,7 +338,61 @@ impl<P> Fabric<P> {
             dropped: 0,
             duplicated: 0,
             telemetry: Telemetry::disabled(),
+            windowed: None,
         }
+    }
+
+    /// Switches the fabric to *windowed* delivery.
+    ///
+    /// In windowed mode [`send`](Self::send) runs only the transmit half of
+    /// a transfer (sender stack, uplink serialization, departure) and
+    /// returns a conservative arrival *bound* (`departed + propagation`)
+    /// instead of the exact arrival. The receive half — downlink
+    /// contention, receiver stack latency, fault outcome — resolves lazily
+    /// when [`observe`](Self::observe) raises the delivery horizon past the
+    /// departure instant, and always in [`Flight`] order, making delivery
+    /// timing independent of the order in which sends from different
+    /// machines interleave. This is the delivery model shared by the
+    /// single-shard and sharded testbeds, and the reason their outputs are
+    /// byte-identical.
+    ///
+    /// Must be called before any traffic. Irreversible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link has zero propagation delay (no lookahead).
+    pub fn enable_windowed(&mut self) {
+        assert!(
+            self.link.propagation.as_nanos() > 0,
+            "windowed delivery needs nonzero propagation (lookahead)"
+        );
+        if self.windowed.is_some() {
+            return;
+        }
+        self.windowed = Some(Windowed {
+            window_ns: self.link.propagation.as_nanos(),
+            horizon: SimTime::ZERO,
+            pending: self.nics.iter().map(|_| BinaryHeap::new()).collect(),
+            routes: None,
+            outbound: Vec::new(),
+        });
+    }
+
+    /// Whether windowed delivery is enabled.
+    pub fn is_windowed(&self) -> bool {
+        self.windowed.is_some()
+    }
+
+    /// Whether a fault-injection hook is installed.
+    pub fn has_fault_hook(&self) -> bool {
+        self.fault_hook.is_some()
+    }
+
+    /// The conservative lookahead of this fabric: no message can cross it
+    /// in less than the one-way propagation delay. Sharded runs use this as
+    /// the synchronization window.
+    pub fn lookahead(&self) -> SimDuration {
+        self.link.propagation
     }
 
     /// Installs a telemetry handle. Wire-time spans are recorded per
@@ -251,8 +436,12 @@ impl<P> Fabric<P> {
             rng,
             tx_bytes: 0,
             rx_bytes: 0,
+            tx_seq: 0,
         });
         self.rx_queues.push(vec![BinaryHeap::new()]);
+        if let Some(w) = self.windowed.as_mut() {
+            w.pending.push(BinaryHeap::new());
+        }
         id
     }
 
@@ -390,6 +579,42 @@ impl<P> Fabric<P> {
         src.tx_busy = departed;
         src.tx_bytes += size as u64;
 
+        if let Some(w) = self.windowed.as_mut() {
+            // Windowed mode: the receive half resolves later, in flight
+            // order; return only the conservative bound. The fault hook is
+            // still consulted at send time (same call order and arguments
+            // as immediate mode); its verdict travels with the flight.
+            let tx_seq = src.tx_seq;
+            src.tx_seq += 1;
+            let fault = match self.fault_hook.as_mut() {
+                Some(hook) => hook.on_send(now, from, to, size),
+                None => NetFaultAction::Deliver,
+            };
+            let flight = Flight {
+                departed,
+                src: from,
+                tx_seq,
+                to,
+                queue,
+                conn,
+                size,
+                ser,
+                sent_at: now,
+                bound: departed + self.link.propagation,
+                stage,
+                fault,
+                payload,
+            };
+            let bound = flight.bound;
+            match &w.routes {
+                Some(r) if r.shard_of[to.0 as usize] != r.own => {
+                    w.outbound.push((r.shard_of[to.0 as usize], flight));
+                }
+                _ => w.pending[to.0 as usize].push(Reverse(flight)),
+            }
+            return bound;
+        }
+
         // Receiver: downlink capacity, then stack latency to the app.
         let dst = &mut self.nics[to.0 as usize];
         let wire_arrival = departed + self.link.propagation;
@@ -444,6 +669,176 @@ impl<P> Fabric<P> {
             }));
         }
         arrived_at
+    }
+
+    /// Raises the delivery horizon to `now` rounded *down* to the window
+    /// grid, resolving the receive half of every flight that departed
+    /// strictly before it (windowed mode only; a no-op otherwise).
+    ///
+    /// Callers invoke this at the start of every event that touches the
+    /// fabric, passing the event's scheduled instant. Rounding down to the
+    /// window grid is what keeps single-shard and sharded runs identical: a
+    /// sharded receiver provably holds every flight departing before the
+    /// current window boundary (they were exchanged at the boundary
+    /// barrier), but may not yet know of flights departing after it — so
+    /// the single-shard fabric must not resolve those either, even though
+    /// it already holds them.
+    pub fn observe(&mut self, now: SimTime)
+    where
+        P: Clone,
+    {
+        let Some(w) = self.windowed.as_mut() else {
+            return;
+        };
+        let horizon = SimTime::from_nanos(now.as_nanos() / w.window_ns * w.window_ns);
+        if horizon <= w.horizon {
+            return;
+        }
+        w.horizon = horizon;
+        for m in 0..self.nics.len() {
+            loop {
+                let w = self.windowed.as_mut().expect("windowed mode");
+                match w.pending[m].peek() {
+                    Some(Reverse(f)) if f.departed < horizon => {
+                        let flight = w.pending[m].pop().expect("peeked entry must pop").0;
+                        self.resolve(flight);
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    /// Resolves the receive half of one flight: downlink contention,
+    /// receiver stack latency, fault outcome, enqueue. Mirrors the receive
+    /// half of an immediate-mode transfer exactly; the only difference is
+    /// *when* it runs (horizon crossing vs send time) and in what order
+    /// (flight order vs send order).
+    fn resolve(&mut self, f: Flight<P>)
+    where
+        P: Clone,
+    {
+        let dst = &mut self.nics[f.to.0 as usize];
+        let rx_done = f.bound.max(dst.rx_busy) + f.ser;
+        dst.rx_busy = rx_done;
+        let rx_stack = dst.stack.sample_rx(&mut dst.rng);
+        let mut arrived_at = rx_done + rx_stack;
+        dst.rx_bytes += f.size as u64;
+
+        let mut copies = 1u32;
+        match f.fault {
+            NetFaultAction::Deliver => {}
+            NetFaultAction::Drop => {
+                self.dropped += 1;
+                self.telemetry.count("net.dropped", 1);
+                // Receive-side state above still advanced (the frame
+                // occupied the downlink before being lost), matching the
+                // immediate-mode semantics.
+                return;
+            }
+            NetFaultAction::Duplicate => {
+                self.duplicated += 1;
+                self.telemetry.count("net.duplicated", 1);
+                copies = 2;
+            }
+            NetFaultAction::Delay(extra) => arrived_at += extra,
+        }
+        self.telemetry.count("net.messages", 1);
+        self.telemetry.span(
+            TenantKey::GLOBAL,
+            f.stage,
+            arrived_at.saturating_since(f.sent_at),
+        );
+
+        for copy in 0..copies {
+            let at = arrived_at + SimDuration::from_nanos(500 * copy as u64);
+            let seq = self.seq;
+            self.seq += 1;
+            self.rx_queues[f.to.0 as usize][f.queue.0 as usize].push(Reverse(RxEntry {
+                at,
+                seq,
+                delivery: Delivery {
+                    from: f.src,
+                    conn: f.conn,
+                    arrived_at: at,
+                    size: f.size,
+                    payload: f.payload.clone(),
+                },
+            }));
+        }
+    }
+
+    /// Moves all flights addressed to other shards into `sink` as
+    /// `(destination shard, flight)` pairs. Called at window boundaries by
+    /// the sharded runner. Empty unless shard routes are installed.
+    pub fn take_outbound(&mut self, sink: &mut Vec<(usize, Flight<P>)>) {
+        if let Some(w) = self.windowed.as_mut() {
+            sink.append(&mut w.outbound);
+        }
+    }
+
+    /// Accepts a flight exchanged from another shard, queueing it for
+    /// horizon resolution on this endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if windowed mode is not enabled.
+    pub fn accept_flight(&mut self, flight: Flight<P>) {
+        let w = self
+            .windowed
+            .as_mut()
+            .expect("accept_flight requires windowed mode");
+        w.pending[flight.to.0 as usize].push(Reverse(flight));
+    }
+
+    /// Clones this fabric into the endpoint for one shard of a sharded
+    /// run: same machines, NIC state, and RNG streams, but sends to
+    /// machines owned by other shards are diverted to the outbound buffer
+    /// for exchange instead of the local pending heap.
+    ///
+    /// Each shard must only drive the machines assigned to it; the clone
+    /// carries the full NIC table (ids stay global) but only the local
+    /// machines' state ever advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if windowed mode is not enabled, a fault hook is installed
+    /// (per-message hooks observe global send order, which sharding does
+    /// not preserve), or `shard_of` does not cover every machine.
+    pub fn split_for_shard(&self, shard_of: &[usize], own: usize) -> Fabric<P>
+    where
+        P: Clone,
+    {
+        assert!(self.windowed.is_some(), "sharding requires windowed mode");
+        assert!(
+            self.fault_hook.is_none(),
+            "fault injection is incompatible with sharded execution"
+        );
+        assert_eq!(
+            shard_of.len(),
+            self.nics.len(),
+            "shard map must cover all machines"
+        );
+        let mut windowed = self.windowed.clone();
+        if let Some(w) = windowed.as_mut() {
+            w.routes = Some(ShardRoutes {
+                own,
+                shard_of: shard_of.to_vec(),
+            });
+        }
+        Fabric {
+            link: self.link,
+            nic_seed: self.nic_seed,
+            nics: self.nics.clone(),
+            rx_queues: self.rx_queues.clone(),
+            seq: self.seq,
+            next_conn: self.next_conn,
+            fault_hook: None,
+            dropped: self.dropped,
+            duplicated: self.duplicated,
+            telemetry: self.telemetry.clone(),
+            windowed,
+        }
     }
 
     /// Re-enqueues a polled delivery onto another queue of the same
@@ -523,24 +918,63 @@ impl<P> Fabric<P> {
     }
 
     /// Instant of the earliest undelivered message on `machine`'s queue 0.
+    ///
+    /// In windowed mode this is a conservative *lower bound*: unresolved
+    /// flights contribute their arrival bound at machine granularity (a
+    /// flight steered to another queue of the same NIC can briefly make a
+    /// queue look earlier than its true next arrival), so a wake armed from
+    /// it may find nothing and must re-arm — at most one spurious poll per
+    /// message.
     pub fn next_arrival(&self, machine: MachineId) -> Option<SimTime> {
         self.next_arrival_queue(machine, NicQueueId(0))
     }
 
-    /// Instant of the earliest undelivered message on a specific queue.
+    /// Instant (or, in windowed mode, lower bound — see
+    /// [`next_arrival`](Self::next_arrival)) of the earliest undelivered
+    /// message on a specific queue.
     pub fn next_arrival_queue(&self, machine: MachineId, queue: NicQueueId) -> Option<SimTime> {
-        self.rx_queues[machine.0 as usize][queue.0 as usize]
+        let resolved = self.rx_queues[machine.0 as usize][queue.0 as usize]
             .peek()
-            .map(|Reverse(e)| e.at)
+            .map(|Reverse(e)| e.at);
+        // Per-queue, not machine-level: a sharded server only learns about
+        // a remote shard's in-flight messages at the window exchange, at
+        // which point the destination thread's wake is armed per flight.
+        // Reporting another queue's pending flight here would let the
+        // single-shard run arm sibling wakes a sharded run cannot know
+        // about yet, breaking shards=1 ≡ shards=N.
+        [resolved, self.pending_bound_queue(machine, queue)]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
-    /// Earliest undelivered message across all machines and queues, if any.
+    /// Earliest undelivered message (or arrival bound) across all machines
+    /// and queues, if any.
     pub fn next_arrival_any(&self) -> Option<SimTime> {
-        self.rx_queues
+        let resolved = self
+            .rx_queues
             .iter()
             .flatten()
-            .filter_map(|q| q.peek().map(|Reverse(e)| e.at))
-            .min()
+            .filter_map(|q| q.peek().map(|Reverse(e)| e.at));
+        let pending = self
+            .windowed
+            .iter()
+            .flat_map(|w| w.pending.iter())
+            .filter_map(|h| h.peek().map(|Reverse(f)| f.bound));
+        resolved.chain(pending).min()
+    }
+
+    /// Earliest arrival bound among unresolved flights to one queue of
+    /// `machine`. In-flight counts are bounded by per-connection queue
+    /// depths, so the linear scan stays small.
+    fn pending_bound_queue(&self, machine: MachineId, queue: NicQueueId) -> Option<SimTime> {
+        self.windowed.as_ref().and_then(|w| {
+            w.pending[machine.0 as usize]
+                .iter()
+                .filter(|Reverse(f)| f.queue == queue)
+                .map(|Reverse(f)| f.bound)
+                .min()
+        })
     }
 }
 
@@ -726,6 +1160,223 @@ mod tests {
             stormy.as_micros_f64() > healthy.as_micros_f64() * 3.0,
             "storm {stormy:?} vs healthy {healthy:?}"
         );
+    }
+
+    fn windowed_fabric() -> (Fabric<u32>, MachineId, MachineId) {
+        let (mut f, a, b) = fabric();
+        f.enable_windowed();
+        (f, a, b)
+    }
+
+    #[test]
+    fn windowed_send_returns_conservative_bound() {
+        let (mut f, a, b) = windowed_fabric();
+        let (mut g, a2, b2) = fabric();
+        let conn = f.new_conn();
+        let conn2 = g.new_conn();
+        for i in 0..200u64 {
+            let t = SimTime::from_micros(i * 40);
+            let bound = f.send(t, a, b, conn, 1024, i as u32);
+            let exact = g.send(t, a2, b2, conn2, 1024, i as u32);
+            // Same NIC streams on both fabrics, so the exact arrival is
+            // comparable: the bound must never be later than it.
+            assert!(bound <= exact, "msg {i}: bound {bound} > exact {exact}");
+        }
+    }
+
+    #[test]
+    fn windowed_resolution_waits_for_horizon() {
+        let (mut f, a, b) = windowed_fabric();
+        let conn = f.new_conn();
+        let bound = f.send(SimTime::ZERO, a, b, conn, 64, 7);
+        // Before any observe the message is pending, but the arrival bound
+        // is already visible to wake scheduling.
+        assert!(f.poll(SimTime::from_secs(1), b, usize::MAX).is_empty());
+        assert_eq!(f.next_arrival(b), Some(bound));
+        // The horizon rounds down to the window grid, so observing just
+        // past the bound resolves the flight (propagation >= one window).
+        f.observe(bound + SimDuration::from_nanos(1));
+        let got = f.poll(SimTime::from_secs(1), b, usize::MAX);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].arrived_at >= bound);
+    }
+
+    #[test]
+    fn windowed_resolution_order_is_flight_order() {
+        // Two senders, one receiver. Messages resolve in departure order
+        // regardless of send-call order, so issuing the sends in opposite
+        // orders on two fabrics yields identical deliveries.
+        let mk = || {
+            let mut f: Fabric<u32> = Fabric::new(LinkConfig::default(), SimRng::seed(5));
+            let s1 = f.add_machine(StackProfile::ix_tcp());
+            let s2 = f.add_machine(StackProfile::ix_tcp());
+            let dst = f.add_machine(StackProfile::dataplane_raw());
+            f.enable_windowed();
+            (f, s1, s2, dst)
+        };
+        let (mut f, s1, s2, dst) = mk();
+        let (mut g, g1, g2, gdst) = mk();
+        let conn = f.new_conn();
+        let gconn = g.new_conn();
+        for i in 0..100u64 {
+            let t1 = SimTime::from_micros(i * 20);
+            let t2 = SimTime::from_micros(i * 20) + SimDuration::from_nanos(200);
+            // f: s1 then s2; g: s2 then s1 (per-sender streams make the
+            // same calls, only the interleaving differs).
+            f.send(t1, s1, dst, conn, 1024, i as u32);
+            f.send(t2, s2, dst, conn, 512, 1000 + i as u32);
+            g.send(t2, g2, gdst, gconn, 512, 1000 + i as u32);
+            g.send(t1, g1, gdst, gconn, 1024, i as u32);
+        }
+        let end = SimTime::from_secs(1);
+        f.observe(end);
+        g.observe(end);
+        let fd = f.poll(end, dst, usize::MAX);
+        let gd = g.poll(end, gdst, usize::MAX);
+        assert_eq!(fd.len(), 200);
+        let fv: Vec<(u32, SimTime)> = fd.iter().map(|d| (d.payload, d.arrived_at)).collect();
+        let gv: Vec<(u32, SimTime)> = gd.iter().map(|d| (d.payload, d.arrived_at)).collect();
+        assert_eq!(fv, gv);
+    }
+
+    #[test]
+    fn split_exchange_matches_unsplit_windowed() {
+        // A 3-machine world split into two shards must produce exactly the
+        // deliveries of the unsplit windowed fabric once flights are
+        // exchanged.
+        let mk = || {
+            let mut f: Fabric<u32> = Fabric::new(LinkConfig::default(), SimRng::seed(11));
+            let a = f.add_machine(StackProfile::ix_tcp());
+            let b = f.add_machine(StackProfile::ix_tcp());
+            let srv = f.add_machine(StackProfile::dataplane_raw());
+            f.enable_windowed();
+            (f, a, b, srv)
+        };
+        let (mut mono, a, b, srv) = mk();
+        let (whole, _, _, _) = mk();
+        // Shard 0 owns the server, shard 1 owns both clients.
+        let shard_of = vec![1, 1, 0];
+        let mut f0 = whole.split_for_shard(&shard_of, 0);
+        let mut f1 = whole.split_for_shard(&shard_of, 1);
+        let conn = mono.new_conn();
+        for i in 0..50u64 {
+            let t = SimTime::from_micros(i * 30);
+            let from = if i % 2 == 0 { a } else { b };
+            mono.send(t, from, srv, conn, 2048, i as u32);
+            f1.send(t, from, srv, conn, 2048, i as u32);
+        }
+        // Window-boundary exchange: client shard -> server shard.
+        let mut sink = Vec::new();
+        f1.take_outbound(&mut sink);
+        assert_eq!(sink.len(), 50);
+        for (dst_shard, flight) in sink {
+            assert_eq!(dst_shard, 0);
+            f0.accept_flight(flight);
+        }
+        let end = SimTime::from_secs(1);
+        mono.observe(end);
+        f0.observe(end);
+        let want = mono.poll(end, srv, usize::MAX);
+        let got = f0.poll(end, srv, usize::MAX);
+        assert_eq!(want.len(), 50);
+        let wv: Vec<(u32, SimTime)> = want.iter().map(|d| (d.payload, d.arrived_at)).collect();
+        let gv: Vec<(u32, SimTime)> = got.iter().map(|d| (d.payload, d.arrived_at)).collect();
+        assert_eq!(wv, gv);
+    }
+
+    #[test]
+    fn windowed_fault_actions_apply_at_resolution() {
+        let (mut f, a, b) = windowed_fabric();
+        f.set_fault_hook(Box::new(ScriptedNetHook {
+            actions: vec![
+                NetFaultAction::Drop,
+                NetFaultAction::Duplicate,
+                NetFaultAction::Deliver,
+            ],
+        }));
+        let conn = f.new_conn();
+        f.send(SimTime::ZERO, a, b, conn, 64, 0);
+        f.send(SimTime::from_micros(100), a, b, conn, 64, 1);
+        f.send(SimTime::from_micros(200), a, b, conn, 64, 2);
+        assert_eq!(f.fault_counts(), (0, 0), "faults apply at resolution");
+        f.observe(SimTime::from_secs(1));
+        let payloads: Vec<u32> = f
+            .poll(SimTime::from_secs(1), b, usize::MAX)
+            .iter()
+            .map(|d| d.payload)
+            .collect();
+        assert_eq!(payloads, vec![1, 1, 2]);
+        assert_eq!(f.fault_counts(), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn split_rejects_fault_hook() {
+        let (mut f, _a, _b) = windowed_fabric();
+        f.set_fault_hook(Box::new(ScriptedNetHook { actions: vec![] }));
+        let _ = f.split_for_shard(&[0, 1], 0);
+    }
+
+    /// Drains one machine's pending heap, returning flights in resolution
+    /// order (test helper; production resolution consumes the same heap).
+    fn drain_pending(f: &mut Fabric<u32>, m: MachineId) -> Vec<(SimTime, MachineId, u64)> {
+        let w = f.windowed.as_mut().expect("windowed");
+        let mut out = Vec::new();
+        while let Some(Reverse(fl)) = w.pending[m.0 as usize].pop() {
+            out.push((fl.departed, fl.src, fl.tx_seq));
+        }
+        out
+    }
+
+    proptest::proptest! {
+        /// Satellite: arbitrary interleavings of cross-shard sends always
+        /// drain in (timestamp, source machine, per-source sequence) order
+        /// — the deterministic merge order of the window exchange.
+        #[test]
+        fn mailbox_drains_in_flight_order(
+            raw in proptest::prop::collection::vec((0u64..1_000_000, 0u32..4, 0u64..64), 1..80),
+            shuffle in proptest::prop::collection::vec(proptest::strategy::any::<u64>(), 80..81),
+        ) {
+            let mut f: Fabric<u32> = Fabric::new(LinkConfig::default(), SimRng::seed(3));
+            for _ in 0..5 {
+                f.add_machine(StackProfile::ix_tcp());
+            }
+            f.enable_windowed();
+            let dst = MachineId(4);
+            // Build flights from arbitrary (time, shard/source, seq)
+            // triples, then accept them in an arbitrary interleaving.
+            let mut flights: Vec<Flight<u32>> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(t, src, seq))| Flight {
+                    departed: SimTime::from_nanos(t),
+                    src: MachineId(src),
+                    tx_seq: seq,
+                    to: dst,
+                    queue: NicQueueId(0),
+                    conn: ConnId(0),
+                    size: 64,
+                    ser: SimDuration::from_nanos(50),
+                    sent_at: SimTime::from_nanos(t),
+                    bound: SimTime::from_nanos(t + 1_000),
+                    stage: Stage::Fabric,
+                    fault: NetFaultAction::Deliver,
+                    payload: i as u32,
+                })
+                .collect();
+            // Permute by repeatedly swapping with arbitrary indices.
+            for (i, &r) in shuffle.iter().enumerate().take(flights.len()) {
+                let j = (r % flights.len() as u64) as usize;
+                flights.swap(i, j);
+            }
+            for fl in flights {
+                f.accept_flight(fl);
+            }
+            let drained = drain_pending(&mut f, dst);
+            let mut sorted = drained.clone();
+            sorted.sort();
+            proptest::prop_assert_eq!(drained, sorted);
+        }
     }
 
     #[test]

@@ -18,7 +18,8 @@ mod stack;
 mod wire;
 
 pub use fabric::{
-    ConnId, Delivery, Fabric, LinkConfig, MachineId, NetFaultAction, NetFaultHook, NicQueueId,
+    ConnId, Delivery, Fabric, Flight, LinkConfig, MachineId, NetFaultAction, NetFaultHook,
+    NicQueueId,
 };
 pub use stack::{StackProfile, Transport};
 pub use wire::{

@@ -61,7 +61,10 @@ use std::collections::BinaryHeap;
 use crate::time::{SimDuration, SimTime};
 
 /// A one-shot event handler over world `W`.
-pub type EventFn<W, E = NoEvent> = Box<dyn for<'e> FnOnce(&mut W, &mut Ctx<'e, W, E>)>;
+///
+/// Handlers are `Send` so a whole `Engine` (with its queued events) can be
+/// moved to — or borrowed by — a worker thread by the sharded runner.
+pub type EventFn<W, E = NoEvent> = Box<dyn for<'e> FnOnce(&mut W, &mut Ctx<'e, W, E>) + Send>;
 
 /// A plain-data event dispatched without boxing.
 ///
@@ -358,8 +361,18 @@ impl<W, E> EventQueue<W, E> {
         }
     }
 
-    /// Removes and returns the earliest live event at or before `deadline`.
-    fn pop_next(&mut self, deadline: SimTime) -> Pop<W, E> {
+    /// Removes and returns the earliest live event before the deadline:
+    /// at or before it when `inclusive`, strictly before it otherwise (the
+    /// window-execution mode — boundary-instant events stay queued so
+    /// cross-shard deliveries exchanged *at* the boundary precede them).
+    fn pop_next(&mut self, deadline: SimTime, inclusive: bool) -> Pop<W, E> {
+        let beyond = |at: SimTime| {
+            if inclusive {
+                at > deadline
+            } else {
+                at >= deadline
+            }
+        };
         loop {
             // 1. Drain the current-tick heap first: everything in it is
             //    earlier than anything in the wheel or far heap.
@@ -369,7 +382,7 @@ impl<W, E> EventQueue<W, E> {
                     self.free(idx);
                     continue;
                 }
-                if at > deadline {
+                if beyond(at) {
                     return Pop::Deadline;
                 }
                 self.current.pop();
@@ -385,7 +398,10 @@ impl<W, E> EventQueue<W, E> {
             //    that bucket into `current`.
             if self.wheel_count > 0 {
                 let (slot, tick) = self.next_occupied_slot();
-                if SimTime::from_nanos(tick << TICK_SHIFT) > deadline {
+                // A slot starting beyond the deadline holds only events
+                // beyond it (every event in a slot is at or after the
+                // slot's first nanosecond); don't advance into it.
+                if beyond(SimTime::from_nanos(tick << TICK_SHIFT)) {
                     return Pop::Deadline;
                 }
                 self.advance_to(tick, slot);
@@ -398,7 +414,7 @@ impl<W, E> EventQueue<W, E> {
                     self.free(idx);
                     continue;
                 }
-                if at > deadline {
+                if beyond(at) {
                     return Pop::Deadline;
                 }
                 self.base_tick = tick_of(at);
@@ -477,7 +493,7 @@ impl<W, E> Ctx<'_, W, E> {
     /// Panics if `at` is before the current instant.
     pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + Send + 'static,
     {
         self.schedule_at_handle(at, action);
     }
@@ -485,7 +501,7 @@ impl<W, E> Ctx<'_, W, E> {
     /// Schedules `action` to run `delay` after the current instant.
     pub fn schedule_after<F>(&mut self, delay: SimDuration, action: F)
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + Send + 'static,
     {
         self.schedule_after_handle(delay, action);
     }
@@ -498,7 +514,7 @@ impl<W, E> Ctx<'_, W, E> {
     /// Panics if `at` is before the current instant.
     pub fn schedule_at_handle<F>(&mut self, at: SimTime, action: F) -> EventHandle
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + Send + 'static,
     {
         assert!(
             at >= self.now,
@@ -512,7 +528,7 @@ impl<W, E> Ctx<'_, W, E> {
     /// returning a cancellable handle.
     pub fn schedule_after_handle<F>(&mut self, delay: SimDuration, action: F) -> EventHandle
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + Send + 'static,
     {
         let at = self.now + delay;
         self.queue.insert(at, Action::Boxed(Box::new(action)))
@@ -699,7 +715,7 @@ impl<W, E: TypedEvent<W>> Engine<W, E> {
     /// Panics if `at` is before the current instant.
     pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + Send + 'static,
     {
         self.schedule_at_handle(at, action);
     }
@@ -707,7 +723,7 @@ impl<W, E: TypedEvent<W>> Engine<W, E> {
     /// Schedules `action` to run `delay` after the current instant.
     pub fn schedule_after<F>(&mut self, delay: SimDuration, action: F)
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + Send + 'static,
     {
         self.schedule_at(self.now + delay, action);
     }
@@ -720,7 +736,7 @@ impl<W, E: TypedEvent<W>> Engine<W, E> {
     /// Panics if `at` is before the current instant.
     pub fn schedule_at_handle<F>(&mut self, at: SimTime, action: F) -> EventHandle
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + Send + 'static,
     {
         assert!(
             at >= self.now,
@@ -734,7 +750,7 @@ impl<W, E: TypedEvent<W>> Engine<W, E> {
     /// returning a cancellable handle.
     pub fn schedule_after_handle<F>(&mut self, delay: SimDuration, action: F) -> EventHandle
     where
-        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + 'static,
+        F: FnOnce(&mut W, &mut Ctx<'_, W, E>) + Send + 'static,
     {
         self.schedule_at_handle(self.now + delay, action)
     }
@@ -786,7 +802,11 @@ impl<W, E: TypedEvent<W>> Engine<W, E> {
     /// This is the single dispatch path shared by [`Engine::step`] and
     /// [`Engine::run_until`].
     fn dispatch_next(&mut self, deadline: SimTime) -> Dispatched {
-        match self.queue.pop_next(deadline) {
+        self.dispatch_next_bounded(deadline, true)
+    }
+
+    fn dispatch_next_bounded(&mut self, deadline: SimTime, inclusive: bool) -> Dispatched {
+        match self.queue.pop_next(deadline, inclusive) {
             Pop::Empty => Dispatched::Idle,
             Pop::Deadline => Dispatched::Deadline,
             Pop::Event { at, action } => {
@@ -839,6 +859,43 @@ impl<W, E: TypedEvent<W>> Engine<W, E> {
     pub fn run_for(&mut self, span: SimDuration) {
         let deadline = self.now + span;
         self.run_until(deadline);
+    }
+
+    /// Runs every event *strictly before* `boundary`, then advances the
+    /// clock to it. Events scheduled exactly at the boundary stay queued.
+    ///
+    /// This is the window-execution primitive of conservative parallel
+    /// simulation: a shard runs its window `[now, boundary)`, the runner
+    /// exchanges cross-shard messages at the boundary instant, and only
+    /// then do boundary-instant events run — so deliveries exchanged at
+    /// `boundary` are visible to every event at or after it, exactly as in
+    /// a single-shard run.
+    pub fn run_before(&mut self, boundary: SimTime) {
+        loop {
+            match self.dispatch_next_bounded(boundary, false) {
+                Dispatched::Ran { stop: true, .. } => return,
+                Dispatched::Ran { .. } => {}
+                Dispatched::Deadline | Dispatched::Idle => break,
+            }
+        }
+        if self.now < boundary {
+            self.now = boundary;
+        }
+    }
+
+    /// Runs `f` with the world and a scheduling context pinned to the
+    /// current instant, outside event dispatch.
+    ///
+    /// Window-boundary hooks use this to inject cross-shard deliveries and
+    /// arm wake events with the same `Ctx` API ordinary handlers use; a
+    /// [`Ctx::stop`] request made here is ignored (nothing is running).
+    pub fn enter<R>(&mut self, f: impl FnOnce(&mut W, &mut Ctx<'_, W, E>) -> R) -> R {
+        let mut ctx = Ctx {
+            now: self.now,
+            stop: false,
+            queue: &mut self.queue,
+        };
+        f(&mut self.world, &mut ctx)
     }
 
     /// Runs until the event queue is completely drained, leaving the clock

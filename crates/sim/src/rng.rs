@@ -43,6 +43,19 @@ impl SimRng {
         SimRng::seed(self.inner.next_u64() ^ 0x9e37_79b9_7f4a_7c15)
     }
 
+    /// Derives the `index`-th stream of a seed *without* consuming state
+    /// from any parent generator.
+    ///
+    /// Unlike [`fork`](Self::fork), whose output depends on how many forks
+    /// preceded it, `stream` is keyed purely by `(seed, index)`. Components
+    /// with a stable identity (a client host, a tenant workload) should use
+    /// their id as the index so their stream survives reordering of
+    /// construction — a prerequisite for sharded execution, where hosts are
+    /// built per shard rather than in one global pass.
+    pub fn stream(seed: u64, index: u64) -> SimRng {
+        SimRng::seed(seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index + 1))
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.inner.next_u64()

@@ -119,7 +119,7 @@ proptest! {
     /// heap, including chained events and mid-run cancellations.
     #[test]
     fn timer_wheel_matches_reference_heap(times in prop::collection::vec(0u64..20_000_000, 1..150)) {
-        let times = std::rc::Rc::new(times);
+        let times = std::sync::Arc::new(times);
 
         // Drive the real engine. Handlers follow fixed rules keyed on the
         // event id so the reference model can replay them exactly:
@@ -279,7 +279,7 @@ struct WheelWorld {
 
 /// One event of the wheel-vs-reference property, as a boxed handler so it
 /// can chain follow-ups recursively.
-fn wheel_handler(id: u64, times: std::rc::Rc<Vec<u64>>) -> reflex_sim::EventFn<WheelWorld> {
+fn wheel_handler(id: u64, times: std::sync::Arc<Vec<u64>>) -> reflex_sim::EventFn<WheelWorld> {
     Box::new(move |w, ctx| {
         w.log.push(id);
         if id.is_multiple_of(3) {
