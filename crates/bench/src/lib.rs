@@ -36,15 +36,30 @@ pub const WARMUP: SimDuration = SimDuration::from_millis(100);
 pub const MEASURE: SimDuration = SimDuration::from_millis(400);
 
 /// Number of simulation shards requested via `REFLEX_SIM_SHARDS`
-/// (default 1 — single-shard). Orthogonal to `REFLEX_BENCH_THREADS`,
-/// which parallelizes *across* sweep points; this splits one simulation
-/// across cores while keeping its results byte-identical.
+/// (default 1 — single-shard; `0` auto-detects the host's cores).
+/// Orthogonal to `REFLEX_BENCH_THREADS`, which parallelizes *across*
+/// sweep points; this splits one simulation across cores while keeping
+/// its results byte-identical.
+///
+/// # Panics
+///
+/// Panics on non-numeric values — a typo silently running single-shard
+/// would invalidate a scaling measurement without anyone noticing.
 pub fn sim_shards() -> usize {
-    std::env::var("REFLEX_SIM_SHARDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(1)
+    let Ok(raw) = std::env::var("REFLEX_SIM_SHARDS") else {
+        return 1;
+    };
+    if raw.is_empty() {
+        return 1;
+    }
+    let n: usize = raw
+        .parse()
+        .unwrap_or_else(|_| panic!("invalid REFLEX_SIM_SHARDS={raw:?} (expected 0=auto or N>=1)"));
+    if n == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        n
+    }
 }
 
 /// Adds `workloads` to a testbed, runs warmup + measurement, and reports.

@@ -18,10 +18,10 @@ use reflex_net::{
 };
 use reflex_qos::{CostModel, TenantId};
 use reflex_sim::{
-    Ctx, Engine, EventHandle, PoolKey, ShardWorld, ShardedEngine, SimDuration, SimRng, SimTime,
-    SlabPool, TypedEvent, Zipf,
+    Ctx, Engine, EventHandle, LookaheadPolicy, PoolKey, ShardStats, ShardWorld, ShardedEngine,
+    SimDuration, SimRng, SimTime, SlabPool, TypedEvent, Zipf,
 };
-use reflex_telemetry::{Stage, Telemetry, TelemetrySnapshot, TenantKey};
+use reflex_telemetry::{ShardCounter, Stage, Telemetry, TelemetrySnapshot, TenantKey};
 
 use crate::capacity::CapacityProfile;
 use crate::client::{
@@ -718,6 +718,10 @@ impl<S: ServerHarness + 'static> ShardWorld<WorldEvent> for World<S> {
         self.fabric.take_outbound(sink);
     }
 
+    fn flight_bound(flight: &Self::Flight) -> Option<SimTime> {
+        Some(flight.bound())
+    }
+
     fn deliver(&mut self, ctx: &mut Ctx<'_, Self, WorldEvent>, flights: &mut Vec<Self::Flight>) {
         for flight in flights.drain(..) {
             let to = flight.to();
@@ -940,6 +944,13 @@ impl TestbedBuilder {
             .collect();
         let server_machine = fabric.add_machine(self.server_stack.clone());
         let server = make_server(&mut fabric, &mut device, server_machine);
+        // Declare the physical topology: every client talks only to the
+        // server (clients ↔ ToR switch ↔ server, §5.1). The link accounting
+        // lets the sharded runner drop unlinked shard pairs from its
+        // rendezvous math instead of assuming a full mesh.
+        for c in &clients {
+            fabric.declare_link(c.machine, server_machine);
+        }
         // Windowed delivery is the testbed's delivery model: identical
         // semantics at one shard and at N, so splitting the world never
         // changes results.
@@ -978,6 +989,7 @@ impl TestbedBuilder {
             measure_begin: SimTime::ZERO,
             control_interval: interval,
             owner: Vec::new(),
+            exported: vec![ShardStats::default()],
         }
     }
 }
@@ -989,6 +1001,9 @@ pub struct Testbed<S: ServerHarness = ReflexServer> {
     control_interval: SimDuration,
     /// Shard that owns each workload's generator, in registration order.
     owner: Vec<usize>,
+    /// Per-shard counters already folded into telemetry, so repeated
+    /// [`run`](Self::run) calls export deltas rather than double counting.
+    exported: Vec<ShardStats>,
 }
 
 impl<S: ServerHarness + 'static> std::fmt::Debug for Testbed<S> {
@@ -1005,6 +1020,30 @@ impl Testbed<ReflexServer> {
     pub fn builder() -> TestbedBuilder {
         TestbedBuilder::new()
     }
+}
+
+/// Shard→core placement. Pins each shard thread to its own core when the
+/// host allows at least as many distinct cores as shards; on oversubscribed
+/// hosts placement is skipped (stacking spinning shard threads on one core
+/// fights the OS scheduler and is slower than floating).
+///
+/// `REFLEX_SIM_PIN=0`/`off` disables placement, `1`/`on` forces it even
+/// when oversubscribed (shards round-robin over the allowed cores). Any
+/// other value is a loud error — a typo silently changing the performance
+/// envelope is worse than a panic.
+fn plan_pinning(shards: usize) -> Option<Vec<usize>> {
+    let knob = std::env::var("REFLEX_SIM_PIN").ok();
+    let forced = match knob.as_deref() {
+        Some("0") | Some("off") => return None,
+        Some("1") | Some("on") => true,
+        None | Some("") => false,
+        Some(other) => panic!("invalid REFLEX_SIM_PIN={other:?} (expected 0/off or 1/on)"),
+    };
+    let cores = core_affinity::get_core_ids()?;
+    if cores.is_empty() || (!forced && cores.len() < shards) {
+        return None;
+    }
+    Some((0..shards).map(|i| cores[i % cores.len()].id).collect())
 }
 
 impl<S: ServerHarness + 'static> Testbed<S> {
@@ -1128,7 +1167,11 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             }
             engines.push(eng);
         }
+        let topology = world.fabric.shard_topology(&shard_of, n_eff);
         self.engine = ShardedEngine::new(engines, window);
+        self.engine.set_topology(topology);
+        self.engine.set_pinning(plan_pinning(n_eff));
+        self.exported = vec![ShardStats::default(); n_eff];
         self
     }
 
@@ -1314,6 +1357,56 @@ impl<S: ServerHarness + 'static> Testbed<S> {
     /// when sharded).
     pub fn run(&mut self, span: SimDuration) {
         self.engine.run_for(span);
+        self.export_shard_counters();
+    }
+
+    /// Overrides how the sharded runner picks rendezvous boundaries (no-op
+    /// at one shard). Simulated results are byte-identical under every
+    /// policy; only barrier counts and wall time change.
+    pub fn set_lookahead_policy(&mut self, policy: LookaheadPolicy) {
+        self.engine.set_policy(policy);
+    }
+
+    /// The active rendezvous policy of the sharded runner.
+    pub fn lookahead_policy(&self) -> LookaheadPolicy {
+        self.engine.policy()
+    }
+
+    /// Cumulative runner counters for shard `s` (barrier waits, committed
+    /// windows, extended commits, wall time).
+    pub fn shard_stats(&self, s: usize) -> ShardStats {
+        self.engine.shard_stats(s)
+    }
+
+    /// Folds per-shard runner counters into telemetry as deltas since the
+    /// last export. Single-shard runs take no barriers and export nothing,
+    /// so figure TSVs (and the allocation budget) are untouched.
+    fn export_shard_counters(&mut self) {
+        let shards = self.engine.shards();
+        if shards <= 1 {
+            return;
+        }
+        let telemetry = self.engine.engine(0).world().telemetry.clone();
+        for s in 0..shards {
+            let stats = self.engine.shard_stats(s);
+            let last = &mut self.exported[s];
+            telemetry.count_shard(
+                ShardCounter::BarrierWaits,
+                s,
+                stats.barrier_waits - last.barrier_waits,
+            );
+            telemetry.count_shard(
+                ShardCounter::WindowsCommitted,
+                s,
+                stats.windows_committed - last.windows_committed,
+            );
+            telemetry.count_shard(
+                ShardCounter::ExtendedCommits,
+                s,
+                stats.extended_commits - last.extended_commits,
+            );
+            *last = stats;
+        }
     }
 
     /// Produces the measurement report for the window since

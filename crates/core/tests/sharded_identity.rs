@@ -7,7 +7,7 @@
 use reflex_core::{AddrPattern, ArrivalProcess, ServerConfig, Testbed, WorkloadSpec};
 use reflex_net::{LinkConfig, StackProfile};
 use reflex_qos::{SloSpec, TenantClass, TenantId};
-use reflex_sim::SimDuration;
+use reflex_sim::{LookaheadPolicy, SimDuration};
 
 fn lc(iops: u64, read_pct: u8, p95_us: u64) -> TenantClass {
     TenantClass::LatencyCritical(SloSpec::new(
@@ -21,6 +21,10 @@ fn lc(iops: u64, read_pct: u8, p95_us: u64) -> TenantClass {
 /// threads, open- and closed-loop generators, uniform/zipfian/sequential
 /// address patterns, mixed read ratios.
 fn run_signature(shards: usize) -> String {
+    run_signature_policy(shards, LookaheadPolicy::Adaptive)
+}
+
+fn run_signature_policy(shards: usize, policy: LookaheadPolicy) -> String {
     let tb = Testbed::builder()
         .seed(2027)
         .server_threads(2)
@@ -28,6 +32,7 @@ fn run_signature(shards: usize) -> String {
         .build()
         .with_shards(shards);
     let mut tb = tb;
+    tb.set_lookahead_policy(policy);
 
     let mut w0 = WorkloadSpec::open_loop("lc-zipf", TenantId(1), lc(80_000, 95, 1_000), 80_000.0);
     w0.conns = 8;
@@ -148,4 +153,14 @@ fn shard_count_beyond_clients_clamps() {
 #[test]
 fn hot_single_thread_matches() {
     assert_eq!(run_hot_signature(1), run_hot_signature(2));
+}
+
+#[test]
+fn lookahead_policy_is_invisible_in_results() {
+    // The adaptive event-horizon extension only changes *when* shards
+    // rendezvous, never what they compute: both policies must match the
+    // single-shard bytes exactly.
+    let single = run_signature(1);
+    assert_eq!(single, run_signature_policy(4, LookaheadPolicy::GlobalMin));
+    assert_eq!(single, run_signature_policy(4, LookaheadPolicy::Adaptive));
 }

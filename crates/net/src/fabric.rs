@@ -281,6 +281,11 @@ pub struct Fabric<P> {
     dropped: u64,
     duplicated: u64,
     telemetry: Telemetry,
+    /// Declared machine-pair links (unordered pairs). Empty means "no
+    /// accounting": any machine may talk to any other (full mesh). Once
+    /// links are declared, only declared pairs may exchange traffic, and
+    /// sharded runs derive per-shard-pair lookahead from them.
+    links: Vec<(MachineId, MachineId)>,
     /// Windowed delivery state; `None` in (default) immediate mode.
     windowed: Option<Windowed<P>>,
 }
@@ -338,6 +343,7 @@ impl<P> Fabric<P> {
             dropped: 0,
             duplicated: 0,
             telemetry: Telemetry::disabled(),
+            links: Vec::new(),
             windowed: None,
         }
     }
@@ -393,6 +399,84 @@ impl<P> Fabric<P> {
     /// the synchronization window.
     pub fn lookahead(&self) -> SimDuration {
         self.link.propagation
+    }
+
+    /// Declares that machines `a` and `b` exchange traffic (both ways).
+    /// Idempotent. Until the first declaration the fabric assumes a full
+    /// mesh; once any link is declared, sends between undeclared pairs are
+    /// rejected in debug builds, and sharded runs compute per-shard-pair
+    /// lookahead from the declared set (see
+    /// [`shard_topology`](Self::shard_topology)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (loopback is not modelled) or either machine is
+    /// unknown.
+    pub fn declare_link(&mut self, a: MachineId, b: MachineId) {
+        assert_ne!(a, b, "loopback is not modelled");
+        assert!(
+            (a.0 as usize) < self.nics.len() && (b.0 as usize) < self.nics.len(),
+            "declare_link on unknown machine"
+        );
+        let pair = (a.min(b), a.max(b));
+        if !self.links.contains(&pair) {
+            self.links.push(pair);
+        }
+    }
+
+    /// Whether any machine-pair links have been declared.
+    pub fn has_declared_links(&self) -> bool {
+        !self.links.is_empty()
+    }
+
+    /// Whether `a` and `b` may exchange traffic (always true until links
+    /// are declared).
+    fn pair_linked(&self, a: MachineId, b: MachineId) -> bool {
+        self.links.is_empty() || self.links.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Per-shard-pair lookahead computed from the links actually crossing
+    /// each shard boundary: entry `(i, j)` is the minimum propagation among
+    /// declared links between a machine in shard `i` and one in shard `j`
+    /// (`None` when no link crosses that boundary, so `i` can never send
+    /// flights to `j`). Without declared links every distinct pair is
+    /// assumed linked — the conservative full mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_of` does not cover every machine.
+    pub fn shard_topology(&self, shard_of: &[usize], shards: usize) -> reflex_sim::ShardTopology {
+        assert_eq!(
+            shard_of.len(),
+            self.nics.len(),
+            "shard map must cover all machines"
+        );
+        let mut pair: Vec<Vec<Option<SimDuration>>> = vec![vec![None; shards]; shards];
+        if self.links.is_empty() {
+            for (i, row) in pair.iter_mut().enumerate() {
+                for (j, slot) in row.iter_mut().enumerate() {
+                    if i != j {
+                        *slot = Some(self.link.propagation);
+                    }
+                }
+            }
+        } else {
+            for &(a, b) in &self.links {
+                let (sa, sb) = (shard_of[a.0 as usize], shard_of[b.0 as usize]);
+                if sa == sb {
+                    continue;
+                }
+                // All links share the fabric's propagation today; the min
+                // keeps this correct if per-link delays ever diverge.
+                for (x, y) in [(sa, sb), (sb, sa)] {
+                    pair[x][y] = Some(match pair[x][y] {
+                        Some(cur) => cur.min(self.link.propagation),
+                        None => self.link.propagation,
+                    });
+                }
+            }
+        }
+        reflex_sim::ShardTopology::from_pair_matrix(pair)
     }
 
     /// Installs a telemetry handle. Wire-time spans are recorded per
@@ -565,6 +649,11 @@ impl<P> Fabric<P> {
         P: Clone,
     {
         assert_ne!(from, to, "loopback is not modelled");
+        debug_assert!(
+            self.pair_linked(from, to),
+            "send on undeclared link {from:?} -> {to:?}: declare_link it, \
+             or the sharded lookahead accounting is unsound"
+        );
         // The flow's transport is the sender's (both ends of a connection
         // speak the same protocol).
         let overhead = self.nics[from.0 as usize].stack.transport.frame_overhead();
@@ -837,6 +926,7 @@ impl<P> Fabric<P> {
             dropped: self.dropped,
             duplicated: self.duplicated,
             telemetry: self.telemetry.clone(),
+            links: self.links.clone(),
             windowed,
         }
     }
@@ -1307,6 +1397,57 @@ mod tests {
             .collect();
         assert_eq!(payloads, vec![1, 1, 2]);
         assert_eq!(f.fault_counts(), (1, 1));
+    }
+
+    #[test]
+    fn shard_topology_reflects_declared_links() {
+        // 5 machines: clients 0-3, server 4; hub links only.
+        let mut f: Fabric<u32> = Fabric::new(LinkConfig::default(), SimRng::seed(13));
+        for _ in 0..5 {
+            f.add_machine(StackProfile::ix_tcp());
+        }
+        let srv = MachineId(4);
+        for c in 0..4 {
+            f.declare_link(MachineId(c), srv);
+            f.declare_link(MachineId(c), srv); // idempotent
+        }
+        // Shard 0 owns the server; clients split over shards 1 and 2.
+        let shard_of = vec![1, 2, 1, 2, 0];
+        let topo = f.shard_topology(&shard_of, 3);
+        let prop = f.link().propagation;
+        // Hub pairs are linked both ways; client shards are mutually
+        // unlinked, so neither can ever constrain the other.
+        for s in [1, 2] {
+            assert_eq!(topo.pair_lookahead(0, s), Some(prop));
+            assert_eq!(topo.pair_lookahead(s, 0), Some(prop));
+        }
+        assert_eq!(topo.pair_lookahead(1, 2), None);
+        assert_eq!(topo.pair_lookahead(2, 1), None);
+        assert_eq!(topo.pair_lookahead(0, 0), None);
+    }
+
+    #[test]
+    fn shard_topology_without_links_is_full_mesh() {
+        let mut f: Fabric<u32> = Fabric::new(LinkConfig::default(), SimRng::seed(13));
+        for _ in 0..3 {
+            f.add_machine(StackProfile::ix_tcp());
+        }
+        let topo = f.shard_topology(&[0, 1, 1], 2);
+        assert_eq!(topo.pair_lookahead(0, 1), Some(f.link().propagation));
+        assert_eq!(topo.pair_lookahead(1, 0), Some(f.link().propagation));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "undeclared link")]
+    fn send_on_undeclared_pair_panics_in_debug() {
+        let mut f: Fabric<u32> = Fabric::new(LinkConfig::default(), SimRng::seed(13));
+        let a = f.add_machine(StackProfile::ix_tcp());
+        let b = f.add_machine(StackProfile::ix_tcp());
+        let c = f.add_machine(StackProfile::dataplane_raw());
+        f.declare_link(a, c);
+        let conn = f.new_conn();
+        f.send(SimTime::ZERO, a, b, conn, 64, 0);
     }
 
     #[test]

@@ -58,6 +58,6 @@ pub use engine::{Ctx, Engine, EngineProbe, EventFn, EventHandle, NoEvent, Step, 
 pub use hist::Histogram;
 pub use rng::{SimRng, Zipf};
 pub use series::{Counter, RatePoint, RateSeries};
-pub use shard::{ShardWorld, ShardedEngine};
+pub use shard::{LookaheadPolicy, ShardStats, ShardTopology, ShardWorld, ShardedEngine};
 pub use slab::{PoolKey, SlabPool};
 pub use time::{SimDuration, SimTime};

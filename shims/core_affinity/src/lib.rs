@@ -1,0 +1,193 @@
+//! Offline shim for the `core_affinity` crate.
+//!
+//! Implements the narrow API the workspace consumes — [`CoreId`],
+//! [`get_core_ids`] and [`set_for_current`] — without any external
+//! dependency. On Linux (x86_64 / aarch64) the calls go straight to the
+//! `sched_getaffinity` / `sched_setaffinity` syscalls via inline assembly;
+//! everywhere else they degrade gracefully (`get_core_ids` falls back to
+//! `available_parallelism`, `set_for_current` is a no-op returning `false`),
+//! so callers can treat pinning as best-effort.
+
+/// Identifier of one logical CPU, as understood by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreId {
+    /// The logical CPU index.
+    pub id: usize,
+}
+
+/// Size of the CPU mask handed to the kernel, in bytes (1024 CPUs).
+const MASK_BYTES: usize = 128;
+const MASK_WORDS: usize = MASK_BYTES / 8;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    use super::{MASK_BYTES, MASK_WORDS};
+
+    const SYS_SCHED_SETAFFINITY: u64 = 203;
+    const SYS_SCHED_GETAFFINITY: u64 = 204;
+
+    fn syscall3(nr: u64, a1: u64, a2: u64, a3: u64) -> i64 {
+        let ret: i64;
+        // SAFETY: raw Linux syscall with the registers the x86_64 ABI
+        // specifies; the kernel only reads/writes the `MASK_BYTES` buffer
+        // whose pointer and length we pass, and the asm clobbers (rcx, r11)
+        // are declared.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") nr => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Reads the calling thread's allowed-CPU mask; `None` on failure.
+    pub fn get_mask() -> Option<[u64; MASK_WORDS]> {
+        let mut mask = [0u64; MASK_WORDS];
+        let ret = syscall3(
+            SYS_SCHED_GETAFFINITY,
+            0,
+            MASK_BYTES as u64,
+            mask.as_mut_ptr() as u64,
+        );
+        (ret > 0).then_some(mask)
+    }
+
+    /// Restricts the calling thread to the CPUs set in `mask`.
+    pub fn set_mask(mask: &[u64; MASK_WORDS]) -> bool {
+        syscall3(
+            SYS_SCHED_SETAFFINITY,
+            0,
+            MASK_BYTES as u64,
+            mask.as_ptr() as u64,
+        ) == 0
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod sys {
+    use super::{MASK_BYTES, MASK_WORDS};
+
+    const SYS_SCHED_SETAFFINITY: u64 = 122;
+    const SYS_SCHED_GETAFFINITY: u64 = 123;
+
+    fn syscall3(nr: u64, a1: u64, a2: u64, a3: u64) -> i64 {
+        let ret: i64;
+        // SAFETY: raw Linux syscall per the aarch64 ABI (number in x8,
+        // args in x0..x2); the kernel only touches the buffer we pass.
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                in("x8") nr,
+                inlateout("x0") a1 => ret,
+                in("x1") a2,
+                in("x2") a3,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Reads the calling thread's allowed-CPU mask; `None` on failure.
+    pub fn get_mask() -> Option<[u64; MASK_WORDS]> {
+        let mut mask = [0u64; MASK_WORDS];
+        let ret = syscall3(
+            SYS_SCHED_GETAFFINITY,
+            0,
+            MASK_BYTES as u64,
+            mask.as_mut_ptr() as u64,
+        );
+        (ret > 0).then_some(mask)
+    }
+
+    /// Restricts the calling thread to the CPUs set in `mask`.
+    pub fn set_mask(mask: &[u64; MASK_WORDS]) -> bool {
+        syscall3(
+            SYS_SCHED_SETAFFINITY,
+            0,
+            MASK_BYTES as u64,
+            mask.as_ptr() as u64,
+        ) == 0
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    use super::MASK_WORDS;
+
+    pub fn get_mask() -> Option<[u64; MASK_WORDS]> {
+        None
+    }
+
+    pub fn set_mask(_mask: &[u64; MASK_WORDS]) -> bool {
+        false
+    }
+}
+
+/// The logical CPUs the calling thread is allowed to run on, in ascending
+/// id order. Falls back to `0..available_parallelism()` when the kernel
+/// mask cannot be read (non-Linux platforms, seccomp'd sandboxes).
+pub fn get_core_ids() -> Option<Vec<CoreId>> {
+    if let Some(mask) = sys::get_mask() {
+        let ids: Vec<CoreId> = (0..MASK_WORDS * 64)
+            .filter(|&cpu| mask[cpu / 64] >> (cpu % 64) & 1 == 1)
+            .map(|cpu| CoreId { id: cpu })
+            .collect();
+        if !ids.is_empty() {
+            return Some(ids);
+        }
+    }
+    let n = std::thread::available_parallelism().ok()?.get();
+    Some((0..n).map(|id| CoreId { id }).collect())
+}
+
+/// Pins the calling thread to `core`. Returns whether the kernel accepted
+/// the new mask; `false` means the thread runs unpinned (harmless).
+pub fn set_for_current(core: CoreId) -> bool {
+    if core.id >= MASK_WORDS * 64 {
+        return false;
+    }
+    let mut mask = [0u64; MASK_WORDS];
+    mask[core.id / 64] = 1u64 << (core.id % 64);
+    sys::set_mask(&mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_ids_are_nonempty_and_sorted() {
+        let ids = get_core_ids().expect("some cores");
+        assert!(!ids.is_empty());
+        assert!(ids.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn pin_to_first_allowed_core_succeeds_on_linux() {
+        let ids = get_core_ids().expect("some cores");
+        let ok = set_for_current(ids[0]);
+        if cfg!(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )) {
+            assert!(ok, "pinning to an allowed core must succeed");
+        }
+    }
+
+    #[test]
+    fn out_of_range_core_is_rejected() {
+        assert!(!set_for_current(CoreId {
+            id: MASK_WORDS * 64
+        }));
+    }
+}
