@@ -20,9 +20,10 @@ use reflex_core::{
 };
 use reflex_faults::{install, FaultKind, FaultPlan};
 use reflex_qos::{CostModel, SloSpec, TenantClass, TenantId};
-use reflex_sim::{RatePoint, SimDuration, SimTime};
+use reflex_sim::{SimDuration, SimTime};
 use reflex_telemetry::TenantKey;
 
+use crate::recovery;
 use crate::sweep::{FaultsSummary, PointOutcome, Sweep, SweepResult};
 
 /// Master seed for every chaos fault plan.
@@ -40,17 +41,26 @@ fn measure(smoke: bool) -> SimDuration {
     SimDuration::from_millis(if smoke { 80 } else { 300 })
 }
 
-/// Renders the unified TSV row. `recovery_ms < 0` prints `-` (scenario
-/// has no outage to recover from).
+/// Renders the unified TSV row. A negative recovery time prints `-`
+/// (scenario has no outage to recover from).
 fn row(label: &str, severity: &str, o: &ChaosOutcome) -> String {
-    let recovery = if o.recovery_ms < 0.0 {
-        "-".to_string()
-    } else {
-        format!("{:.1}", o.recovery_ms)
+    let fmt = |v: f64| {
+        if v < 0.0 {
+            "-".to_string()
+        } else {
+            format!("{v:.1}")
+        }
     };
     format!(
-        "{label}\t{severity}\t{:.0}\t{:.0}\t{}\t{}\t{}\t{}\t{recovery}",
-        o.iops, o.p95_us, o.injected, o.retries, o.recovered, o.unrecovered
+        "{label}\t{severity}\t{:.0}\t{:.0}\t{}\t{}\t{}\t{}\t{}\t{}",
+        o.iops,
+        o.p95_us,
+        o.injected,
+        o.retries,
+        o.recovered,
+        o.unrecovered,
+        fmt(o.recovery_ms),
+        fmt(o.recovery_p95_ms)
     )
 }
 
@@ -62,7 +72,13 @@ struct ChaosOutcome {
     recovered: u64,
     unrecovered: u64,
     downtime_secs: f64,
+    /// Mean recovery time across the point's outages (single-outage
+    /// points: the outage's recovery time; no outage: -1).
     recovery_ms: f64,
+    /// Nearest-rank p95 across the point's outages — the same definition
+    /// the replication figure reports (see [`crate::recovery`]), so the
+    /// chaos and replication artifacts are comparable.
+    recovery_p95_ms: f64,
     engine_events: u64,
     slo_violations: u64,
 }
@@ -79,19 +95,21 @@ impl ChaosOutcome {
             .with_metric("unrecovered", self.unrecovered as f64)
             .with_metric("downtime_s", self.downtime_secs)
             .with_metric("recovery_ms", self.recovery_ms)
+            .with_metric("recovery_p95_ms", self.recovery_p95_ms)
             .with_metric("slo_violations", self.slo_violations as f64)
             .with_events(self.engine_events)
     }
 }
 
 /// Runs one single-tenant testbed under `plan` and collects the chaos
-/// metrics. `up_at` marks the end of a scheduled outage, enabling the
-/// recovery-time measurement from the 10ms IOPS series.
+/// metrics. Each entry of `up_ats` marks the end of one scheduled
+/// outage, enabling the recovery-time measurement (mean and p95 across
+/// outages) from the 10ms IOPS series.
 fn run_faulted(
     plan: &FaultPlan,
     retry: RetryPolicy,
     smoke: bool,
-    up_at: Option<SimTime>,
+    up_ats: &[SimTime],
 ) -> ChaosOutcome {
     let mut tb = Testbed::builder().seed(71).server_threads(1).build();
     let slo = SloSpec::new(OFFERED_IOPS as u64, 100, SimDuration::from_micros(500));
@@ -125,6 +143,7 @@ fn run_faulted(
             crate::telemetry::merge(t);
         }
     }
+    let times = recovery::recovery_times(&w.iops_series, up_ats);
     ChaosOutcome {
         iops: w.iops,
         p95_us: w.p95_read_us(),
@@ -133,35 +152,11 @@ fn run_faulted(
         recovered: w.retry_success,
         unrecovered: w.exhausted,
         downtime_secs: snap.downtime.as_secs_f64(),
-        recovery_ms: up_at.map_or(-1.0, |t| recovery_ms(&w.iops_series, t)),
+        recovery_ms: recovery::mean_ms(&times),
+        recovery_p95_ms: recovery::p95_ms(&times),
         engine_events: report.engine_events,
         slo_violations,
     }
-}
-
-/// Time from `up_at` (an outage's end) until the first 10ms IOPS bucket
-/// back at >= 90% of the pre-outage mean, in milliseconds. Buckets fully
-/// before the outage form the baseline. Returns the remaining window
-/// length if the series never recovers (pessimistic, keeps the metric
-/// finite and deterministic).
-fn recovery_ms(series: &[RatePoint], up_at: SimTime) -> f64 {
-    let baseline: Vec<f64> = series
-        .iter()
-        .filter(|p| p.at + SimDuration::from_millis(10) <= up_at)
-        .map(|p| p.rate_per_sec)
-        .collect();
-    if baseline.is_empty() {
-        return -1.0;
-    }
-    let mean = baseline.iter().sum::<f64>() / baseline.len() as f64;
-    for p in series.iter().filter(|p| p.at >= up_at) {
-        if p.rate_per_sec >= 0.9 * mean {
-            return p.at.saturating_since(up_at).as_micros_f64() / 1_000.0;
-        }
-    }
-    series.last().map_or(-1.0, |p| {
-        p.at.saturating_since(up_at).as_micros_f64() / 1_000.0
-    })
 }
 
 /// Control-plane server death: a 3-server cluster loses one server and
@@ -196,7 +191,16 @@ fn server_death_point(tenants_per_server: u32) -> PointOutcome {
     let report = planner.fail_server(victim).expect("victim exists");
     let migrated = report.migrated.len() as u64;
     let stranded = report.stranded.len() as u64;
-    let recovery = 30.0 + migrated as f64;
+    let detection = SimDuration::from_millis(30);
+    let recovery = report.total_recovery_estimate(detection).as_micros_f64() / 1_000.0;
+    // Per-tenant recovery estimates: each migration queues behind the
+    // earlier ones, so the p95 is the estimate of the ~worst-placed
+    // tenant rather than the last one.
+    let per_tenant: Vec<f64> = report
+        .migrated
+        .iter()
+        .map(|m| (detection + m.latency_estimate).as_micros_f64() / 1_000.0)
+        .collect();
     let o = ChaosOutcome {
         iops: 0.0,
         p95_us: 0.0,
@@ -206,6 +210,7 @@ fn server_death_point(tenants_per_server: u32) -> PointOutcome {
         unrecovered: stranded,
         downtime_secs: recovery / 1_000.0,
         recovery_ms: recovery,
+        recovery_p95_ms: recovery::p95_ms(&per_tenant),
         engine_events: 0,
         slo_violations: 0,
     };
@@ -242,7 +247,7 @@ pub fn build_sweep(smoke: bool) -> Sweep {
             } else {
                 FaultPlan::none()
             };
-            run_faulted(&plan, RetryPolicy::standard(), smoke, None)
+            run_faulted(&plan, RetryPolicy::standard(), smoke, &[])
                 .into_point("transient-errors", &format!("rate={rate}"))
         });
     }
@@ -260,7 +265,7 @@ pub fn build_sweep(smoke: bool) -> Sweep {
                     duration: measure(smoke),
                 },
             );
-            run_faulted(&plan, RetryPolicy::standard(), smoke, None)
+            run_faulted(&plan, RetryPolicy::standard(), smoke, &[])
                 .into_point("packet-loss", &format!("rate={rate}"))
         });
     }
@@ -277,7 +282,7 @@ pub fn build_sweep(smoke: bool) -> Sweep {
                     duration: measure(smoke),
                 },
             );
-            run_faulted(&plan, RetryPolicy::standard(), smoke, None)
+            run_faulted(&plan, RetryPolicy::standard(), smoke, &[])
                 .into_point("packet-dup", &format!("rate={rate}"))
         });
     }
@@ -294,7 +299,7 @@ pub fn build_sweep(smoke: bool) -> Sweep {
                     duration: measure(smoke),
                 },
             );
-            run_faulted(&plan, RetryPolicy::standard(), smoke, None)
+            run_faulted(&plan, RetryPolicy::standard(), smoke, &[])
                 .into_point("latency-storm", &format!("extra={extra}us"))
         });
     }
@@ -316,13 +321,33 @@ pub fn build_sweep(smoke: bool) -> Sweep {
                     down_for,
                 },
             );
-            run_faulted(
-                &plan,
-                RetryPolicy::standard(),
-                smoke,
-                Some(flap_at + down_for),
-            )
-            .into_point("link-flap", &format!("down={down}ms"))
+            run_faulted(&plan, RetryPolicy::standard(), smoke, &[flap_at + down_for])
+                .into_point("link-flap", &format!("down={down}ms"))
+        });
+    }
+
+    // Repeated link flaps (full runs only): three outages in one window,
+    // so the mean and p95 recovery times genuinely diverge — the p95 is
+    // the worst of the three recoveries, not a restatement of the mean.
+    if !smoke {
+        sweep.curve("link-flap-train").point(move || {
+            let down_for = SimDuration::from_millis(5);
+            let flaps: Vec<SimTime> = (0..3)
+                .map(|k| start + SimDuration::from_millis(30 + 80 * k))
+                .collect();
+            let mut plan = FaultPlan::seeded(PLAN_SEED);
+            for &at in &flaps {
+                plan = plan.with_event(
+                    at,
+                    FaultKind::LinkFlap {
+                        client: 0,
+                        down_for,
+                    },
+                );
+            }
+            let up_ats: Vec<SimTime> = flaps.iter().map(|&at| at + down_for).collect();
+            run_faulted(&plan, RetryPolicy::standard(), smoke, &up_ats)
+                .into_point("link-flap-train", "3x down=5ms")
         });
     }
 
@@ -341,7 +366,7 @@ pub fn build_sweep(smoke: bool) -> Sweep {
                     stall: dur,
                 },
             );
-            run_faulted(&plan, RetryPolicy::standard(), smoke, Some(stall_at + dur))
+            run_faulted(&plan, RetryPolicy::standard(), smoke, &[stall_at + dur])
                 .into_point("thread-stall", &format!("stall={stall}us"))
         });
     }
@@ -360,7 +385,7 @@ pub fn build_sweep(smoke: bool) -> Sweep {
         let death_at = start + SimDuration::from_millis(100);
         sweep.curve("device-death").point(move || {
             let plan = FaultPlan::seeded(PLAN_SEED).with_event(death_at, FaultKind::DeviceDeath);
-            run_faulted(&plan, RetryPolicy::standard(), smoke, None)
+            run_faulted(&plan, RetryPolicy::standard(), smoke, &[])
                 .into_point("device-death", "at=100ms")
         });
     }
@@ -384,5 +409,5 @@ pub fn faults_summary(result: &SweepResult) -> FaultsSummary {
 }
 
 /// The TSV header matching [`row`].
-pub const TSV_HEADER: &str =
-    "scenario\tseverity\tiops\tp95_us\tinjected\tretries\trecovered\tunrecovered\trecovery_ms";
+pub const TSV_HEADER: &str = "scenario\tseverity\tiops\tp95_us\tinjected\tretries\trecovered\t\
+     unrecovered\trecovery_ms\trecovery_p95_ms";

@@ -19,10 +19,13 @@
 //! | `fig7c_rocksdb` | Figure 7c: RocksDB slowdowns (BL/RR/RwW) |
 //! | `ablations` | design-choice sweeps: batching cap, NEG_LIMIT, donation |
 //! | `chaos` | recovery under escalating injected faults (`--smoke` gates CI) |
+//! | `fig_replication` | replication overlays (R=1/2/3), failover recovery, SLO violations |
 
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod recovery;
+pub mod replication;
 pub mod sweep;
 pub mod telemetry;
 

@@ -22,6 +22,7 @@ use std::collections::HashMap;
 
 use reflex_qos::{CostModel, SloSpec, TenantId};
 use reflex_sim::SimDuration;
+use reflex_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::capacity::CapacityProfile;
@@ -121,17 +122,49 @@ impl std::fmt::Display for PlacementError {
     }
 }
 
+/// One tenant's re-placement after a server death.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Migration {
+    /// The displaced tenant.
+    pub tenant: TenantId,
+    /// The surviving server it moved to.
+    pub to: ServerId,
+    /// Estimated time from failure *detection* until this tenant is
+    /// re-admitted on `to`: migrations are processed strictest-SLO first
+    /// through one control-plane work queue, so the k-th migration queues
+    /// behind k-1 re-admissions at [`MIGRATION_STEP`] each.
+    pub latency_estimate: SimDuration,
+}
+
+/// Modelled control-plane re-admission time per migrated tenant:
+/// re-running admission control, installing token schedules, and
+/// rebinding connections on the new home.
+pub const MIGRATION_STEP: SimDuration = SimDuration::from_millis(1);
+
 /// Outcome of a server failure: where every displaced tenant went.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FailoverReport {
     /// The server that died.
     pub failed: ServerId,
     /// Tenants re-placed, in re-placement order (strictest SLO first),
-    /// with their new server.
-    pub migrated: Vec<(TenantId, ServerId)>,
+    /// with their new server and a migration latency estimate.
+    pub migrated: Vec<Migration>,
     /// Tenants no surviving server could host without violating an SLO;
     /// they are evicted from the cluster and must be re-admitted later.
     pub stranded: Vec<(TenantId, PlacementError)>,
+}
+
+impl FailoverReport {
+    /// Estimated time from the failure itself until the *last* migrated
+    /// tenant is serving again: failure detection plus the queued
+    /// re-admission work (zero migrations estimate as `detection` alone).
+    pub fn total_recovery_estimate(&self, detection: SimDuration) -> SimDuration {
+        detection
+            + self
+                .migrated
+                .last()
+                .map_or(SimDuration::ZERO, |m| m.latency_estimate)
+    }
 }
 
 impl std::error::Error for PlacementError {}
@@ -157,6 +190,7 @@ impl std::error::Error for PlacementError {}
 pub struct ClusterPlanner {
     servers: Vec<ServerDescriptor>,
     placements: HashMap<TenantId, ServerId>,
+    telemetry: Telemetry,
 }
 
 impl ClusterPlanner {
@@ -174,7 +208,15 @@ impl ClusterPlanner {
         ClusterPlanner {
             servers,
             placements: HashMap::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle; failovers then surface
+    /// `cluster.migrations_total` / `cluster.stranded_total` counters in
+    /// snapshots.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The server descriptors.
@@ -207,6 +249,23 @@ impl ClusterPlanner {
     ///
     /// See [`PlacementError`].
     pub fn place(&mut self, id: TenantId, slo: SloSpec) -> Result<ServerId, PlacementError> {
+        self.place_excluding(id, slo, &[])
+    }
+
+    /// [`place`](Self::place) restricted to servers outside `exclude` —
+    /// the anti-affinity primitive replica placement needs: a tenant's
+    /// R-th copy must not share a server with its first R-1.
+    ///
+    /// # Errors
+    ///
+    /// See [`PlacementError`]; excluding every server reports
+    /// [`PlacementError::NoCapacity`] with zero available.
+    pub fn place_excluding(
+        &mut self,
+        id: TenantId,
+        slo: SloSpec,
+        exclude: &[ServerId],
+    ) -> Result<ServerId, PlacementError> {
         if self.placements.contains_key(&id) {
             return Err(PlacementError::Duplicate(id));
         }
@@ -216,6 +275,9 @@ impl ClusterPlanner {
         let mut best: Option<(usize, (f64, f64))> = None;
         let mut best_available = 0.0f64;
         for (i, s) in self.servers.iter().enumerate() {
+            if exclude.contains(&s.id) {
+                continue;
+            }
             let req = required(s);
             let new_strictest = match s.strictest_slo() {
                 Some(cur) => cur.min(slo.p95_read_latency),
@@ -304,10 +366,18 @@ impl ClusterPlanner {
                 continue;
             }
             match self.place(id, slo) {
-                Ok(sid) => report.migrated.push((id, sid)),
+                Ok(sid) => report.migrated.push(Migration {
+                    tenant: id,
+                    to: sid,
+                    latency_estimate: MIGRATION_STEP.mul_f64(report.migrated.len() as f64 + 1.0),
+                }),
                 Err(e) => report.stranded.push((id, e)),
             }
         }
+        self.telemetry
+            .count("cluster.migrations_total", report.migrated.len() as u64);
+        self.telemetry
+            .count("cluster.stranded_total", report.stranded.len() as u64);
         Ok(report)
     }
 
@@ -461,8 +531,17 @@ mod tests {
         assert_eq!(report.failed, strict_home);
         assert!(report.stranded.is_empty(), "{:?}", report.stranded);
         assert_eq!(report.migrated.len(), 1);
-        let (id, new_home) = report.migrated[0];
+        let Migration {
+            tenant: id,
+            to: new_home,
+            latency_estimate,
+        } = report.migrated[0];
         assert_eq!(id, TenantId(3));
+        assert_eq!(latency_estimate, MIGRATION_STEP);
+        assert_eq!(
+            report.total_recovery_estimate(SimDuration::from_millis(30)),
+            SimDuration::from_millis(31)
+        );
         // Co-locating the strict tenant with the relaxed pair would
         // tighten their whole token budget; the empty server preserves
         // more cluster-wide tokens and must win.
@@ -510,8 +589,13 @@ mod tests {
         // Both displaced tenants are accounted for, and the 300us tenant
         // is processed (and thus grabs surviving capacity) before the
         // 400us one.
-        let mut order: Vec<TenantId> = report.migrated.iter().map(|&(id, _)| id).collect();
+        let mut order: Vec<TenantId> = report.migrated.iter().map(|m| m.tenant).collect();
         order.extend(report.stranded.iter().map(|&(id, _)| id));
+        // Queued re-admission: the k-th migration waits behind the first
+        // k-1, so estimates are strictly increasing.
+        for pair in report.migrated.windows(2) {
+            assert!(pair[0].latency_estimate < pair[1].latency_estimate);
+        }
         assert_eq!(order.len(), 2, "{report:?}");
         let pos_strict = order.iter().position(|&id| id == TenantId(2)).unwrap();
         let pos_laxer = order.iter().position(|&id| id == TenantId(3)).unwrap();

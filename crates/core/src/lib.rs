@@ -38,6 +38,7 @@ mod capacity;
 mod client;
 mod cluster;
 mod harness;
+mod replica;
 mod server;
 mod testbed;
 
@@ -48,8 +49,14 @@ pub use client::{
     AddrPattern, ArrivalProcess, LoadPattern, MixProcess, RetryPolicy, TraceOp, WorkloadReport,
     WorkloadSpec,
 };
-pub use cluster::{ClusterPlanner, FailoverReport, PlacementError, ServerDescriptor, ServerId};
+pub use cluster::{
+    ClusterPlanner, FailoverReport, Migration, PlacementError, ServerDescriptor, ServerId,
+    MIGRATION_STEP,
+};
 pub use harness::ServerHarness;
+pub use replica::{
+    quorum, FailoverAction, ReadPolicy, ReplicaFailover, ReplicaSet, ReplicaSets, MAX_REPLICAS,
+};
 pub use server::{AdmissionError, ControlPlaneStats, ReflexServer, ServerConfig};
 pub use testbed::{
     Testbed, TestbedBuilder, TestbedError, TestbedReport, ThreadReport, World, WorldEvent,

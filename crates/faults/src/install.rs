@@ -18,8 +18,11 @@ use crate::stats::FaultStats;
 /// # Panics
 ///
 /// Panics if a [`FaultKind::LinkFlap`] names a client index outside
-/// `tb.world().client_count()`. A [`FaultKind::ThreadStall`] naming an
-/// inactive thread panics later, when the event fires.
+/// `tb.world().client_count()`, or on a [`FaultKind::ServerDeath`] —
+/// killing a whole server only makes sense on the multi-server
+/// replication testbed (`reflex-replication`), which has its own
+/// installer. A [`FaultKind::ThreadStall`] naming an inactive thread
+/// panics later, when the event fires.
 pub fn install(plan: &FaultPlan, tb: &mut Testbed<ReflexServer>) -> Arc<FaultStats> {
     let stats = Arc::new(FaultStats::default());
     let mut dev = PlannedDeviceHook::new(Arc::clone(&stats));
@@ -81,6 +84,12 @@ pub fn install(plan: &FaultPlan, tb: &mut Testbed<ReflexServer>) -> Arc<FaultSta
                     let now = ctx.now();
                     w.server_mut().thread_mut(thread).inject_stall(now, stall);
                 });
+            }
+            FaultKind::ServerDeath { server } => {
+                panic!(
+                    "ServerDeath of site {server} needs a multi-server testbed: \
+                     install the plan through reflex-replication's ReplTestbed"
+                );
             }
         }
     }

@@ -73,6 +73,15 @@ pub enum FaultKind {
         /// Length of the stall.
         stall: SimDuration,
     },
+    /// A whole server dies: its NIC links go permanently dark and its
+    /// device aborts every queued and future command. Only meaningful on
+    /// multi-server testbeds — the replication testbed
+    /// (`reflex-replication`) installs it and drives failover; the
+    /// single-server [`install`](crate::install) rejects it.
+    ServerDeath {
+        /// Site index (server machine) to kill.
+        server: usize,
+    },
 }
 
 /// One scheduled fault: a [`FaultKind`] firing at instant `at`.

@@ -1,0 +1,49 @@
+//! Property tests for the quorum arithmetic the data path relies on.
+
+use proptest::prelude::*;
+use reflex_replication::{quorum, MAX_REPLICAS};
+
+/// Picks a deterministic, seed-dependent subset of `q` slots out of `r`,
+/// returned as a bitmask.
+fn subset(r: usize, q: usize, seed: u64) -> u32 {
+    let mut mask = 0u32;
+    let mut s = seed;
+    let mut n = 0;
+    while n < q {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let slot = ((s >> 33) as usize) % r;
+        if mask & (1 << slot) == 0 {
+            mask |= 1 << slot;
+            n += 1;
+        }
+    }
+    mask
+}
+
+proptest! {
+    /// Any two quorums over the same replica set intersect — the
+    /// invariant that makes a quorum read observe every quorum write.
+    #[test]
+    fn any_two_quorums_intersect(
+        r in 1usize..=MAX_REPLICAS,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+    ) {
+        let q = quorum(r);
+        let read = subset(r, q, a);
+        let write = subset(r, q, b);
+        prop_assert!(
+            read & write != 0,
+            "disjoint quorums {read:#b} and {write:#b} for r={r}, q={q}"
+        );
+    }
+
+    /// The pigeonhole bound behind the property: 2q > r.
+    #[test]
+    fn quorums_are_majorities(r in 1usize..=MAX_REPLICAS) {
+        prop_assert!(2 * quorum(r) > r);
+        prop_assert!(quorum(r) <= r);
+    }
+}
