@@ -9,17 +9,18 @@
 //! warmup-then-measure windows, exactly like mutilate.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use reflex_dataplane::WireMsg;
-use reflex_flash::{DeviceProfile, DeviceStats, FlashDevice};
+use reflex_flash::{DeviceProfile, DeviceStats, FlashDevice, StagedCmd};
 use reflex_net::{
     ConnId, Delivery, Fabric, Flight, LinkConfig, MachineId, NicQueueId, Opcode, ReflexHeader,
     StackProfile,
 };
-use reflex_qos::{CostModel, TenantId};
+use reflex_qos::{CostModel, LeaseEntry, LeaseLedger, TenantId, TokenPool};
 use reflex_sim::{
-    Ctx, Engine, EventHandle, LookaheadPolicy, PoolKey, ShardStats, ShardWorld, ShardedEngine,
-    SimDuration, SimRng, SimTime, SlabPool, TypedEvent, Zipf,
+    Ctx, Engine, EventHandle, LookaheadPolicy, PoolKey, ShardStats, ShardTopology, ShardWorld,
+    ShardedEngine, SimDuration, SimRng, SimTime, SlabPool, TypedEvent, Zipf,
 };
 use reflex_telemetry::{ShardCounter, Stage, Telemetry, TelemetrySnapshot, TenantKey};
 
@@ -111,6 +112,21 @@ impl<S: ServerHarness + 'static> TypedEvent<World<S>> for WorldEvent {
         // (The event's *scheduled* time, not a busy-advanced one, so the
         // horizon is a pure function of the event timeline.)
         world.fabric.observe(ctx.now());
+        if world.split {
+            // Split mode: the device and the lease ledger apply staged
+            // entries on the same event-driven horizon, so the applied set
+            // at any instant is a pure function of the event timeline —
+            // identical at every shard count.
+            if let Some(device) = world.device.as_mut() {
+                device.observe(ctx.now());
+            }
+            if let Some(ledger) = &world.ledger {
+                ledger
+                    .lock()
+                    .expect("lease ledger poisoned")
+                    .observe(ctx.now());
+            }
+        }
         match self {
             WorldEvent::PumpThread(i) => world.pump_event(i, ctx),
             WorldEvent::ClientPoll(i) => world.client_poll_event(i, ctx),
@@ -173,6 +189,20 @@ pub struct World<S: ServerHarness = ReflexServer> {
     // (see [`Testbed::enable_telemetry`]) the same handle is shared by the
     // device, fabric, server threads and the client-side span/SLO probes.
     telemetry: Telemetry,
+    /// Split-dataplane mode: the device stages commands, the token bucket
+    /// is a lease ledger, and dataplane threads may live on different
+    /// shards (see [`Testbed::enable_split_dataplane`]).
+    split: bool,
+    /// Whether worker thread `i` runs on this shard. All true in a
+    /// single-shard run; in machine-granular sharding every thread lives
+    /// on shard 0; in split mode threads round-robin over the shards.
+    thread_local: Vec<bool>,
+    /// This shard's lease-ledger replica (split mode only; shared with the
+    /// local schedulers through [`TokenPool::Leased`]).
+    ledger: Option<Arc<Mutex<LeaseLedger>>>,
+    /// Peer shards holding device/ledger replicas that must receive this
+    /// shard's staged commands and lease entries at window boundaries.
+    dev_peers: Vec<usize>,
 }
 
 impl<S: ServerHarness> std::fmt::Debug for World<S> {
@@ -261,6 +291,11 @@ impl<S: ServerHarness + 'static> World<S> {
         thread: usize,
         at: SimTime,
     ) {
+        // Split mode: a thread only pumps on the shard that owns it. Every
+        // wake funnels through here, so this is the single gate point.
+        if !self.thread_local.get(thread).copied().unwrap_or(false) {
+            return;
+        }
         let at = at.max(ctx.now());
         if let Some((pending, _)) = self.thread_wake[thread] {
             if at >= pending {
@@ -708,36 +743,112 @@ impl<S: ServerHarness + 'static> World<S> {
     }
 }
 
+/// A cross-shard exchange item: a network flight, a batch of staged device
+/// commands bound for peer device replicas, or a batch of lease-ledger
+/// entries bound for peer ledger replicas. Device and lease batches carry
+/// their conservative bound (the end of the window their earliest entry was
+/// staged in) computed at flush time, because staged entries only take
+/// effect at the *next* window boundary.
+#[derive(Debug)]
+pub enum WorldFlight {
+    /// An in-flight network message.
+    Net(Flight<WireMsg>),
+    /// Staged NVMe commands replicated to a peer shard's device.
+    Dev(SimTime, Vec<StagedCmd>),
+    /// Staged lease-ledger operations replicated to a peer shard's ledger.
+    Lease(SimTime, Vec<LeaseEntry>),
+}
+
 // Sharded execution: a `World` ships departed cross-shard flights at each
 // window boundary and folds arrivals from peer shards back into its own
-// fabric, arming the same wakes the sender would have armed locally.
+// fabric, arming the same wakes the sender would have armed locally. In
+// split-dataplane mode the device and QoS token state cross shards the same
+// way: staged commands and lease entries are flights too, bounded by the
+// window boundary after their staging instant.
 impl<S: ServerHarness + 'static> ShardWorld<WorldEvent> for World<S> {
-    type Flight = Flight<WireMsg>;
+    type Flight = WorldFlight;
 
     fn flush_outbound(&mut self, sink: &mut Vec<(usize, Self::Flight)>) {
-        self.fabric.take_outbound(sink);
+        let mut nets = Vec::new();
+        self.fabric.take_outbound(&mut nets);
+        sink.extend(nets.into_iter().map(|(s, f)| (s, WorldFlight::Net(f))));
+        if !self.split || self.dev_peers.is_empty() {
+            return;
+        }
+        // Staged entries apply at the first window boundary after their
+        // staging instant, so that boundary is their conservative bound.
+        let w = self.fabric.lookahead().as_nanos();
+        let grid_after = |at: SimTime| SimTime::from_nanos(at.as_nanos() / w * w + w);
+        if let Some(device) = self.device.as_mut() {
+            let cmds = device.take_staged_outbound();
+            if !cmds.is_empty() {
+                let bound = grid_after(cmds.iter().map(|c| c.at).min().expect("non-empty"));
+                for &p in &self.dev_peers {
+                    sink.push((p, WorldFlight::Dev(bound, cmds.clone())));
+                }
+            }
+        }
+        if let Some(ledger) = &self.ledger {
+            let entries = ledger
+                .lock()
+                .expect("lease ledger poisoned")
+                .take_outbound();
+            if !entries.is_empty() {
+                let bound = grid_after(entries.iter().map(|e| e.at).min().expect("non-empty"));
+                for &p in &self.dev_peers {
+                    sink.push((p, WorldFlight::Lease(bound, entries.clone())));
+                }
+            }
+        }
     }
 
     fn flight_bound(flight: &Self::Flight) -> Option<SimTime> {
-        Some(flight.bound())
+        match flight {
+            WorldFlight::Net(f) => Some(f.bound()),
+            WorldFlight::Dev(bound, _) | WorldFlight::Lease(bound, _) => Some(*bound),
+        }
     }
 
     fn deliver(&mut self, ctx: &mut Ctx<'_, Self, WorldEvent>, flights: &mut Vec<Self::Flight>) {
         for flight in flights.drain(..) {
-            let to = flight.to();
-            let conn = flight.conn();
-            let bound = flight.bound();
-            self.fabric.accept_flight(flight);
-            if to == self.server_machine {
-                let thread = self
-                    .server
-                    .as_ref()
-                    .expect("flights to the server land on its shard")
-                    .thread_of_conn(conn)
-                    .unwrap_or(0);
-                self.ensure_thread_wake(ctx, thread, bound);
-            } else if let Some(c) = self.clients.iter().position(|c| c.machine == to) {
-                self.ensure_client_wake(ctx, c);
+            match flight {
+                WorldFlight::Net(flight) => {
+                    let to = flight.to();
+                    let conn = flight.conn();
+                    let bound = flight.bound();
+                    self.fabric.accept_flight(flight);
+                    if to == self.server_machine {
+                        // Unbound connections fall back to thread 0: the
+                        // message lands on queue 0, owned by thread 0's
+                        // shard.
+                        let thread = self
+                            .server
+                            .as_ref()
+                            .expect("flights to the server land on a server shard")
+                            .thread_of_conn(conn)
+                            .unwrap_or(0);
+                        self.ensure_thread_wake(ctx, thread, bound);
+                    } else if let Some(c) = self.clients.iter().position(|c| c.machine == to) {
+                        self.ensure_client_wake(ctx, c);
+                    }
+                }
+                // Replica sync carries no wakes: staged entries only take
+                // effect at dispatch-time `observe` calls, which existing
+                // events already drive.
+                WorldFlight::Dev(_, cmds) => {
+                    self.device
+                        .as_mut()
+                        .expect("device replicas live on thread shards")
+                        .accept_staged(&cmds);
+                }
+                WorldFlight::Lease(_, entries) => {
+                    self.ledger
+                        .as_ref()
+                        .expect("ledger replicas live on thread shards")
+                        .lock()
+                        .expect("lease ledger poisoned")
+                        .accept(&entries);
+                }
             }
         }
     }
@@ -980,6 +1091,10 @@ impl TestbedBuilder {
             gen_cursor: Vec::new(),
             zipf: Vec::new(),
             telemetry: Telemetry::disabled(),
+            split: false,
+            thread_local: vec![true; n_threads],
+            ledger: None,
+            dev_peers: Vec::new(),
         };
         let mut engine = Engine::with_events(world);
         let interval = self.control_interval;
@@ -990,6 +1105,7 @@ impl TestbedBuilder {
             control_interval: interval,
             owner: Vec::new(),
             exported: vec![ShardStats::default()],
+            split: false,
         }
     }
 }
@@ -1004,6 +1120,9 @@ pub struct Testbed<S: ServerHarness = ReflexServer> {
     /// Per-shard counters already folded into telemetry, so repeated
     /// [`run`](Self::run) calls export deltas rather than double counting.
     exported: Vec<ShardStats>,
+    /// Split-dataplane mode is armed (see
+    /// [`enable_split_dataplane`](Self::enable_split_dataplane)).
+    split: bool,
 }
 
 impl<S: ServerHarness + 'static> std::fmt::Debug for Testbed<S> {
@@ -1097,14 +1216,35 @@ impl<S: ServerHarness + 'static> Testbed<S> {
     /// Panics if called after a workload was added or after the simulation
     /// has started running.
     pub fn with_shards(mut self, n: usize) -> Self {
+        if self.split {
+            return self.with_shards_split(n);
+        }
         let world0 = self.engine.engine(0).world();
         let n_clients = world0.clients.len();
         let n_eff = 1 + n.saturating_sub(1).min(n_clients);
         if self.engine.shards() != 1 || n_eff <= 1 {
+            if n > 1 && self.engine.shards() == 1 && n_clients == 0 {
+                eprintln!(
+                    "reflex-sim: {n} shards requested but there are no client machines to \
+                     split off; running single-shard"
+                );
+            }
             return self;
         }
         if !world0.server().supports_sharding() || world0.fabric.has_fault_hook() {
+            let reason = if world0.fabric.has_fault_hook() {
+                "a network fault hook is installed"
+            } else {
+                "the server rebalances routes at runtime"
+            };
+            eprintln!("reflex-sim: {n} shards requested but {reason}; running single-shard");
             return self;
+        }
+        if n_eff < n {
+            eprintln!(
+                "reflex-sim: {n} shards requested, clamped to {n_eff} \
+                 (1 server shard + {n_clients} client machines)"
+            );
         }
         assert!(
             world0.workloads.is_empty(),
@@ -1156,6 +1296,12 @@ impl<S: ServerHarness + 'static> Testbed<S> {
                 gen_cursor: Vec::new(),
                 zipf: Vec::new(),
                 telemetry: world.telemetry.clone(),
+                split: false,
+                // Machine-granular sharding: every thread lives with the
+                // server on shard 0.
+                thread_local: vec![s == 0; world.thread_wake.len()],
+                ledger: None,
+                dev_peers: Vec::new(),
             };
             let mut eng = Engine::with_events(shard_world);
             if s == 0 {
@@ -1170,6 +1316,233 @@ impl<S: ServerHarness + 'static> Testbed<S> {
         let topology = world.fabric.shard_topology(&shard_of, n_eff);
         self.engine = ShardedEngine::new(engines, window);
         self.engine.set_topology(topology);
+        self.engine.set_pinning(plan_pinning(n_eff));
+        self.exported = vec![ShardStats::default(); n_eff];
+        self
+    }
+
+    /// Switches the testbed to split-dataplane mode: the NIC serializes
+    /// each queue on its own lane, the Flash device stages commands on the
+    /// window grid, and the schedulers' shared token bucket is replaced by
+    /// a deterministically-mergeable lease ledger. A subsequent
+    /// [`with_shards`](Self::with_shards) then distributes dataplane
+    /// *threads* (not just client machines) across shards — each thread
+    /// shard carries replicas of the device and ledger, kept bit-identical
+    /// by broadcasting staged entries at window boundaries.
+    ///
+    /// All three mechanisms are active even at one shard, so split-mode
+    /// results are byte-identical at every shard count (but differ from
+    /// unified-dataplane results: token grants quantize to the window
+    /// grid). The default OFF keeps every existing figure untouched.
+    ///
+    /// Returns `false` (with a one-line stderr note, leaving the unified
+    /// dataplane in place) when the server does not support splitting, a
+    /// fault hook is installed, or NIC queues are not one-per-thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`with_shards`](Self::with_shards),
+    /// [`add_workload`](Self::add_workload), or the first
+    /// [`run`](Self::run).
+    pub fn enable_split_dataplane(&mut self) -> bool {
+        assert_eq!(
+            self.engine.shards(),
+            1,
+            "enable_split_dataplane must precede with_shards"
+        );
+        assert_eq!(
+            self.engine.now(),
+            SimTime::ZERO,
+            "enable_split_dataplane must precede the first run"
+        );
+        let world = self.engine.engine_mut(0).world_mut();
+        assert!(
+            world.workloads.is_empty(),
+            "enable_split_dataplane must precede add_workload"
+        );
+        let server_machine = world.server_machine;
+        let max_threads = world.server().max_threads();
+        let reason = if !world.server().supports_split() {
+            Some("the server does not support thread-granular sharding")
+        } else if world.fabric.has_fault_hook() {
+            Some("a network fault hook is installed")
+        } else if world.device().has_fault_hook() {
+            Some("a device fault hook is installed")
+        } else if world.fabric.queue_count(server_machine) as usize != max_threads {
+            Some("NIC queues are not one-per-thread")
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            eprintln!(
+                "reflex-sim: split-dataplane disabled ({reason}); running the unified dataplane"
+            );
+            return false;
+        }
+        let window = world.fabric.lookahead();
+        let active = world.server().active_threads();
+        world.fabric.enable_lanes(server_machine);
+        world.device_mut().enable_windowed(window);
+        let mut ledger = LeaseLedger::new(max_threads as u32, window);
+        ledger.set_active_threads(active as u32);
+        let ledger = Arc::new(Mutex::new(ledger));
+        world
+            .server_mut()
+            .set_token_pool(TokenPool::Leased(Arc::clone(&ledger)));
+        world.ledger = Some(ledger);
+        world.split = true;
+        self.split = true;
+        true
+    }
+
+    /// Thread-granular sharding for split-dataplane mode: each dataplane
+    /// thread (with its NIC lane and NVMe queue pair) and each client
+    /// machine is a placement entity, round-robined across up to `n`
+    /// shards. Every thread-owning shard carries a pristine server replica
+    /// plus device and lease-ledger replicas; staged NVMe commands and
+    /// lease entries broadcast at window boundaries keep the replicas
+    /// bit-identical, so results match the split-mode single-shard run
+    /// byte for byte.
+    fn with_shards_split(mut self, n: usize) -> Self {
+        let world0 = self.engine.engine(0).world();
+        let n_threads = world0.server().active_threads();
+        let n_clients = world0.clients.len();
+        let n_eff = n.min(n_threads + n_clients);
+        if self.engine.shards() != 1 || n_eff <= 1 {
+            return self;
+        }
+        assert!(
+            world0.workloads.is_empty(),
+            "with_shards must be called before add_workload"
+        );
+        assert_eq!(
+            self.engine.now(),
+            SimTime::ZERO,
+            "with_shards must be called before the simulation runs"
+        );
+        if n_eff < n {
+            eprintln!(
+                "reflex-sim: {n} shards requested, clamped to {n_eff} \
+                 ({n_threads} dataplane threads + {n_clients} client machines)"
+            );
+        }
+        let engine = self
+            .engine
+            .into_engines()
+            .pop()
+            .expect("single-shard testbed holds one engine");
+        let mut world = engine.into_world();
+        let max_threads = world.thread_wake.len();
+        // Placement entity k is thread k (k < n_threads) or client
+        // machine k - n_threads, round-robined over the shards.
+        let owner = |k: usize| k % n_eff;
+        let mut shard_of = vec![0usize; world.fabric.machines()];
+        for (i, c) in world.clients.iter().enumerate() {
+            shard_of[c.machine.0 as usize] = owner(n_threads + i);
+        }
+        // Queue q belongs to thread q's shard (enable_split_dataplane
+        // verified the one-queue-per-thread layout). Inactive threads'
+        // queues never see traffic; park them on shard 0.
+        let queue_map: Vec<usize> = (0..max_threads)
+            .map(|q| if q < n_threads { owner(q) } else { 0 })
+            .collect();
+        let t_shards = n_eff.min(n_threads);
+        let window = world.fabric.lookahead();
+        let server0 = world.server.take().expect("split testbed holds the server");
+        let device0 = world.device.take().expect("split testbed holds the device");
+        let ledger0 = world.ledger.take().expect("split mode installed a ledger");
+        let active = server0.active_threads();
+
+        let mut servers: Vec<Option<S>> = (0..n_eff).map(|_| None).collect();
+        let mut devices: Vec<Option<FlashDevice>> = (0..n_eff).map(|_| None).collect();
+        let mut ledgers: Vec<Option<Arc<Mutex<LeaseLedger>>>> = (0..n_eff).map(|_| None).collect();
+        for s in 1..t_shards {
+            let mut replica = server0
+                .replicate(SimTime::ZERO)
+                .expect("supports_split implies replicate");
+            let mut ledger = LeaseLedger::new(max_threads as u32, window);
+            ledger.set_active_threads(active as u32);
+            let ledger = Arc::new(Mutex::new(ledger));
+            replica.set_token_pool(TokenPool::Leased(Arc::clone(&ledger)));
+            servers[s] = Some(replica);
+            devices[s] = Some(device0.replicate());
+            ledgers[s] = Some(ledger);
+        }
+        servers[0] = Some(server0);
+        devices[0] = Some(device0);
+        ledgers[0] = Some(ledger0);
+        // Each replica delivers completions only for the queue pairs its
+        // shard owns (every replica still applies every command, keeping
+        // device state bit-identical across shards).
+        for (s, dev) in devices.iter_mut().enumerate().take(t_shards) {
+            let mask: Vec<bool> = (0..max_threads)
+                .map(|i| i < n_threads && owner(i) == s)
+                .collect();
+            dev.as_mut()
+                .expect("thread shards hold a device")
+                .set_local_qps(mask);
+        }
+
+        let mut engines = Vec::with_capacity(n_eff);
+        for s in 0..n_eff {
+            let shard_world = World {
+                fabric: world.fabric.split_for_shard_with_queues(
+                    &shard_of,
+                    s,
+                    Some((world.server_machine, queue_map.clone())),
+                ),
+                device: devices[s].take(),
+                server: servers[s].take(),
+                server_machine: world.server_machine,
+                route_table: HashMap::new(),
+                client_local: world
+                    .clients
+                    .iter()
+                    .map(|c| shard_of[c.machine.0 as usize] == s)
+                    .collect(),
+                gen_seed: world.gen_seed,
+                clients: world.clients.clone(),
+                workloads: Vec::new(),
+                client_threads_busy: Vec::new(),
+                outstanding: SlabPool::new(),
+                poll_scratch: Vec::new(),
+                thread_wake: vec![None; max_threads],
+                client_wake: vec![None; world.client_wake.len()],
+                measure_start: None,
+                busy_snapshot: Vec::new(),
+                sched_snapshot: Vec::new(),
+                spent_snapshot: HashMap::new(),
+                gen_cursor: Vec::new(),
+                zipf: Vec::new(),
+                telemetry: world.telemetry.clone(),
+                split: true,
+                thread_local: (0..max_threads)
+                    .map(|i| i < n_threads && owner(i) == s)
+                    .collect(),
+                ledger: ledgers[s].take(),
+                dev_peers: if s < t_shards {
+                    (0..t_shards).filter(|&p| p != s).collect()
+                } else {
+                    Vec::new()
+                },
+            };
+            let mut eng = Engine::with_events(shard_world);
+            if s < t_shards {
+                // The control plane ticks on every thread-owning shard:
+                // deficit detection and SLO monitoring read local thread
+                // state only, and the report unions the per-shard flags.
+                eng.schedule_event_at(
+                    SimTime::ZERO + self.control_interval,
+                    WorldEvent::Control(self.control_interval),
+                );
+            }
+            engines.push(eng);
+        }
+        // Queue-granular routing makes client↔thread-shard and
+        // thread-shard↔thread-shard pairs all active: a full mesh.
+        self.engine = ShardedEngine::new(engines, window);
+        self.engine
+            .set_topology(ShardTopology::full_mesh(n_eff, window));
         self.engine.set_pinning(plan_pinning(n_eff));
         self.exported = vec![ShardStats::default(); n_eff];
         self
@@ -1213,14 +1586,17 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             world.server_mut().register_tenant_sharded(
                 spec.tenant,
                 spec.class,
-                acl,
+                acl.clone(),
                 spec.io_size,
                 spec.shards,
             )?;
         } else {
-            world
-                .server_mut()
-                .register_tenant(spec.tenant, spec.class, acl, spec.io_size)?;
+            world.server_mut().register_tenant(
+                spec.tenant,
+                spec.class,
+                acl.clone(),
+                spec.io_size,
+            )?;
         }
         // Latency-critical tenants get an SLO monitor entry keyed on their
         // p95 read-latency target (no-op while telemetry is disabled).
@@ -1277,6 +1653,33 @@ impl<S: ServerHarness + 'static> Testbed<S> {
         for s in 0..shards {
             let w = self.engine.engine_mut(s).world_mut();
             debug_assert_eq!(w.workloads.len(), w_idx);
+            if s > 0 && w.server.is_some() {
+                // Split replicas replay registration and binding so every
+                // shard's placement bookkeeping (and conn → thread routes)
+                // matches shard 0 bit for bit — placement is deterministic.
+                if spec.shards > 1 {
+                    w.server_mut().register_tenant_sharded(
+                        spec.tenant,
+                        spec.class,
+                        acl.clone(),
+                        spec.io_size,
+                        spec.shards,
+                    )?;
+                } else {
+                    w.server_mut().register_tenant(
+                        spec.tenant,
+                        spec.class,
+                        acl.clone(),
+                        spec.io_size,
+                    )?;
+                }
+                for &(conn, queue) in &routes {
+                    let (_, q) =
+                        w.server_mut()
+                            .bind_connection(conn, spec.tenant, client_machine)?;
+                    debug_assert_eq!(q, queue, "replica placement diverged from shard 0");
+                }
+            }
             w.zipf.push(zipf.clone());
             w.workloads.push(state.clone());
             w.client_threads_busy
@@ -1357,7 +1760,79 @@ impl<S: ServerHarness + 'static> Testbed<S> {
     /// when sharded).
     pub fn run(&mut self, span: SimDuration) {
         self.engine.run_for(span);
+        self.settle_split();
         self.export_shard_counters();
+    }
+
+    /// Split mode only: after a run, exchange any staged device commands
+    /// and lease entries still in flight and advance every replica's
+    /// apply horizon to the stop instant. Without this, a replica whose
+    /// shard saw no event near the end of the run would report stale
+    /// device statistics (the apply horizon only advances at event
+    /// dispatch), and the reported state would depend on the shard count.
+    /// Net flights are *not* exchanged — they stay queued for the next
+    /// window like in any paused run.
+    fn settle_split(&mut self) {
+        if !self.split {
+            return;
+        }
+        let shards = self.engine.shards();
+        let now = self.engine.now();
+        if shards > 1 {
+            let mut dev_posts: Vec<(usize, Vec<StagedCmd>)> = Vec::new();
+            let mut lease_posts: Vec<(usize, Vec<LeaseEntry>)> = Vec::new();
+            for s in 0..shards {
+                let w = self.engine.engine_mut(s).world_mut();
+                if let Some(device) = w.device.as_mut() {
+                    let cmds = device.take_staged_outbound();
+                    if !cmds.is_empty() {
+                        dev_posts.push((s, cmds));
+                    }
+                }
+                if let Some(ledger) = &w.ledger {
+                    let entries = ledger
+                        .lock()
+                        .expect("lease ledger poisoned")
+                        .take_outbound();
+                    if !entries.is_empty() {
+                        lease_posts.push((s, entries));
+                    }
+                }
+            }
+            for s in 0..shards {
+                let w = self.engine.engine_mut(s).world_mut();
+                if w.server.is_none() {
+                    continue;
+                }
+                for (from, cmds) in &dev_posts {
+                    if *from != s {
+                        w.device
+                            .as_mut()
+                            .expect("thread shards hold a device")
+                            .accept_staged(cmds);
+                    }
+                }
+                for (from, entries) in &lease_posts {
+                    if *from != s {
+                        w.ledger
+                            .as_ref()
+                            .expect("thread shards hold a ledger")
+                            .lock()
+                            .expect("lease ledger poisoned")
+                            .accept(entries);
+                    }
+                }
+            }
+        }
+        for s in 0..shards {
+            let w = self.engine.engine_mut(s).world_mut();
+            if let Some(device) = w.device.as_mut() {
+                device.observe(now);
+            }
+            if let Some(ledger) = &w.ledger {
+                ledger.lock().expect("lease ledger poisoned").observe(now);
+            }
+        }
     }
 
     /// Overrides how the sharded runner picks rendezvous boundaries (no-op
@@ -1422,47 +1897,75 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             })
             .collect();
         let world_server = world.server();
+        let shards = self.engine.shards();
         let mut threads = Vec::new();
         for i in 0..world_server.active_threads() {
-            let busy0 = world
+            // Thread state advances only on the shard that owns the thread
+            // (shard 0 unless split-dataplane distributed them).
+            let tw = (0..shards)
+                .map(|s| self.engine.engine(s).world())
+                .find(|w| w.server.is_some() && w.thread_local.get(i).copied().unwrap_or(false))
+                .unwrap_or(world);
+            let server = tw.server();
+            let busy0 = tw
                 .busy_snapshot
                 .get(i)
                 .copied()
                 .unwrap_or(SimDuration::ZERO);
-            let sched0 = world
+            let sched0 = tw
                 .sched_snapshot
                 .get(i)
                 .copied()
                 .unwrap_or(SimDuration::ZERO);
             let secs = window.as_secs_f64().max(1e-12);
             threads.push(ThreadReport {
-                busy_fraction: world_server
-                    .busy_time(i)
-                    .saturating_sub(busy0)
-                    .as_secs_f64()
-                    / secs,
-                sched_fraction: world_server
-                    .sched_time(i)
-                    .saturating_sub(sched0)
-                    .as_secs_f64()
-                    / secs,
-                stats: world_server.thread_stats(i),
+                busy_fraction: server.busy_time(i).saturating_sub(busy0).as_secs_f64() / secs,
+                sched_fraction: server.sched_time(i).saturating_sub(sched0).as_secs_f64() / secs,
+                stats: server.thread_stats(i),
             });
         }
-        let spent_now = world_server.tenants_spent_millitokens();
+        // Token spend: each replica accounts only the threads it runs, so
+        // the split-mode total is the sum of per-shard local deltas (the
+        // single-server case reduces to shard 0's delta).
         let mut spent_delta = 0i64;
-        for (id, now_mt) in &spent_now {
-            let before = world.spent_snapshot.get(id).copied().unwrap_or(0);
-            spent_delta += now_mt - before;
+        for s in 0..shards {
+            let w = self.engine.engine(s).world();
+            let Some(server) = w.server.as_ref() else {
+                continue;
+            };
+            for (id, now_mt) in server.tenants_spent_millitokens() {
+                let before = w.spent_snapshot.get(&id).copied().unwrap_or(0);
+                spent_delta += now_mt - before;
+            }
         }
         let token_usage_per_sec = spent_delta as f64 / 1_000.0 / window.as_secs_f64().max(1e-12);
+        // Renegotiation flags: in split mode each thread-owning shard's
+        // control plane sees its own threads' deficits; union and sort so
+        // the report does not depend on the shard count. (Non-split
+        // reports keep the control plane's insertion order.)
+        let renegotiations = if self.split {
+            let mut flagged: Vec<TenantId> = Vec::new();
+            for s in 0..shards {
+                if let Some(server) = self.engine.engine(s).world().server.as_ref() {
+                    for id in server.renegotiations() {
+                        if !flagged.contains(&id) {
+                            flagged.push(id);
+                        }
+                    }
+                }
+            }
+            flagged.sort_by_key(|t| t.0);
+            flagged
+        } else {
+            world_server.renegotiations()
+        };
         TestbedReport {
             window,
             workloads,
             threads,
             token_usage_per_sec,
             device: world.device().stats(),
-            renegotiations: world_server.renegotiations(),
+            renegotiations,
             engine_events: (0..self.engine.shards())
                 .map(|s| self.engine.engine(s).dispatched())
                 .sum(),
@@ -1499,7 +2002,14 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             let world = eng.world_mut();
             world.fabric.set_telemetry(telemetry.clone());
             if let Some(device) = world.device.as_mut() {
-                device.set_telemetry(telemetry.clone());
+                // Device replicas (split mode, s > 0) apply *every* command
+                // to stay bit-identical, so only shard 0's device records —
+                // anything else would double-count per replica.
+                if s == 0 {
+                    device.set_telemetry(telemetry.clone());
+                } else {
+                    device.set_telemetry(Telemetry::disabled());
+                }
             }
             if let Some(server) = world.server.as_mut() {
                 server.set_telemetry(telemetry.clone());

@@ -25,13 +25,29 @@ fn run_signature(shards: usize) -> String {
 }
 
 fn run_signature_policy(shards: usize, policy: LookaheadPolicy) -> String {
-    let tb = Testbed::builder()
+    run_signature_with(shards, policy, false)
+}
+
+/// Same scenario with the split-dataplane flag: dataplane threads (not
+/// just client machines) distribute across shards, the token bucket is a
+/// lease ledger, and the device applies staged commands on the window
+/// grid. Split-mode signatures are compared only against split-mode
+/// signatures — the lease quantization legitimately differs from the
+/// shared-bucket results.
+fn run_split_signature(shards: usize) -> String {
+    run_signature_with(shards, LookaheadPolicy::Adaptive, true)
+}
+
+fn run_signature_with(shards: usize, policy: LookaheadPolicy, split: bool) -> String {
+    let mut tb = Testbed::builder()
         .seed(2027)
         .server_threads(2)
         .client_machines(vec![StackProfile::ix_tcp(); 4])
-        .build()
-        .with_shards(shards);
-    let mut tb = tb;
+        .build();
+    if split {
+        assert!(tb.enable_split_dataplane(), "scenario supports splitting");
+    }
+    let mut tb = tb.with_shards(shards);
     tb.set_lookahead_policy(policy);
 
     let mut w0 = WorkloadSpec::open_loop("lc-zipf", TenantId(1), lc(80_000, 95, 1_000), 80_000.0);
@@ -90,6 +106,10 @@ fn run_signature_policy(shards: usize, policy: LookaheadPolicy) -> String {
 /// (`max(next_arrival, core_busy)`) and the window exchange's raw-bound
 /// arm must still produce identical pump instants.
 fn run_hot_signature(shards: usize) -> String {
+    run_hot_signature_with(shards, false)
+}
+
+fn run_hot_signature_with(shards: usize, split: bool) -> String {
     let mut tb = Testbed::builder()
         .seed(31)
         .server(ServerConfig {
@@ -99,8 +119,11 @@ fn run_hot_signature(shards: usize) -> String {
         })
         .client_machines(vec![StackProfile::ix_tcp(); 4])
         .link(LinkConfig::forty_gbe())
-        .build()
-        .with_shards(shards);
+        .build();
+    if split {
+        assert!(tb.enable_split_dataplane(), "scenario supports splitting");
+    }
+    let mut tb = tb.with_shards(shards);
     for i in 0..4 {
         let mut spec = WorkloadSpec::open_loop(
             &format!("load{i}"),
@@ -153,6 +176,39 @@ fn shard_count_beyond_clients_clamps() {
 #[test]
 fn hot_single_thread_matches() {
     assert_eq!(run_hot_signature(1), run_hot_signature(2));
+}
+
+// Split-dataplane identity: with `enable_split_dataplane` the two server
+// threads get their own shards (plus NIC lanes, device replicas and lease
+// ledgers), and the results must still be byte-identical to the
+// split-mode single-shard run at every shard count.
+
+#[test]
+fn split_two_shards_match_split_single_shard() {
+    assert_eq!(run_split_signature(1), run_split_signature(2));
+}
+
+#[test]
+fn split_four_shards_match_split_single_shard() {
+    assert_eq!(run_split_signature(1), run_split_signature(4));
+}
+
+#[test]
+fn split_shard_count_beyond_entities_clamps() {
+    // 16 shards requested, 2 threads + 4 clients available: clamps to 6,
+    // still identical.
+    assert_eq!(run_split_signature(1), run_split_signature(16));
+}
+
+#[test]
+fn split_hot_single_thread_matches() {
+    // The near-saturation single-thread regime from
+    // `hot_single_thread_matches`, with the split machinery (lanes,
+    // windowed device, lease ledger) switched on.
+    assert_eq!(
+        run_hot_signature_with(1, true),
+        run_hot_signature_with(2, true)
+    );
 }
 
 #[test]

@@ -292,6 +292,11 @@ impl DataplaneThread {
         self.nic_queue
     }
 
+    /// The NVMe queue pair dedicated to this thread.
+    pub fn qp(&self) -> QpId {
+        self.qp
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> ThreadStats {
         self.stats
@@ -542,9 +547,10 @@ impl DataplaneThread {
         let factor = self.config.conn_pressure.factor(self.connection_count());
         self.charge(self.config.tx_msg_cost.mul_f64(factor));
         self.stats.tx_msgs += 1;
-        fabric.send(
+        fabric.send_from(
             self.core_busy,
             self.machine,
+            self.nic_queue,
             ctx.client,
             ctx.conn,
             payload,
@@ -697,9 +703,10 @@ impl DataplaneThread {
         let factor = self.config.conn_pressure.factor(self.connection_count());
         self.charge(self.config.tx_msg_cost.mul_f64(factor));
         self.stats.tx_msgs += 1;
-        fabric.send(
+        fabric.send_from(
             self.core_busy,
             self.machine,
+            self.nic_queue,
             ctx.client,
             ctx.conn,
             0,
@@ -816,9 +823,10 @@ impl DataplaneThread {
         let factor = self.config.conn_pressure.factor(self.connection_count());
         self.charge(self.config.tx_msg_cost.mul_f64(factor));
         self.stats.tx_msgs += 1;
-        fabric.send(
+        fabric.send_from(
             self.core_busy,
             self.machine,
+            self.nic_queue,
             ctx.client,
             ctx.conn,
             payload,

@@ -1,0 +1,495 @@
+//! Per-shard token leases: deterministic cross-shard sharing of the
+//! global donation pool.
+//!
+//! When the server's dataplane threads are distributed across simulation
+//! shards, the lock-free [`GlobalBucket`](crate::GlobalBucket) stops being
+//! usable: its grant order would depend on OS-thread interleaving, which
+//! must never influence simulated results. The [`LeaseLedger`] replaces it
+//! with an *event-sourced* bucket:
+//!
+//! * every `give`/`take`/`mark_round` **stages** a [`LeaseEntry`] stamped
+//!   with its simulated time, thread id, and a per-thread sequence number;
+//! * grants are decided against the calling thread's **lease** — its carve
+//!   of the pool from the last window rebalance — minus its own pending
+//!   takes, so a grant is a pure function of local state;
+//! * at each lookahead-window boundary every replica applies the merged
+//!   (local + remote) entries in canonical `(at, thread, seq)` order and
+//!   then re-carves the pool into per-thread leases proportional to the
+//!   window's observed unmet demand (`Want` entries), remainder to a
+//!   global residue.
+//!
+//! Each shard owns a replica of the ledger; entries flow between replicas
+//! as ordinary lookahead-bounded flights, so every replica applies the
+//! same entry sequence at the same boundaries and all replicas agree on
+//! every lease at every window — grant order becomes a pure function of
+//! simulated time and tenant/thread id. Windows with no staged entries are
+//! skipped entirely, which makes the applied state a function of the
+//! applied entry *set* (not of how many boundaries were crossed while
+//! applying) and keeps adaptive-lookahead barrier skipping sound.
+//!
+//! Conservation invariant (checked by the crate's proptests): at every
+//! applied boundary,
+//! `gives == residue + Σ leases + taken + discarded`.
+
+use std::sync::{Arc, Mutex};
+
+use reflex_sim::{SimDuration, SimTime};
+
+use crate::bucket::GlobalBucket;
+use crate::tokens::Tokens;
+
+/// The spare-token pool a [`QosScheduler`](crate::QosScheduler) draws
+/// from: either the lock-free [`GlobalBucket`] (single-shard and
+/// machine-granular sharding — bit-identical to the historical path) or a
+/// per-shard [`LeaseLedger`] replica (split-dataplane sharding). The
+/// `Mutex` in the leased arm is never contended across OS threads: each
+/// shard owns its replica and only that shard's event loop touches it —
+/// the lock exists so the scheduler (inside the server) and the shard's
+/// event dispatcher can share one handle.
+#[derive(Debug, Clone)]
+pub enum TokenPool {
+    /// Lock-free shared bucket; `now`/`thread` arguments are ignored.
+    Shared(Arc<GlobalBucket>),
+    /// Event-sourced per-shard ledger replica.
+    Leased(Arc<Mutex<LeaseLedger>>),
+}
+
+impl TokenPool {
+    /// Donates tokens to the pool. See [`GlobalBucket::give`].
+    pub fn give(&self, now: SimTime, thread: u32, tokens: Tokens) {
+        match self {
+            TokenPool::Shared(b) => b.give(tokens),
+            TokenPool::Leased(l) => l.lock().unwrap().give(now, thread, tokens),
+        }
+    }
+
+    /// Claims up to `want` tokens, returning the grant. See
+    /// [`GlobalBucket::take`].
+    pub fn take(&self, now: SimTime, thread: u32, want: Tokens) -> Tokens {
+        match self {
+            TokenPool::Shared(b) => b.take(want),
+            TokenPool::Leased(l) => l.lock().unwrap().take(now, thread, want),
+        }
+    }
+
+    /// Marks a completed scheduling round. See [`GlobalBucket::mark_round`].
+    pub fn mark_round(&self, now: SimTime, thread: u32) -> bool {
+        match self {
+            TokenPool::Shared(b) => b.mark_round(thread),
+            TokenPool::Leased(l) => l.lock().unwrap().mark_round(now, thread),
+        }
+    }
+}
+
+/// What one staged ledger operation does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseOp {
+    /// Donation into the pool (millitokens, positive).
+    Give(i64),
+    /// Tokens granted to the staging thread at stage time (millitokens);
+    /// applied by deducting from that thread's lease.
+    Take(i64),
+    /// Unmet demand (millitokens) — the weight used by the next rebalance.
+    Want(i64),
+    /// The staging thread completed a scheduling round; when every active
+    /// thread has marked since the last reset, the pool is discarded
+    /// (the bucket's last-thread-resets rule).
+    Mark,
+}
+
+/// One staged ledger operation, totally ordered by `(at, thread, seq)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseEntry {
+    /// Simulated instant the operation was staged.
+    pub at: SimTime,
+    /// Staging dataplane thread (bit position in the active mask).
+    pub thread: u32,
+    /// Per-thread monotone sequence number (tie-break within one instant).
+    pub seq: u64,
+    /// The operation.
+    pub op: LeaseOp,
+}
+
+/// Deterministically-mergeable replacement for the global token bucket.
+/// See the module documentation.
+#[derive(Debug, Clone)]
+pub struct LeaseLedger {
+    window: SimDuration,
+    active_mask: u64,
+    /// Boundary up to which staged entries have been applied.
+    applied_until: SimTime,
+    /// Per-thread lease (millitokens) as of the last applied boundary.
+    lease: Vec<i64>,
+    /// Pool remainder not carved into any lease.
+    residue: i64,
+    /// Unmet demand observed since the last rebalance (cleared by it).
+    wanted: Vec<i64>,
+    /// Round marks since the last reset.
+    marks: u64,
+    /// Working balance each thread grants against: `lease − pending takes`.
+    avail: Vec<i64>,
+    /// Sum of staged-but-unapplied `Take` amounts per thread.
+    pending_take: Vec<i64>,
+    /// Merged local + remote entries awaiting application.
+    staged: Vec<LeaseEntry>,
+    /// Locally staged entries awaiting broadcast to peer replicas.
+    outbound: Vec<LeaseEntry>,
+    /// Per-thread staging sequence counters.
+    seqs: Vec<u64>,
+    gives: i64,
+    taken: i64,
+    discarded: i64,
+}
+
+impl LeaseLedger {
+    /// Creates a ledger for `threads` dataplane threads re-balanced every
+    /// `window` (the sharded engine's lookahead window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or exceeds 64, or `window` is zero.
+    pub fn new(threads: u32, window: SimDuration) -> Self {
+        assert!(
+            (1..=64).contains(&threads),
+            "ledger supports 1..=64 threads, got {threads}"
+        );
+        assert!(!window.is_zero(), "ledger window must be positive");
+        let mask = if threads == 64 {
+            u64::MAX
+        } else {
+            (1u64 << threads) - 1
+        };
+        let n = threads as usize;
+        LeaseLedger {
+            window,
+            active_mask: mask,
+            applied_until: SimTime::ZERO,
+            lease: vec![0; n],
+            residue: 0,
+            wanted: vec![0; n],
+            marks: 0,
+            avail: vec![0; n],
+            pending_take: vec![0; n],
+            staged: Vec::new(),
+            outbound: Vec::new(),
+            seqs: vec![0; n],
+            gives: 0,
+            taken: 0,
+            discarded: 0,
+        }
+    }
+
+    /// The rebalance window.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Updates the active thread set (mirrors
+    /// [`GlobalBucket::set_active_threads`](crate::GlobalBucket::set_active_threads)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the ledger's thread capacity.
+    pub fn set_active_threads(&mut self, count: u32) {
+        assert!(
+            (1..=self.lease.len() as u32).contains(&count),
+            "active count outside ledger capacity"
+        );
+        self.active_mask = if count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        };
+        self.marks = 0;
+    }
+
+    fn stage(&mut self, at: SimTime, thread: u32, op: LeaseOp) {
+        debug_assert!(
+            at >= self.applied_until,
+            "staging at {at} behind applied boundary {}",
+            self.applied_until
+        );
+        let t = thread as usize;
+        let entry = LeaseEntry {
+            at,
+            thread,
+            seq: self.seqs[t],
+            op,
+        };
+        self.seqs[t] += 1;
+        self.staged.push(entry);
+        self.outbound.push(entry);
+    }
+
+    /// Donates tokens to the pool at instant `now`. Negative or zero
+    /// amounts are ignored. The donation becomes grantable after the next
+    /// window boundary's rebalance.
+    pub fn give(&mut self, now: SimTime, thread: u32, tokens: Tokens) {
+        let mt = tokens.as_millitokens();
+        if mt > 0 {
+            self.stage(now, thread, LeaseOp::Give(mt));
+        }
+    }
+
+    /// Claims up to `want` tokens against `thread`'s current lease,
+    /// returning what was granted; unmet demand is staged as a `Want` to
+    /// skew the next rebalance toward this thread.
+    pub fn take(&mut self, now: SimTime, thread: u32, want: Tokens) -> Tokens {
+        let want_mt = want.as_millitokens();
+        if want_mt <= 0 {
+            return Tokens::ZERO;
+        }
+        let t = thread as usize;
+        let grant = want_mt.min(self.avail[t]).max(0);
+        if grant > 0 {
+            self.avail[t] -= grant;
+            self.pending_take[t] += grant;
+            self.stage(now, thread, LeaseOp::Take(grant));
+        }
+        let unmet = want_mt - grant;
+        if unmet > 0 {
+            self.stage(now, thread, LeaseOp::Want(unmet));
+        }
+        Tokens::from_millitokens(grant)
+    }
+
+    /// Marks that `thread` completed a scheduling round. Unlike the lock-
+    /// free bucket, the reset is deferred to the boundary application, so
+    /// this never reports the caller as the resetting thread. (Safe: the
+    /// dataplane never consumes `reset_bucket`.) Marks from threads outside
+    /// the active set are ignored.
+    pub fn mark_round(&mut self, now: SimTime, thread: u32) -> bool {
+        if (1u64 << thread) & self.active_mask == 0 {
+            return false;
+        }
+        self.stage(now, thread, LeaseOp::Mark);
+        false
+    }
+
+    /// Accepts entries broadcast by a peer replica.
+    pub fn accept(&mut self, entries: &[LeaseEntry]) {
+        self.staged.extend_from_slice(entries);
+    }
+
+    /// Drains the locally staged entries awaiting broadcast.
+    pub fn take_outbound(&mut self) -> Vec<LeaseEntry> {
+        std::mem::take(&mut self.outbound)
+    }
+
+    /// Applies all staged entries before `now`'s window boundary in
+    /// canonical `(at, thread, seq)` order and re-carves leases at each
+    /// window boundary that had entries. Driven by the event dispatcher so
+    /// every replica applies the same prefix at the same simulated time.
+    pub fn observe(&mut self, now: SimTime) {
+        let w = self.window.as_nanos();
+        let boundary = SimTime::from_nanos(now.as_nanos() / w * w);
+        if boundary <= self.applied_until {
+            return;
+        }
+        self.applied_until = boundary;
+        if self.staged.iter().all(|e| e.at >= boundary) {
+            return;
+        }
+        self.staged.sort_by_key(|e| (e.at, e.thread, e.seq));
+        let cut = self.staged.partition_point(|e| e.at < boundary);
+        let rest = self.staged.split_off(cut);
+        let todo = std::mem::replace(&mut self.staged, rest);
+
+        let mut current_window = todo[0].at.as_nanos() / w;
+        for e in todo {
+            let win = e.at.as_nanos() / w;
+            if win != current_window {
+                self.rebalance();
+                current_window = win;
+            }
+            let t = e.thread as usize;
+            match e.op {
+                LeaseOp::Give(mt) => {
+                    self.gives += mt;
+                    self.residue += mt;
+                }
+                LeaseOp::Take(mt) => {
+                    self.lease[t] -= mt;
+                    self.pending_take[t] -= mt;
+                    self.taken += mt;
+                }
+                LeaseOp::Want(mt) => {
+                    self.wanted[t] += mt;
+                }
+                LeaseOp::Mark => {
+                    let bit = 1u64 << e.thread;
+                    if bit & self.active_mask != 0 {
+                        self.marks |= bit;
+                        if self.marks & self.active_mask == self.active_mask {
+                            // Last thread marked: discard the pool, exactly
+                            // like the bucket's last-thread reset.
+                            let pool = self.residue + self.lease.iter().sum::<i64>();
+                            self.discarded += pool;
+                            self.residue = 0;
+                            self.lease.fill(0);
+                            self.marks = 0;
+                        }
+                    }
+                }
+            }
+        }
+        self.rebalance();
+    }
+
+    /// Re-carves the pool (`residue + Σ leases`) into per-thread leases
+    /// proportional to the window's unmet demand, floor shares with the
+    /// remainder kept in the residue; with no demand the whole pool parks
+    /// in the residue. Then refreshes every thread's working balance.
+    fn rebalance(&mut self) {
+        let pool = self.residue + self.lease.iter().sum::<i64>();
+        let total_want: i64 = self.wanted.iter().sum();
+        if total_want > 0 && pool > 0 {
+            let mut allotted = 0i64;
+            for t in 0..self.lease.len() {
+                let share = ((pool as i128 * self.wanted[t] as i128) / total_want as i128) as i64;
+                self.lease[t] = share;
+                allotted += share;
+            }
+            self.residue = pool - allotted;
+        } else {
+            self.lease.fill(0);
+            self.residue = pool;
+        }
+        self.wanted.fill(0);
+        for t in 0..self.lease.len() {
+            self.avail[t] = self.lease[t] - self.pending_take[t];
+        }
+    }
+
+    /// `thread`'s lease as of the last applied boundary.
+    pub fn lease_of(&self, thread: u32) -> Tokens {
+        Tokens::from_millitokens(self.lease[thread as usize])
+    }
+
+    /// Pool remainder not carved into any lease.
+    pub fn residue(&self) -> Tokens {
+        Tokens::from_millitokens(self.residue)
+    }
+
+    /// Cumulative applied donations (millitokens).
+    pub fn gives_cum(&self) -> i64 {
+        self.gives
+    }
+
+    /// Cumulative applied grants (millitokens).
+    pub fn taken_cum(&self) -> i64 {
+        self.taken
+    }
+
+    /// Cumulative millitokens discarded by round resets.
+    pub fn discarded_cum(&self) -> i64 {
+        self.discarded
+    }
+
+    /// Left-hand side of the conservation identity:
+    /// `residue + Σ leases + taken + discarded` (must equal
+    /// [`gives_cum`](Self::gives_cum) at every applied boundary).
+    pub fn accounted(&self) -> i64 {
+        self.residue + self.lease.iter().sum::<i64>() + self.taken + self.discarded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: SimDuration = SimDuration::from_micros(1);
+
+    fn at(us: u64, ns: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000 + ns)
+    }
+
+    #[test]
+    fn give_then_take_crosses_one_window() {
+        let mut l = LeaseLedger::new(2, W);
+        l.give(at(0, 100), 0, Tokens::from_tokens(10));
+        // Nothing grantable before the boundary applies the give.
+        assert_eq!(l.take(at(0, 200), 1, Tokens::from_tokens(4)), Tokens::ZERO);
+        l.observe(at(1, 0));
+        // The unmet want skewed the carve: thread 1 got the whole pool.
+        assert_eq!(l.lease_of(1), Tokens::from_tokens(10));
+        assert_eq!(
+            l.take(at(1, 50), 1, Tokens::from_tokens(4)),
+            Tokens::from_tokens(4)
+        );
+        assert_eq!(l.gives_cum(), l.accounted());
+    }
+
+    #[test]
+    fn takes_bounded_by_lease() {
+        let mut l = LeaseLedger::new(2, W);
+        l.give(at(0, 0), 0, Tokens::from_tokens(3));
+        l.take(at(0, 1), 1, Tokens::from_tokens(1)); // wants, gets 0
+        l.observe(at(1, 0));
+        assert_eq!(
+            l.take(at(1, 0), 1, Tokens::from_tokens(10)),
+            Tokens::from_tokens(3)
+        );
+        assert_eq!(l.take(at(1, 1), 1, Tokens::from_tokens(1)), Tokens::ZERO);
+        l.observe(at(2, 0));
+        assert_eq!(l.gives_cum(), l.accounted());
+        assert_eq!(l.taken_cum(), 3_000);
+    }
+
+    #[test]
+    fn all_marks_discard_pool() {
+        let mut l = LeaseLedger::new(2, W);
+        l.give(at(0, 0), 0, Tokens::from_tokens(5));
+        l.observe(at(1, 0));
+        assert!(!l.mark_round(at(1, 10), 0));
+        assert!(!l.mark_round(at(1, 20), 1));
+        l.observe(at(2, 0));
+        assert_eq!(l.residue(), Tokens::ZERO);
+        assert_eq!(l.lease_of(0) + l.lease_of(1), Tokens::ZERO);
+        assert_eq!(l.discarded_cum(), 5_000);
+        assert_eq!(l.gives_cum(), l.accounted());
+    }
+
+    #[test]
+    fn replicas_merging_each_others_entries_agree() {
+        // Thread 0 lives on replica a, thread 1 on replica b; entries are
+        // exchanged each window like cross-shard flights.
+        let mut a = LeaseLedger::new(2, W);
+        let mut b = LeaseLedger::new(2, W);
+        a.give(at(0, 10), 0, Tokens::from_tokens(8));
+        b.take(at(0, 20), 1, Tokens::from_tokens(2)); // unmet -> Want
+        let fa = a.take_outbound();
+        let fb = b.take_outbound();
+        a.accept(&fb);
+        b.accept(&fa);
+        a.observe(at(1, 0));
+        b.observe(at(1, 0));
+        for t in 0..2 {
+            assert_eq!(a.lease_of(t), b.lease_of(t));
+        }
+        assert_eq!(a.residue(), b.residue());
+        let got = b.take(at(1, 5), 1, Tokens::from_tokens(6));
+        assert_eq!(got, Tokens::from_tokens(6));
+        let fb = b.take_outbound();
+        a.accept(&fb);
+        a.observe(at(2, 0));
+        b.observe(at(2, 0));
+        assert_eq!(a.accounted(), a.gives_cum());
+        assert_eq!(b.accounted(), b.gives_cum());
+        assert_eq!(a.taken_cum(), b.taken_cum());
+    }
+
+    #[test]
+    fn empty_windows_do_not_perturb_state() {
+        let mut l = LeaseLedger::new(1, W);
+        l.give(at(0, 0), 0, Tokens::from_tokens(2));
+        l.take(at(0, 1), 0, Tokens::from_tokens(2)); // stage the demand
+        l.observe(at(1, 0));
+        let lease_before = l.lease_of(0);
+        // Many empty boundaries: applied state must not change.
+        l.observe(at(5, 0));
+        l.observe(at(9, 500));
+        assert_eq!(l.lease_of(0), lease_before);
+        assert_eq!(l.gives_cum(), l.accounted());
+    }
+}

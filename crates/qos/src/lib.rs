@@ -11,6 +11,8 @@
 //! * [`CostModel`] / [`LoadMix`] — `cost = ceil(size/4KB) × C(type, r)`.
 //! * [`TenantId`], [`SloSpec`], [`TenantClass`] — tenants and SLOs.
 //! * [`GlobalBucket`] — the lock-free shared bucket for spare tokens.
+//! * [`LeaseLedger`] / [`TokenPool`] — deterministic per-shard token
+//!   leases for split-dataplane sharded runs.
 //! * [`QosScheduler`] — Algorithm 1, one instance per dataplane thread.
 //! * [`fit_cost_model`] — the §3.2.1 calibration fit.
 
@@ -21,6 +23,7 @@ mod bucket;
 mod calibrate;
 mod cost;
 mod fair;
+mod lease;
 mod scheduler;
 mod slo;
 mod tokens;
@@ -31,6 +34,7 @@ pub use calibrate::{
 };
 pub use cost::{CostModel, LoadMix};
 pub use fair::{FairScheduler, FOUR_KB_QUANTUM};
+pub use lease::{LeaseEntry, LeaseLedger, LeaseOp, TokenPool};
 pub use scheduler::{
     CostedRequest, QosError, QosScheduler, ScheduleOutcome, SchedulerParams, TenantSchedStats,
 };

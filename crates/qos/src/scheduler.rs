@@ -19,6 +19,7 @@ use reflex_telemetry::Telemetry;
 
 use crate::bucket::GlobalBucket;
 use crate::cost::{CostModel, LoadMix};
+use crate::lease::TokenPool;
 use crate::slo::{SloSpec, TenantId};
 use crate::tokens::{TokenGen, TokenRate, Tokens};
 
@@ -159,7 +160,7 @@ impl std::error::Error for QosError {}
 #[derive(Debug)]
 pub struct QosScheduler<R> {
     thread_idx: u32,
-    bucket: Arc<GlobalBucket>,
+    pool: TokenPool,
     model: CostModel,
     params: SchedulerParams,
     prev_sched_time: SimTime,
@@ -185,7 +186,7 @@ impl<R> QosScheduler<R> {
     ) -> Self {
         QosScheduler {
             thread_idx,
-            bucket,
+            pool: TokenPool::Shared(bucket),
             model,
             params,
             prev_sched_time: now,
@@ -205,6 +206,14 @@ impl<R> QosScheduler<R> {
     /// submission order are bit-for-bit unchanged.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Replaces the spare-token pool. The split-dataplane testbed swaps in
+    /// a [`TokenPool::Leased`] ledger replica after construction; the
+    /// default [`TokenPool::Shared`] arm is bit-identical to the historical
+    /// direct-bucket path.
+    pub fn set_pool(&mut self, pool: TokenPool) {
+        self.pool = pool;
     }
 
     /// The cost model in force.
@@ -464,7 +473,7 @@ impl<R> QosScheduler<R> {
             let pos_limit: Tokens = s.recent_gen.iter().copied().sum();
             if s.tokens > pos_limit {
                 let donation = s.tokens.mul_f64(self.params.donate_fraction);
-                self.bucket.give(donation);
+                self.pool.give(now, self.thread_idx, donation);
                 s.tokens -= donation;
             }
         }
@@ -485,7 +494,7 @@ impl<R> QosScheduler<R> {
             };
             let deficit = demand - s.tokens;
             if deficit.is_positive() {
-                s.tokens += self.bucket.take(deficit);
+                s.tokens += self.pool.take(now, self.thread_idx, deficit);
             }
 
             // Conditional submission: only while the tenant can pay in full.
@@ -505,7 +514,7 @@ impl<R> QosScheduler<R> {
 
             // DRR rule: no token accumulation while idle.
             if s.tokens.is_positive() && s.queue.is_empty() {
-                self.bucket.give(s.tokens);
+                self.pool.give(now, self.thread_idx, s.tokens);
                 s.tokens = Tokens::ZERO;
             }
         }
@@ -513,7 +522,7 @@ impl<R> QosScheduler<R> {
             self.be_cursor = (self.be_cursor + 1) % n_be;
         }
 
-        out.reset_bucket = self.bucket.mark_round(self.thread_idx);
+        out.reset_bucket = self.pool.mark_round(now, self.thread_idx);
 
         if self.telemetry.is_enabled() {
             self.telemetry.count("qos.rounds", 1);
