@@ -75,10 +75,8 @@ fn run_point(
         .link(LinkConfig::forty_gbe())
         .build();
     if split {
-        assert!(
-            tb.enable_split_dataplane(),
-            "the fig4 ReFlex scenario supports split-dataplane execution"
-        );
+        tb.enable_split_dataplane()
+            .expect("the fig4 ReFlex scenario supports split-dataplane execution");
     }
     let mut tb = tb.with_shards(shards);
     tb.set_lookahead_policy(policy);

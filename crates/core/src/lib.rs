@@ -59,5 +59,6 @@ pub use replica::{
 };
 pub use server::{AdmissionError, ControlPlaneStats, ReflexServer, ServerConfig};
 pub use testbed::{
-    Testbed, TestbedBuilder, TestbedError, TestbedReport, ThreadReport, World, WorldEvent,
+    ShardClamp, SplitFallback, Testbed, TestbedBuilder, TestbedError, TestbedReport, ThreadReport,
+    World, WorldEvent,
 };

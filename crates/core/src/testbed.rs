@@ -68,9 +68,9 @@ struct ClientMachine {
 }
 
 /// The recurring simulation events, dispatched through the engine's typed
-/// event path so the steady-state request loop allocates no per-event
-/// closures. Cold paths (retry backoff after a timeout or error) still
-/// schedule boxed closures — they fire rarely and carry more state.
+/// event path so the request loop — including the retry/backoff path,
+/// which can become hot under adversarial overload — allocates no
+/// per-event closures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorldEvent {
     /// Wake server thread `i` and run its dataplane pump loop.
@@ -103,6 +103,26 @@ pub enum WorldEvent {
         /// Connection index within the workload.
         conn_idx: usize,
     },
+    /// Fire every staged retransmission whose backoff has elapsed, in
+    /// canonical order (see [`World::retry_fire_event`]).
+    RetryFire,
+}
+
+/// A staged retransmission. Typed instead of a boxed closure so the retry
+/// path neither allocates per attempt nor depends on event insertion
+/// order — due records are drained in an order derived from the request
+/// itself, which is the same in a mono run and a sharded run.
+#[derive(Clone, Copy)]
+struct RetryRec {
+    fire_at: SimTime,
+    w_idx: usize,
+    conn_idx: usize,
+    is_read: bool,
+    addr: u64,
+    len: u32,
+    first_sent_at: SimTime,
+    measured: bool,
+    attempt: u32,
 }
 
 impl<S: ServerHarness + 'static> TypedEvent<World<S>> for WorldEvent {
@@ -139,6 +159,7 @@ impl<S: ServerHarness + 'static> TypedEvent<World<S>> for WorldEvent {
             } => world.trace_replay_event(w_idx, pos, started, ctx),
             WorldEvent::Control(interval) => world.control_event(interval, ctx),
             WorldEvent::Issue { w_idx, conn_idx } => world.issue_request(w_idx, conn_idx, ctx),
+            WorldEvent::RetryFire => world.retry_fire_event(ctx),
         }
     }
 }
@@ -174,6 +195,11 @@ pub struct World<S: ServerHarness = ReflexServer> {
     // Recycled buffer for client-side response polling (a fresh Vec per
     // poll event would be the last per-IO allocation on the client path).
     poll_scratch: Vec<Delivery<WireMsg>>,
+    // Staged retransmissions plus a recycled drain buffer (see
+    // `retry_fire_event`). Both keep their capacity across a retry storm,
+    // so sustained timeouts stay allocation-free.
+    retries_pending: Vec<RetryRec>,
+    retry_scratch: Vec<RetryRec>,
     // Pending wake per server thread / client machine: the instant plus a
     // handle to the scheduled event, so re-arming to an earlier instant
     // cancels the old wake instead of leaving a dead event in the queue.
@@ -381,25 +407,87 @@ impl<S: ServerHarness + 'static> World<S> {
     }
 
     fn client_poll_event(&mut self, client: usize, ctx: &mut Ctx<World<S>, WorldEvent>) {
-        // Same canonicalization as `pump_event`: poll every local client
-        // whose wake is due, ascending, so the poll sequence at an instant
-        // is independent of wake insertion order.
+        self.poll_due_clients(Some(client), ctx);
+    }
+
+    /// Same canonicalization as `pump_event`: poll every local client
+    /// whose wake is due, ascending, so the poll sequence at an instant
+    /// is independent of wake insertion order. `forced` is the client
+    /// whose own wake is the currently-dispatching event (its handle is
+    /// already consumed, so it must not be cancelled).
+    fn poll_due_clients(&mut self, forced: Option<usize>, ctx: &mut Ctx<World<S>, WorldEvent>) {
         let now = ctx.now();
         for c in 0..self.clients.len() {
             if !self.client_local[c] {
                 continue;
             }
-            let due = c == client || self.client_wake[c].is_some_and(|(at, _)| at <= now);
+            let due = forced == Some(c) || self.client_wake[c].is_some_and(|(at, _)| at <= now);
             if !due {
                 continue;
             }
             if let Some((_, stale)) = self.client_wake[c].take() {
-                if c != client {
+                if forced != Some(c) {
                     ctx.cancel(stale);
                 }
             }
             self.poll_client(c, ctx);
         }
+    }
+
+    /// Stages a retransmission and schedules its backoff deadline.
+    fn stage_retry(&mut self, rec: RetryRec, ctx: &mut Ctx<World<S>, WorldEvent>) {
+        self.retries_pending.push(rec);
+        ctx.schedule_event_at(rec.fire_at, WorldEvent::RetryFire);
+    }
+
+    /// Fires every staged retransmission whose backoff has elapsed.
+    ///
+    /// Canonical same-instant order, across event types: completions beat
+    /// retransmissions. Both contend for the client thread's send slot
+    /// (`client_threads_busy`), and whether a backoff deadline dispatches
+    /// before or after a poll wake at the same instant depends on event
+    /// insertion order — which differs between a mono run (wakes re-armed
+    /// at every send) and a sharded run (wakes armed at the window
+    /// exchange). So: drain every due delivery first, then fire due
+    /// retries sorted by a key derived from the request itself. Records
+    /// with identical keys are interchangeable, so the result is a pure
+    /// function of the event timeline at any shard count.
+    fn retry_fire_event(&mut self, ctx: &mut Ctx<World<S>, WorldEvent>) {
+        let now = ctx.now();
+        self.poll_due_clients(None, ctx);
+        let mut due = std::mem::take(&mut self.retry_scratch);
+        let mut i = 0;
+        while i < self.retries_pending.len() {
+            if self.retries_pending[i].fire_at <= now {
+                due.push(self.retries_pending.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due.sort_unstable_by_key(|r| {
+            (
+                r.w_idx,
+                r.conn_idx,
+                r.attempt,
+                r.first_sent_at,
+                r.addr,
+                r.is_read,
+            )
+        });
+        for r in due.drain(..) {
+            self.transmit_attempt(
+                r.w_idx,
+                r.conn_idx,
+                r.is_read,
+                r.addr,
+                r.len,
+                r.first_sent_at,
+                r.measured,
+                r.attempt,
+                ctx,
+            );
+        }
+        self.retry_scratch = due;
     }
 
     fn poll_client(&mut self, client: usize, ctx: &mut Ctx<World<S>, WorldEvent>) {
@@ -423,14 +511,20 @@ impl<S: ServerHarness + 'static> World<S> {
                 // surfacing the error (the retry keeps closed-loop depth).
                 w.retries += 1;
                 let backoff = policy.backoff_after(req.attempt);
-                let (w_idx, conn_idx) = (req.workload, req.conn_idx);
-                let (is_read, addr, len) = (req.is_read, req.addr, req.len);
-                let (first, measured, attempt) = (req.sent_at, req.measured, req.attempt + 1);
-                ctx.schedule_after(backoff, move |w: &mut World<S>, ctx| {
-                    w.transmit_attempt(
-                        w_idx, conn_idx, is_read, addr, len, first, measured, attempt, ctx,
-                    )
-                });
+                self.stage_retry(
+                    RetryRec {
+                        fire_at: ctx.now() + backoff,
+                        w_idx: req.workload,
+                        conn_idx: req.conn_idx,
+                        is_read: req.is_read,
+                        addr: req.addr,
+                        len: req.len,
+                        first_sent_at: req.sent_at,
+                        measured: req.measured,
+                        attempt: req.attempt + 1,
+                    },
+                    ctx,
+                );
                 continue;
             }
             if header.opcode != Opcode::Error && req.attempt > 1 {
@@ -656,6 +750,19 @@ impl<S: ServerHarness + 'static> World<S> {
     /// while attempts remain, otherwise abandon the request (topping up
     /// closed-loop depth so the generator does not deflate).
     fn timeout_event(&mut self, cookie: u64, ctx: &mut Ctx<World<S>, WorldEvent>) {
+        // Canonical same-instant order: a response that has *arrived* by
+        // the timeout instant beats the timeout. Whether the client's poll
+        // wake for that arrival dispatches before or after this event
+        // depends on wake insertion order, which differs between a mono
+        // run (wakes re-armed at every send) and a sharded run (wakes
+        // armed at the window exchange) — so drain the owning client's due
+        // deliveries first, then decide whether the attempt is lost.
+        if let Some(req) = self.outstanding.get(PoolKey::from_u64(cookie)) {
+            let client = self.workloads[req.workload].spec.client_machine;
+            if self.client_local[client] {
+                self.poll_client(client, ctx);
+            }
+        }
         let Some(req) = self.outstanding.take(PoolKey::from_u64(cookie)) else {
             return; // answered in time — nothing to do
         };
@@ -665,14 +772,20 @@ impl<S: ServerHarness + 'static> World<S> {
         if req.attempt < policy.max_attempts {
             w.retries += 1;
             let backoff = policy.backoff_after(req.attempt);
-            let (w_idx, conn_idx) = (req.workload, req.conn_idx);
-            let (is_read, addr, len) = (req.is_read, req.addr, req.len);
-            let (first, measured, attempt) = (req.sent_at, req.measured, req.attempt + 1);
-            ctx.schedule_after(backoff, move |w: &mut World<S>, ctx| {
-                w.transmit_attempt(
-                    w_idx, conn_idx, is_read, addr, len, first, measured, attempt, ctx,
-                )
-            });
+            self.stage_retry(
+                RetryRec {
+                    fire_at: ctx.now() + backoff,
+                    w_idx: req.workload,
+                    conn_idx: req.conn_idx,
+                    is_read: req.is_read,
+                    addr: req.addr,
+                    len: req.len,
+                    first_sent_at: req.sent_at,
+                    measured: req.measured,
+                    attempt: req.attempt + 1,
+                },
+                ctx,
+            );
         } else {
             w.exhausted += 1;
             let refill = matches!(w.spec.pattern, LoadPattern::ClosedLoop { .. }) && !w.stopped;
@@ -1082,6 +1195,8 @@ impl TestbedBuilder {
             client_threads_busy: Vec::new(),
             outstanding: SlabPool::new(),
             poll_scratch: Vec::new(),
+            retries_pending: Vec::new(),
+            retry_scratch: Vec::new(),
             thread_wake: vec![None; n_threads],
             client_wake: vec![None; n_clients],
             measure_start: None,
@@ -1106,6 +1221,76 @@ impl TestbedBuilder {
             owner: Vec::new(),
             exported: vec![ShardStats::default()],
             split: false,
+            shard_note: None,
+        }
+    }
+}
+
+/// Why [`Testbed::enable_split_dataplane`] left the unified dataplane in
+/// place. Returned (not just printed) so tests and the swarm harness can
+/// assert the *reason* for a fallback instead of scraping stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitFallback {
+    /// The server under test does not support thread-granular sharding
+    /// ([`ServerHarness::supports_split`] is `false`).
+    ServerUnsupported,
+    /// A network fault hook is armed; fault campaigns run unified.
+    NetFaultHook,
+    /// A device fault hook is armed; fault campaigns run unified.
+    DeviceFaultHook,
+    /// NIC queues are not laid out one-per-thread, so queues cannot be
+    /// assigned to thread shards.
+    QueueLayout,
+}
+
+impl std::fmt::Display for SplitFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SplitFallback::ServerUnsupported => {
+                "the server does not support thread-granular sharding"
+            }
+            SplitFallback::NetFaultHook => "a network fault hook is installed",
+            SplitFallback::DeviceFaultHook => "a device fault hook is installed",
+            SplitFallback::QueueLayout => "NIC queues are not one-per-thread",
+        })
+    }
+}
+
+impl std::error::Error for SplitFallback {}
+
+/// Why [`Testbed::with_shards`] ran on fewer shards than requested (or on
+/// one). Recorded on the testbed and queryable via
+/// [`Testbed::shard_clamp`]; `None` means the request was honored exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardClamp {
+    /// No client machines exist to split off; running single-shard.
+    NoClients,
+    /// A network fault hook is installed; fault campaigns are single-shard.
+    FaultHook,
+    /// The server rebalances routes at runtime
+    /// ([`ServerHarness::supports_sharding`] is `false`).
+    ServerDynamicRouting,
+    /// Fewer placement entities than requested shards: clamped.
+    Clamped {
+        /// Shards the caller asked for.
+        requested: usize,
+        /// Shards the testbed actually runs on.
+        effective: usize,
+    },
+}
+
+impl std::fmt::Display for ShardClamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardClamp::NoClients => f.write_str("no client machines to split off"),
+            ShardClamp::FaultHook => f.write_str("a network fault hook is installed"),
+            ShardClamp::ServerDynamicRouting => {
+                f.write_str("the server rebalances routes at runtime")
+            }
+            ShardClamp::Clamped {
+                requested,
+                effective,
+            } => write!(f, "{requested} shards requested, clamped to {effective}"),
         }
     }
 }
@@ -1123,6 +1308,9 @@ pub struct Testbed<S: ServerHarness = ReflexServer> {
     /// Split-dataplane mode is armed (see
     /// [`enable_split_dataplane`](Self::enable_split_dataplane)).
     split: bool,
+    /// Why the last [`with_shards`](Self::with_shards) fell back or
+    /// clamped, if it did.
+    shard_note: Option<ShardClamp>,
 }
 
 impl<S: ServerHarness + 'static> std::fmt::Debug for Testbed<S> {
@@ -1177,6 +1365,34 @@ impl<S: ServerHarness + 'static> Testbed<S> {
         self.engine.shards()
     }
 
+    /// Why the last [`with_shards`](Self::with_shards) call fell back to
+    /// fewer shards than requested; `None` when it was honored exactly
+    /// (or never called).
+    pub fn shard_clamp(&self) -> Option<ShardClamp> {
+        self.shard_note
+    }
+
+    /// Whether split-dataplane mode is armed (see
+    /// [`enable_split_dataplane`](Self::enable_split_dataplane)).
+    pub fn split_dataplane(&self) -> bool {
+        self.split
+    }
+
+    /// The lease ledger's conservation pair `(gives, accounted)` —
+    /// cumulative donations vs `residue + Σ leases + taken + discarded` —
+    /// from the first shard holding a ledger replica. `None` outside
+    /// split-dataplane mode. Every replica agrees at applied boundaries,
+    /// so one replica suffices; the swarm oracle asserts the two sides
+    /// are equal at run exit.
+    pub fn lease_accounting(&self) -> Option<(i64, i64)> {
+        (0..self.engine.shards()).find_map(|s| {
+            self.engine.engine(s).world().ledger.as_ref().map(|l| {
+                let l = l.lock().expect("lease ledger poisoned");
+                (l.gives_cum(), l.accounted())
+            })
+        })
+    }
+
     /// Shared access to the world (shard 0 — the server's shard — when
     /// sharded).
     pub fn world(&self) -> &World<S> {
@@ -1224,6 +1440,7 @@ impl<S: ServerHarness + 'static> Testbed<S> {
         let n_eff = 1 + n.saturating_sub(1).min(n_clients);
         if self.engine.shards() != 1 || n_eff <= 1 {
             if n > 1 && self.engine.shards() == 1 && n_clients == 0 {
+                self.shard_note = Some(ShardClamp::NoClients);
                 eprintln!(
                     "reflex-sim: {n} shards requested but there are no client machines to \
                      split off; running single-shard"
@@ -1232,15 +1449,20 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             return self;
         }
         if !world0.server().supports_sharding() || world0.fabric.has_fault_hook() {
-            let reason = if world0.fabric.has_fault_hook() {
-                "a network fault hook is installed"
+            let clamp = if world0.fabric.has_fault_hook() {
+                ShardClamp::FaultHook
             } else {
-                "the server rebalances routes at runtime"
+                ShardClamp::ServerDynamicRouting
             };
-            eprintln!("reflex-sim: {n} shards requested but {reason}; running single-shard");
+            eprintln!("reflex-sim: {n} shards requested but {clamp}; running single-shard");
+            self.shard_note = Some(clamp);
             return self;
         }
         if n_eff < n {
+            self.shard_note = Some(ShardClamp::Clamped {
+                requested: n,
+                effective: n_eff,
+            });
             eprintln!(
                 "reflex-sim: {n} shards requested, clamped to {n_eff} \
                  (1 server shard + {n_clients} client machines)"
@@ -1287,6 +1509,8 @@ impl<S: ServerHarness + 'static> Testbed<S> {
                 client_threads_busy: Vec::new(),
                 outstanding: SlabPool::new(),
                 poll_scratch: Vec::new(),
+                retries_pending: Vec::new(),
+                retry_scratch: Vec::new(),
                 thread_wake: vec![None; world.thread_wake.len()],
                 client_wake: vec![None; world.client_wake.len()],
                 measure_start: None,
@@ -1335,16 +1559,19 @@ impl<S: ServerHarness + 'static> Testbed<S> {
     /// unified-dataplane results: token grants quantize to the window
     /// grid). The default OFF keeps every existing figure untouched.
     ///
-    /// Returns `false` (with a one-line stderr note, leaving the unified
-    /// dataplane in place) when the server does not support splitting, a
-    /// fault hook is installed, or NIC queues are not one-per-thread.
+    /// # Errors
+    ///
+    /// Returns the typed [`SplitFallback`] reason (with a one-line stderr
+    /// note, leaving the unified dataplane in place) when the server does
+    /// not support splitting, a fault hook is installed, or NIC queues are
+    /// not one-per-thread.
     ///
     /// # Panics
     ///
     /// Panics if called after [`with_shards`](Self::with_shards),
     /// [`add_workload`](Self::add_workload), or the first
     /// [`run`](Self::run).
-    pub fn enable_split_dataplane(&mut self) -> bool {
+    pub fn enable_split_dataplane(&mut self) -> Result<(), SplitFallback> {
         assert_eq!(
             self.engine.shards(),
             1,
@@ -1363,13 +1590,13 @@ impl<S: ServerHarness + 'static> Testbed<S> {
         let server_machine = world.server_machine;
         let max_threads = world.server().max_threads();
         let reason = if !world.server().supports_split() {
-            Some("the server does not support thread-granular sharding")
+            Some(SplitFallback::ServerUnsupported)
         } else if world.fabric.has_fault_hook() {
-            Some("a network fault hook is installed")
+            Some(SplitFallback::NetFaultHook)
         } else if world.device().has_fault_hook() {
-            Some("a device fault hook is installed")
+            Some(SplitFallback::DeviceFaultHook)
         } else if world.fabric.queue_count(server_machine) as usize != max_threads {
-            Some("NIC queues are not one-per-thread")
+            Some(SplitFallback::QueueLayout)
         } else {
             None
         };
@@ -1377,7 +1604,7 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             eprintln!(
                 "reflex-sim: split-dataplane disabled ({reason}); running the unified dataplane"
             );
-            return false;
+            return Err(reason);
         }
         let window = world.fabric.lookahead();
         let active = world.server().active_threads();
@@ -1392,7 +1619,7 @@ impl<S: ServerHarness + 'static> Testbed<S> {
         world.ledger = Some(ledger);
         world.split = true;
         self.split = true;
-        true
+        Ok(())
     }
 
     /// Thread-granular sharding for split-dataplane mode: each dataplane
@@ -1421,6 +1648,10 @@ impl<S: ServerHarness + 'static> Testbed<S> {
             "with_shards must be called before the simulation runs"
         );
         if n_eff < n {
+            self.shard_note = Some(ShardClamp::Clamped {
+                requested: n,
+                effective: n_eff,
+            });
             eprintln!(
                 "reflex-sim: {n} shards requested, clamped to {n_eff} \
                  ({n_threads} dataplane threads + {n_clients} client machines)"
@@ -1506,6 +1737,8 @@ impl<S: ServerHarness + 'static> Testbed<S> {
                 client_threads_busy: Vec::new(),
                 outstanding: SlabPool::new(),
                 poll_scratch: Vec::new(),
+                retries_pending: Vec::new(),
+                retry_scratch: Vec::new(),
                 thread_wake: vec![None; max_threads],
                 client_wake: vec![None; world.client_wake.len()],
                 measure_start: None,

@@ -45,7 +45,11 @@ fn run_signature_with(shards: usize, policy: LookaheadPolicy, split: bool) -> St
         .client_machines(vec![StackProfile::ix_tcp(); 4])
         .build();
     if split {
-        assert!(tb.enable_split_dataplane(), "scenario supports splitting");
+        assert_eq!(
+            tb.enable_split_dataplane(),
+            Ok(()),
+            "scenario supports splitting"
+        );
     }
     let mut tb = tb.with_shards(shards);
     tb.set_lookahead_policy(policy);
@@ -121,7 +125,11 @@ fn run_hot_signature_with(shards: usize, split: bool) -> String {
         .link(LinkConfig::forty_gbe())
         .build();
     if split {
-        assert!(tb.enable_split_dataplane(), "scenario supports splitting");
+        assert_eq!(
+            tb.enable_split_dataplane(),
+            Ok(()),
+            "scenario supports splitting"
+        );
     }
     let mut tb = tb.with_shards(shards);
     for i in 0..4 {

@@ -1,0 +1,144 @@
+//! Typed fallback reasons for split-dataplane and sharding.
+//!
+//! `enable_split_dataplane()` and `with_shards()` fall back to the
+//! unified/single-shard paths when the scenario cannot be split safely.
+//! PR 8 only announced those falls on stderr; these tests pin the typed
+//! [`SplitFallback`] / [`ShardClamp`] reasons so harnesses (the swarm
+//! runner in particular) can branch on *why* a knob was refused instead
+//! of scraping logs.
+
+use reflex_core::{ServerConfig, ShardClamp, SplitFallback, Testbed};
+use reflex_net::{MachineId, NetFaultAction, NetFaultHook, StackProfile};
+use reflex_sim::SimTime;
+
+/// A hook that never actually faults — its mere presence must disable
+/// splitting, because split shards exchange flights on the healthy path
+/// only.
+struct InertNetHook;
+
+impl NetFaultHook for InertNetHook {
+    fn on_send(
+        &mut self,
+        _now: SimTime,
+        _from: MachineId,
+        _to: MachineId,
+        _size: u32,
+    ) -> NetFaultAction {
+        NetFaultAction::Deliver
+    }
+}
+
+struct InertDeviceHook;
+
+impl reflex_flash::DeviceFaultHook for InertDeviceHook {
+    fn on_command(
+        &mut self,
+        _now: SimTime,
+        _cmd: &reflex_flash::NvmeCommand,
+    ) -> reflex_flash::DeviceFaultAction {
+        reflex_flash::DeviceFaultAction::None
+    }
+}
+
+fn testbed(clients: usize) -> Testbed {
+    Testbed::builder()
+        .seed(9)
+        .server_threads(2)
+        .client_machines(vec![StackProfile::ix_tcp(); clients])
+        .build()
+}
+
+#[test]
+fn net_fault_hook_reports_typed_reason() {
+    let mut tb = testbed(2);
+    tb.world_mut()
+        .fabric_mut()
+        .set_fault_hook(Box::new(InertNetHook));
+    assert_eq!(
+        tb.enable_split_dataplane(),
+        Err(SplitFallback::NetFaultHook)
+    );
+    assert!(!tb.split_dataplane());
+}
+
+#[test]
+fn device_fault_hook_reports_typed_reason() {
+    let mut tb = testbed(2);
+    tb.world_mut()
+        .device_mut()
+        .set_fault_hook(Box::new(InertDeviceHook));
+    assert_eq!(
+        tb.enable_split_dataplane(),
+        Err(SplitFallback::DeviceFaultHook)
+    );
+}
+
+#[test]
+fn autoscaling_server_reports_unsupported() {
+    let mut tb = Testbed::builder()
+        .seed(9)
+        .server(ServerConfig {
+            threads: 2,
+            max_threads: 4,
+            auto_scale: true,
+            ..ServerConfig::default()
+        })
+        .client_machines(vec![StackProfile::ix_tcp(); 2])
+        .build();
+    assert_eq!(
+        tb.enable_split_dataplane(),
+        Err(SplitFallback::ServerUnsupported)
+    );
+}
+
+#[test]
+fn healthy_scenario_splits_and_reports_state() {
+    let mut tb = testbed(2);
+    assert_eq!(tb.enable_split_dataplane(), Ok(()));
+    assert!(tb.split_dataplane());
+    // Lease accounting only becomes observable once the ledger exists.
+    let (gives, accounted) = tb.lease_accounting().expect("split installs a ledger");
+    assert_eq!(gives, accounted, "conservation holds before any window");
+}
+
+#[test]
+fn shard_clamp_is_recorded() {
+    // 16 shards over 2 client machines clamps to 3 (server + 2 clients).
+    let tb = testbed(2).with_shards(16);
+    assert_eq!(
+        tb.shard_clamp(),
+        Some(ShardClamp::Clamped {
+            requested: 16,
+            effective: 3,
+        })
+    );
+    assert_eq!(tb.shards(), 3);
+}
+
+#[test]
+fn shard_clamp_fault_hook() {
+    let mut tb = testbed(2);
+    tb.world_mut()
+        .fabric_mut()
+        .set_fault_hook(Box::new(InertNetHook));
+    let tb = tb.with_shards(4);
+    assert_eq!(tb.shard_clamp(), Some(ShardClamp::FaultHook));
+    assert_eq!(tb.shards(), 1);
+}
+
+#[test]
+fn shard_clamp_dynamic_routing() {
+    let tb = Testbed::builder()
+        .seed(9)
+        .server(ServerConfig {
+            threads: 2,
+            max_threads: 4,
+            auto_scale: true,
+            ..ServerConfig::default()
+        })
+        .client_machines(vec![StackProfile::ix_tcp(); 2])
+        .build()
+        .with_shards(4);
+    assert_eq!(tb.shard_clamp(), Some(ShardClamp::ServerDynamicRouting));
+    assert_eq!(tb.shards(), 1);
+}

@@ -1,0 +1,193 @@
+//! Named regressions promoted from `properties.proptest-regressions`.
+//!
+//! The proptest seed file replays past failures, but only as opaque
+//! hashes at the front of the next proptest run. Promoting each shrunk
+//! case to a named test keeps it readable (the scenario is spelled out,
+//! not hashed), keeps it running even if the property is later rewritten
+//! and its strategy no longer reproduces the seed, and gives the failure
+//! a place to document *why* it ever failed.
+
+use std::sync::Arc;
+
+use reflex_dataplane::{AclEntry, DataplaneConfig, DataplaneThread};
+use reflex_flash::{device_a, FlashDevice};
+use reflex_net::{Fabric, LinkConfig, NicQueueId, Opcode, ReflexHeader, StackProfile};
+use reflex_qos::{CostModel, GlobalBucket, SchedulerParams, SloSpec, TenantClass, TenantId};
+use reflex_sim::{SimDuration, SimRng, SimTime};
+
+struct Op {
+    is_read: bool,
+    page: u64,
+    gap_ns: u64,
+    barrier: bool,
+}
+
+/// The harness from `properties.rs::every_request_answered_exactly_once`,
+/// with plain asserts: sends the ops, drives to quiescence, checks every
+/// request is answered exactly once and counters stay consistent.
+fn assert_answered_exactly_once(ops: &[Op]) {
+    let mut fabric = Fabric::new(LinkConfig::default(), SimRng::seed(7));
+    let client = fabric.add_machine(StackProfile::ix_tcp());
+    let server = fabric.add_machine(StackProfile::dataplane_raw());
+    let mut device = FlashDevice::new(device_a(), SimRng::seed(8));
+    device.precondition();
+    let qp = device.create_queue_pair();
+    let bucket = Arc::new(GlobalBucket::new(1));
+    let mut thread = DataplaneThread::new(
+        0,
+        server,
+        NicQueueId(0),
+        qp,
+        bucket,
+        CostModel::for_device_a(),
+        SchedulerParams::default(),
+        DataplaneConfig::default(),
+        SimTime::ZERO,
+    );
+    let tenant = TenantId(1);
+    let slo = SloSpec::new(200_000, 50, SimDuration::from_millis(2));
+    thread
+        .register_tenant(
+            tenant,
+            TenantClass::LatencyCritical(slo),
+            AclEntry::full(device.profile().capacity_bytes),
+            4096,
+        )
+        .expect("fresh tenant");
+    let conn = fabric.new_conn();
+    thread.bind_connection(conn, tenant, client).expect("bound");
+
+    let mut now = SimTime::ZERO;
+    let mut sent = 0u64;
+    let mut barriers = 0u64;
+    for (i, op) in ops.iter().enumerate() {
+        now += SimDuration::from_nanos(op.gap_ns);
+        let cookie = i as u64;
+        let header = if op.barrier {
+            barriers += 1;
+            ReflexHeader {
+                opcode: Opcode::Barrier,
+                tenant: 1,
+                cookie,
+                addr: 0,
+                len: 0,
+            }
+        } else {
+            ReflexHeader {
+                opcode: if op.is_read { Opcode::Get } else { Opcode::Put },
+                tenant: 1,
+                cookie,
+                addr: op.page * 4096,
+                len: 4096,
+            }
+        };
+        let payload = if header.opcode == Opcode::Put {
+            4096
+        } else {
+            0
+        };
+        fabric.send(now, client, server, conn, payload, header.encode_array());
+        sent += 1;
+    }
+
+    let mut answered = std::collections::HashSet::new();
+    let mut t = SimTime::ZERO;
+    for _ in 0..100_000 {
+        let wake = thread.pump(t, &mut fabric, &mut device);
+        for d in fabric.poll(SimTime::from_secs(3_600), client, usize::MAX) {
+            let h = ReflexHeader::decode(&d.payload).expect("server speaks protocol");
+            assert!(
+                answered.insert(h.cookie),
+                "cookie {} answered twice",
+                h.cookie
+            );
+        }
+        match wake {
+            Some(w) => t = w.max(t + SimDuration::from_nanos(1)),
+            None if answered.len() as u64 == sent => break,
+            None => t += SimDuration::from_millis(1),
+        }
+        if t > SimTime::from_secs(60) {
+            break;
+        }
+    }
+    assert_eq!(answered.len() as u64, sent, "unanswered requests remain");
+
+    let stats = thread.stats();
+    assert_eq!(stats.tx_msgs, sent);
+    assert!(stats.completed <= stats.submitted);
+    assert_eq!(stats.unbound_conns, 0);
+    assert!(
+        stats.decode_errors < barriers.max(1),
+        "decode errors {} vs barriers {barriers}",
+        stats.decode_errors
+    );
+}
+
+/// Shrunk by proptest (cc a4e34e6a…): a write, a read, then two barriers
+/// in quick succession — the second barrier arrives while the first is
+/// still outstanding. The overlapping barrier must be answered (with an
+/// error response), not silently dropped, and must not double-answer or
+/// leak the requests queued behind it.
+#[test]
+fn overlapping_barriers_still_answered_exactly_once() {
+    assert_answered_exactly_once(&[
+        Op {
+            is_read: false,
+            page: 359_670,
+            gap_ns: 100,
+            barrier: false,
+        },
+        Op {
+            is_read: true,
+            page: 200_086,
+            gap_ns: 1_785,
+            barrier: false,
+        },
+        Op {
+            is_read: true,
+            page: 235_512,
+            gap_ns: 13_594,
+            barrier: true,
+        },
+        Op {
+            is_read: true,
+            page: 625_183,
+            gap_ns: 68_735,
+            barrier: true,
+        },
+    ]);
+}
+
+/// The same scenario with the barriers spaced out, as a control: a
+/// well-separated barrier pair has always passed, so a failure here
+/// (but not above) points at barrier *overlap* handling specifically.
+#[test]
+fn separated_barriers_still_answered_exactly_once() {
+    assert_answered_exactly_once(&[
+        Op {
+            is_read: false,
+            page: 359_670,
+            gap_ns: 100,
+            barrier: false,
+        },
+        Op {
+            is_read: true,
+            page: 200_086,
+            gap_ns: 1_785,
+            barrier: false,
+        },
+        Op {
+            is_read: true,
+            page: 235_512,
+            gap_ns: 13_594,
+            barrier: true,
+        },
+        Op {
+            is_read: true,
+            page: 625_183,
+            gap_ns: 50_000_000,
+            barrier: true,
+        },
+    ]);
+}

@@ -52,10 +52,12 @@
 
 mod hooks;
 mod install;
+mod parse;
 mod plan;
 mod stats;
 
 pub use hooks::{PlannedDeviceHook, PlannedNetHook};
 pub use install::install;
+pub use parse::PlanParseError;
 pub use plan::{FaultEvent, FaultKind, FaultPlan};
 pub use stats::{FaultCounts, FaultStats};

@@ -1,0 +1,291 @@
+//! A textual form for [`FaultPlan`]s: one event per line, durations in
+//! explicit units, rates as plain floats.
+//!
+//! ```text
+//! seed=42
+//! @1ms transient rate=0.1 for=10ms
+//! @2ms gc extra=500us for=2ms
+//! @3ms device-death
+//! @4ms link-flap client=1 down=3ms
+//! @5ms loss rate=0.05 for=10ms
+//! @5ms dup rate=0.01 for=10ms
+//! @6ms latency extra=100us for=5ms
+//! @7ms stall thread=0 for=1ms
+//! @8ms server-death server=2
+//! ```
+//!
+//! [`FaultPlan::parse`] reads the form (blank lines and `#` comments
+//! allowed); `Display` writes it back with nanosecond-exact durations, so
+//! `parse(plan.to_string()) == plan` for every valid plan — the
+//! round-trip property the swarm fuzzer holds the parser to.
+
+use std::fmt;
+
+use reflex_sim::{SimDuration, SimTime};
+
+use crate::plan::{FaultKind, FaultPlan};
+
+/// Why a fault-plan string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault plan line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> PlanParseError {
+    PlanParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn fmt_dur(d: SimDuration) -> String {
+    format!("{}ns", d.as_nanos())
+}
+
+fn parse_dur(line: usize, s: &str) -> Result<SimDuration, PlanParseError> {
+    let (digits, mult) = if let Some(d) = s.strip_suffix("ns") {
+        (d, 1u64)
+    } else if let Some(d) = s.strip_suffix("us") {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix("ms") {
+        (d, 1_000_000)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000_000_000)
+    } else {
+        return Err(err(line, format!("duration `{s}` needs a ns/us/ms/s unit")));
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| err(line, format!("bad duration `{s}`")))?;
+    let nanos = n
+        .checked_mul(mult)
+        .ok_or_else(|| err(line, format!("duration `{s}` overflows")))?;
+    Ok(SimDuration::from_nanos(nanos))
+}
+
+fn parse_rate(line: usize, s: &str) -> Result<f64, PlanParseError> {
+    let rate: f64 = s
+        .parse()
+        .map_err(|_| err(line, format!("bad rate `{s}`")))?;
+    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+        return Err(err(line, format!("rate `{s}` outside [0, 1]")));
+    }
+    Ok(rate)
+}
+
+/// Pulls `key=value` off the front of `fields`, erroring if the next
+/// field has a different key (events have a fixed field order).
+fn take_kv<'a>(
+    line: usize,
+    fields: &mut std::str::SplitWhitespace<'a>,
+    key: &str,
+) -> Result<&'a str, PlanParseError> {
+    let field = fields
+        .next()
+        .ok_or_else(|| err(line, format!("missing `{key}=`")))?;
+    field
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| err(line, format!("expected `{key}=`, got `{field}`")))
+}
+
+fn parse_index(line: usize, s: &str) -> Result<usize, PlanParseError> {
+    s.parse().map_err(|_| err(line, format!("bad index `{s}`")))
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "seed={}", self.seed)?;
+        for e in &self.events {
+            write!(f, "@{} ", fmt_dur(SimDuration::from_nanos(e.at.as_nanos())))?;
+            match e.kind {
+                FaultKind::TransientDeviceErrors { rate, duration } => {
+                    writeln!(f, "transient rate={rate} for={}", fmt_dur(duration))?;
+                }
+                FaultKind::GcStorm { extra, duration } => {
+                    writeln!(f, "gc extra={} for={}", fmt_dur(extra), fmt_dur(duration))?;
+                }
+                FaultKind::DeviceDeath => writeln!(f, "device-death")?,
+                FaultKind::LinkFlap { client, down_for } => {
+                    writeln!(f, "link-flap client={client} down={}", fmt_dur(down_for))?;
+                }
+                FaultKind::PacketLoss { rate, duration } => {
+                    writeln!(f, "loss rate={rate} for={}", fmt_dur(duration))?;
+                }
+                FaultKind::PacketDup { rate, duration } => {
+                    writeln!(f, "dup rate={rate} for={}", fmt_dur(duration))?;
+                }
+                FaultKind::LatencyStorm { extra, duration } => {
+                    writeln!(
+                        f,
+                        "latency extra={} for={}",
+                        fmt_dur(extra),
+                        fmt_dur(duration)
+                    )?;
+                }
+                FaultKind::ThreadStall { thread, stall } => {
+                    writeln!(f, "stall thread={thread} for={}", fmt_dur(stall))?;
+                }
+                FaultKind::ServerDeath { server } => {
+                    writeln!(f, "server-death server={server}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FaultPlan {
+    /// Parses the textual form written by the plan's `Display` impl.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanParseError`] (with a 1-based line number) on unknown event
+    /// names, malformed or missing fields, rates outside `[0, 1]`, or
+    /// trailing junk on a line.
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::none();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            if let Some(seed) = trimmed.strip_prefix("seed=") {
+                plan.seed = seed
+                    .parse()
+                    .map_err(|_| err(line, format!("bad seed `{seed}`")))?;
+                continue;
+            }
+            let mut fields = trimmed.split_whitespace();
+            let at_field = fields.next().expect("non-empty line has a first field");
+            let at_str = at_field
+                .strip_prefix('@')
+                .ok_or_else(|| err(line, format!("expected `@<time>`, got `{at_field}`")))?;
+            let at = SimTime::ZERO + parse_dur(line, at_str)?;
+            let name = fields
+                .next()
+                .ok_or_else(|| err(line, "missing event name"))?;
+            let kind = match name {
+                "transient" => FaultKind::TransientDeviceErrors {
+                    rate: parse_rate(line, take_kv(line, &mut fields, "rate")?)?,
+                    duration: parse_dur(line, take_kv(line, &mut fields, "for")?)?,
+                },
+                "gc" => FaultKind::GcStorm {
+                    extra: parse_dur(line, take_kv(line, &mut fields, "extra")?)?,
+                    duration: parse_dur(line, take_kv(line, &mut fields, "for")?)?,
+                },
+                "device-death" => FaultKind::DeviceDeath,
+                "link-flap" => FaultKind::LinkFlap {
+                    client: parse_index(line, take_kv(line, &mut fields, "client")?)?,
+                    down_for: parse_dur(line, take_kv(line, &mut fields, "down")?)?,
+                },
+                "loss" => FaultKind::PacketLoss {
+                    rate: parse_rate(line, take_kv(line, &mut fields, "rate")?)?,
+                    duration: parse_dur(line, take_kv(line, &mut fields, "for")?)?,
+                },
+                "dup" => FaultKind::PacketDup {
+                    rate: parse_rate(line, take_kv(line, &mut fields, "rate")?)?,
+                    duration: parse_dur(line, take_kv(line, &mut fields, "for")?)?,
+                },
+                "latency" => FaultKind::LatencyStorm {
+                    extra: parse_dur(line, take_kv(line, &mut fields, "extra")?)?,
+                    duration: parse_dur(line, take_kv(line, &mut fields, "for")?)?,
+                },
+                "stall" => FaultKind::ThreadStall {
+                    thread: parse_index(line, take_kv(line, &mut fields, "thread")?)?,
+                    stall: parse_dur(line, take_kv(line, &mut fields, "for")?)?,
+                },
+                "server-death" => FaultKind::ServerDeath {
+                    server: parse_index(line, take_kv(line, &mut fields, "server")?)?,
+                },
+                other => return Err(err(line, format!("unknown event `{other}`"))),
+            };
+            if let Some(junk) = fields.next() {
+                return Err(err(line, format!("trailing junk `{junk}`")));
+            }
+            plan = plan.with_event(at, kind);
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultPlan {
+        FaultPlan::seeded(42)
+            .with_event(
+                SimTime::ZERO + SimDuration::from_millis(1),
+                FaultKind::TransientDeviceErrors {
+                    rate: 0.1,
+                    duration: SimDuration::from_millis(10),
+                },
+            )
+            .with_event(
+                SimTime::ZERO + SimDuration::from_millis(2),
+                FaultKind::LinkFlap {
+                    client: 1,
+                    down_for: SimDuration::from_millis(3),
+                },
+            )
+            .with_event(
+                SimTime::ZERO + SimDuration::from_millis(4),
+                FaultKind::ServerDeath { server: 2 },
+            )
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let plan = sample();
+        let text = plan.to_string();
+        assert_eq!(FaultPlan::parse(&text).expect("parses"), plan);
+    }
+
+    #[test]
+    fn parse_accepts_units_and_comments() {
+        let plan = FaultPlan::parse(
+            "# a comment\nseed=7\n\n@1ms gc extra=500us for=2ms\n@2s stall thread=1 for=1us\n",
+        )
+        .expect("parses");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.events.len(), 2);
+        assert_eq!(
+            plan.events[0].kind,
+            FaultKind::GcStorm {
+                extra: SimDuration::from_micros(500),
+                duration: SimDuration::from_millis(2),
+            }
+        );
+        assert_eq!(plan.events[1].at, SimTime::ZERO + SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for (text, needle) in [
+            ("@1ms nope", "unknown event"),
+            ("1ms gc extra=1ns for=1ns", "expected `@<time>`"),
+            ("@1ms loss rate=1.5 for=1ms", "outside [0, 1]"),
+            ("@1ms loss rate=nan for=1ms", "outside [0, 1]"),
+            ("@1ms transient rate=0.1 for=10", "needs a ns/us/ms/s unit"),
+            ("@1ms device-death junk", "trailing junk"),
+            ("@1ms stall thread=x for=1ms", "bad index"),
+            ("seed=abc", "bad seed"),
+        ] {
+            let e = FaultPlan::parse(text).expect_err(text);
+            assert!(e.to_string().contains(needle), "{text}: {e}");
+        }
+    }
+}

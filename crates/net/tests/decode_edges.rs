@@ -1,0 +1,104 @@
+//! Exhaustive edge coverage for wire-header decoding: truncated,
+//! oversized and garbage buffers.
+//!
+//! The property test (`properties.rs::decode_never_panics`) samples this
+//! space; these tests pin the edges deterministically — every truncation
+//! length, the magic/opcode error precedence, and oversized buffers —
+//! so a decode regression fails with a named scenario instead of a
+//! proptest seed.
+
+use reflex_net::{Opcode, ReflexHeader, WireError, HEADER_SIZE, MAGIC};
+
+fn valid_header() -> ReflexHeader {
+    ReflexHeader {
+        opcode: Opcode::Get,
+        tenant: 42,
+        cookie: 0xdead_beef_cafe_f00d,
+        addr: 7 * 4096,
+        len: 4096,
+    }
+}
+
+/// Every prefix shorter than HEADER_SIZE is Truncated — even a prefix of
+/// a perfectly valid header, and even the empty buffer.
+#[test]
+fn every_truncation_length_is_truncated() {
+    let enc = valid_header().encode_array();
+    for n in 0..HEADER_SIZE {
+        assert_eq!(
+            ReflexHeader::decode(&enc[..n]),
+            Err(WireError::Truncated),
+            "prefix of {n} bytes must be Truncated"
+        );
+    }
+}
+
+/// Oversized buffers decode from the first HEADER_SIZE bytes; trailing
+/// bytes are payload, not part of the header, and must not affect the
+/// result — whatever garbage they hold.
+#[test]
+fn oversized_buffers_ignore_the_tail() {
+    let hdr = valid_header();
+    for extra in [1usize, 7, 4096, 65536] {
+        let mut buf = hdr.encode_array().to_vec();
+        buf.extend(std::iter::repeat_n(0xA5u8, extra));
+        assert_eq!(
+            ReflexHeader::decode(&buf),
+            Ok(hdr),
+            "{extra} trailing bytes changed the decode"
+        );
+    }
+}
+
+/// A wrong first byte is BadMagic carrying the offending byte, for every
+/// possible wrong value — checked before the opcode, so garbage reports
+/// the earliest framing error.
+#[test]
+fn every_bad_magic_byte_is_reported() {
+    let mut buf = valid_header().encode_array();
+    for b in 0u8..=255 {
+        if b == MAGIC {
+            continue;
+        }
+        buf[0] = b;
+        assert_eq!(ReflexHeader::decode(&buf), Err(WireError::BadMagic(b)));
+    }
+}
+
+/// With good magic, every unknown opcode byte is BadOpcode carrying the
+/// offending byte; the known opcodes all decode.
+#[test]
+fn every_opcode_byte_classified() {
+    let mut buf = valid_header().encode_array();
+    for b in 0u8..=255 {
+        buf[1] = b;
+        match ReflexHeader::decode(&buf) {
+            Ok(h) => assert_eq!(h.opcode as u8, b, "opcode byte must round-trip"),
+            Err(WireError::BadOpcode(e)) => assert_eq!(e, b),
+            Err(other) => panic!("opcode byte {b} misclassified as {other:?}"),
+        }
+    }
+}
+
+/// All-garbage buffers of every length: short ones are Truncated, long
+/// ones fail on the first framing check (magic), never panic.
+#[test]
+fn garbage_classifies_by_first_framing_error() {
+    for n in 0..(3 * HEADER_SIZE) {
+        let buf = vec![0xFFu8; n];
+        let expect = if n < HEADER_SIZE {
+            WireError::Truncated
+        } else {
+            WireError::BadMagic(0xFF)
+        };
+        assert_eq!(ReflexHeader::decode(&buf), Err(expect), "length {n}");
+    }
+}
+
+/// The zero buffer at exactly HEADER_SIZE: magic 0x00 is reported (not
+/// opcode 0x00) — error precedence is fixed byte order.
+#[test]
+fn zero_buffer_reports_magic_before_opcode() {
+    let buf = [0u8; HEADER_SIZE];
+    assert_eq!(ReflexHeader::decode(&buf), Err(WireError::BadMagic(0)));
+}

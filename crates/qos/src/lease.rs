@@ -356,6 +356,24 @@ impl LeaseLedger {
             self.residue = pool;
         }
         self.wanted.fill(0);
+        #[cfg(feature = "mutation-hooks")]
+        if crate::mutation::lease_skim() {
+            // Deliberately wrong: leak one millitoken per rebalance out of
+            // the largest lease (or the residue), so the conservation
+            // identity `gives == residue + Σ leases + taken + discarded`
+            // drifts. Exists only so the swarm's mutation check can prove
+            // the lease oracle has teeth.
+            if let Some(l) = self
+                .lease
+                .iter_mut()
+                .max_by_key(|l| **l)
+                .filter(|l| **l > 0)
+            {
+                *l -= 1;
+            } else if self.residue > 0 {
+                self.residue -= 1;
+            }
+        }
         for t in 0..self.lease.len() {
             self.avail[t] = self.lease[t] - self.pending_take[t];
         }

@@ -24,6 +24,8 @@ mod calibrate;
 mod cost;
 mod fair;
 mod lease;
+#[cfg(feature = "mutation-hooks")]
+pub mod mutation;
 mod scheduler;
 mod slo;
 mod tokens;

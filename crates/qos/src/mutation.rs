@@ -1,0 +1,23 @@
+//! Runtime switches for deliberately-wrong accounting (mutation testing).
+//!
+//! Compiled in only with the `mutation-hooks` feature and **off by
+//! default even then** — a build with the feature but no switch flipped
+//! behaves identically to a build without it. The swarm runner
+//! (`reflex-swarm --mutate`) flips [`set_lease_skim`] and then asserts
+//! that its lease-conservation oracle catches the drift; a CI job that
+//! passes with mutation enabled means the oracle is vacuous.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static LEASE_SKIM: AtomicBool = AtomicBool::new(false);
+
+/// Enables (or disables) the lease-skim mutation: every
+/// [`LeaseLedger`](crate::LeaseLedger) rebalance silently leaks one
+/// millitoken, violating the ledger's conservation identity.
+pub fn set_lease_skim(on: bool) {
+    LEASE_SKIM.store(on, Ordering::Relaxed);
+}
+
+pub(crate) fn lease_skim() -> bool {
+    LEASE_SKIM.load(Ordering::Relaxed)
+}

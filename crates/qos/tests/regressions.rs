@@ -1,0 +1,77 @@
+//! Named regressions promoted from `properties.proptest-regressions`.
+//!
+//! See `crates/dataplane/tests/regressions.rs` for why shrunk proptest
+//! failures get promoted to named tests instead of living only in the
+//! seed file.
+
+use std::sync::Arc;
+
+use reflex_flash::IoType;
+use reflex_qos::{
+    CostModel, CostedRequest, GlobalBucket, LoadMix, QosScheduler, SchedulerParams, SloSpec,
+    TenantId,
+};
+use reflex_sim::{SimDuration, SimTime};
+
+/// Shrunk by proptest (cc dff5d75c…): sixteen back-to-back enqueues at
+/// the smallest admissible SLO (1000 IOPS, 1% reads — an almost
+/// all-write reservation), then a single 1µs scheduling round. With
+/// near-zero token generation, everything admitted in that round is paid
+/// for by the deficit allowance alone; the spend bound must hold at the
+/// allowance edge, where an off-by-one-request overshoot first shows.
+#[test]
+fn burst_at_minimal_slo_stays_within_deficit_allowance() {
+    let bucket = Arc::new(GlobalBucket::new(2)); // never resets in-test
+    let mut sched: QosScheduler<u64> = QosScheduler::new(
+        0,
+        bucket,
+        CostModel::for_device_a(),
+        SchedulerParams::default(),
+        SimTime::ZERO,
+    );
+    let id = TenantId(1);
+    let slo = SloSpec::new(1_000, 1, SimDuration::from_millis(1));
+    sched.register_lc(id, slo, 4096).expect("fresh tenant");
+    let rate = sched
+        .lc_rate(id)
+        .expect("registered")
+        .as_millitokens_per_sec();
+
+    // ops = [(0, 1) x 16, (1, 1)]: sixteen enqueues, one schedule round.
+    for seq in 0u64..16 {
+        let op = if seq.is_multiple_of(5) {
+            IoType::Write
+        } else {
+            IoType::Read
+        };
+        sched
+            .enqueue(
+                id,
+                CostedRequest {
+                    op,
+                    len: 4096,
+                    payload: seq,
+                },
+            )
+            .expect("registered");
+    }
+    let now = SimTime::ZERO + SimDuration::from_micros(1);
+    let _ = sched.schedule(now, LoadMix::Mixed);
+
+    let stats = sched.stats_for(id).expect("registered");
+    let generated = (rate as i128 * now.as_nanos() as i128) / 1_000_000_000;
+    // Algorithm 1 admits while the balance is above NEG_LIMIT and only
+    // then subtracts the cost, so the final admitted request may overshoot
+    // by up to one request's cost (a 10-token write here).
+    let allowance = 50_000i128 + 10_000;
+    assert!(
+        (stats.spent_millitokens as i128) <= generated + allowance + 1,
+        "spent {} > generated {generated} + allowance {allowance}",
+        stats.spent_millitokens
+    );
+    // The case only bites if the allowance was actually dipped into.
+    assert!(
+        stats.spent_millitokens > 0,
+        "regression case admitted nothing — it no longer exercises the allowance edge"
+    );
+}

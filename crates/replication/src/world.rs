@@ -249,6 +249,14 @@ impl ReplWorld {
         self.workloads[w_idx].primary
     }
 
+    /// Current membership epoch of workload `w_idx`. Bumped by every
+    /// failover action; in-flight operations issued under an older epoch
+    /// are fenced (fail fast) rather than redirected, so observers must
+    /// only ever see this value increase.
+    pub fn epoch(&self, w_idx: usize) -> u32 {
+        self.workloads[w_idx].epoch
+    }
+
     /// Stops every workload generator so in-flight queues can drain.
     pub fn stop_all_workloads(&mut self) {
         for w in &mut self.workloads {

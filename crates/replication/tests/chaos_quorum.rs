@@ -1,0 +1,101 @@
+//! Composed chaos + replication scenario: a ServerDeath lands while
+//! quorum reads are in flight, and the run must satisfy conservation
+//! *and* epoch fencing together.
+//!
+//! The unit suites cover each mechanism in isolation (replication.rs
+//! kills servers, telemetry checks balance); this test is the composed
+//! case the swarm generates — fault, quorum read path and accounting all
+//! active at once — pinned as a named scenario.
+
+use reflex_faults::{FaultKind, FaultPlan};
+use reflex_qos::{SloSpec, TenantId};
+use reflex_replication::{ReadPolicy, ReplTestbed, ReplWorkloadSpec};
+use reflex_sim::{SimDuration, SimTime};
+
+#[test]
+fn server_death_under_quorum_reads_conserves_and_fences_epochs() {
+    let mut tb = ReplTestbed::builder()
+        .sites(4)
+        .replication(3)
+        .seed(23)
+        .build();
+    tb.enable_telemetry();
+    // Read-heavy quorum workload: most in-flight operations at the death
+    // instant are quorum reads anchored at the primary.
+    let slo = SloSpec::new(30_000, 90, SimDuration::from_micros(800));
+    tb.add_workload(
+        ReplWorkloadSpec::open_loop("app", TenantId(1), slo, 22_000.0)
+            .with_read_policy(ReadPolicy::Quorum)
+            .with_namespace(0, 8 << 20),
+    )
+    .unwrap();
+
+    // Kill the primary's site: every in-flight quorum read loses its
+    // anchor, so the failover must promote *and* the aborted sub-reads
+    // must still balance.
+    let victim = tb.member_sites(0)[tb.world().primary_slot(0)];
+    let death = SimTime::ZERO + SimDuration::from_millis(40);
+    let plan = FaultPlan::seeded(23).with_event(death, FaultKind::ServerDeath { server: victim });
+    let _stats = tb.install(&plan);
+
+    // Run in slices and sample the epoch, so fencing is asserted on the
+    // observed timeline, not just the final state.
+    let mut epochs = vec![tb.world().epoch(0)];
+    for _ in 0..6 {
+        tb.run(SimDuration::from_millis(25));
+        epochs.push(tb.world().epoch(0));
+    }
+
+    // Epoch fencing: monotone, starts unbumped, bumps exactly once (one
+    // death, one failover), and the bump happens after the death instant.
+    assert!(
+        epochs.windows(2).all(|p| p[0] <= p[1]),
+        "epoch went backwards: {epochs:?}"
+    );
+    let first = epochs[0];
+    let last = *epochs.last().unwrap();
+    assert_eq!(
+        last,
+        first + 1,
+        "one failover must bump the epoch exactly once: {epochs:?}"
+    );
+    let bump_slice = epochs.iter().position(|&e| e > first).unwrap();
+    assert!(
+        SimTime::ZERO + SimDuration::from_millis(25 * bump_slice as u64) > death,
+        "epoch bumped before the server died: {epochs:?}"
+    );
+
+    // The fenced configuration took effect: the victim is out of the
+    // member set and a quorum still exists.
+    let members = tb.member_sites(0);
+    assert!(!members.contains(&victim), "victim still a member");
+    assert!(members.len() >= 2, "quorum lost: {members:?}");
+    let report = tb.report();
+    assert_eq!(report.recoveries.len(), 1, "exactly one recovery");
+
+    // Conservation across the blackout: stop the generators, drain the
+    // queues (including the dead site's aborting sub-reads), and require
+    // exact balance with no open spans.
+    tb.world_mut().stop_all_workloads();
+    tb.run(SimDuration::from_millis(200));
+    let drained = tb.telemetry_snapshot().expect("telemetry enabled");
+    assert!(!drained.ios.is_empty(), "no IO counters recorded");
+    for (tenant, io) in &drained.ios {
+        assert_eq!(
+            io.submitted,
+            io.completed + io.failed + io.retried,
+            "tenant {tenant:?} leaked IOs across the in-flight death: {io:?}"
+        );
+        assert_eq!(
+            io.open_spans, 0,
+            "tenant {tenant:?} left spans open after drain: {io:?}"
+        );
+        assert!(io.submitted > 0, "tenant {tenant:?} recorded no traffic");
+    }
+    // The death really interrupted in-flight work (otherwise this test
+    // degenerates to the healthy conservation case).
+    let count = |name: &str| drained.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(count("replication.server_deaths"), 1);
+    assert_eq!(count("replication.failovers"), 1);
+    assert_eq!(count("replication.promotions"), 1);
+}

@@ -1,0 +1,549 @@
+//! Executes one [`SwarmCase`] and holds it to the five oracle families.
+//!
+//! Two executions per case: the **oracle run** at one shard (where
+//! every workload generator is reachable for the stop-and-drain
+//! conservation check) and the **identity partner** at the case's
+//! sharded/split configuration. The identity family asserts the two
+//! produce byte-identical reports, which transfers every mono-run
+//! oracle verdict to the parallel execution. Fault campaigns pin
+//! execution to one shard by design, so their partner is an exact
+//! re-run — a plain determinism check.
+//!
+//! Healthy core cases additionally run an **alloc pass**: the same
+//! scenario, telemetry off, unified dataplane, measured under the
+//! counting allocator (when the embedding binary installed it).
+
+use std::sync::Mutex;
+
+use reflex_core::{AddrPattern, RetryPolicy, ServerConfig, Testbed, TestbedReport, WorkloadSpec};
+use reflex_faults::install;
+use reflex_qos::{SloSpec, TenantClass, TenantId};
+use reflex_replication::{ReadPolicy, ReplReport, ReplTestbed, ReplWorkloadSpec};
+use reflex_sim::SimDuration;
+
+use crate::gen::{SwarmCase, TenantSpec, Topology};
+use crate::oracle::{
+    check_alloc, check_epochs, check_identity, check_io_conservation, check_lease_ledger,
+    check_membership, FamilyStatus, OracleFamily, Violation,
+};
+
+/// Drain window after generators stop. Sized for the worst admissible
+/// backlog: a saturated device queue plus full retry chains (4 attempts
+/// with exponential backoff off a 10ms timeout) — the swarm found that a
+/// 200ms drain flags healthy overloaded cases as conservation leaks.
+const DRAIN: SimDuration = SimDuration::from_millis(1500);
+
+/// Allocation budget for the swarm's short windows. Looser than the
+/// bench gate's 0.05/IO (which amortizes over a 300ms closed-loop
+/// steady state) because arbitrary generated scenarios pay one-off
+/// container growth over fewer IOs — but still far below one
+/// allocation per IO, so any per-request heap traffic fails.
+const ALLOC_BUDGET_PER_IO: f64 = 0.2;
+
+/// How the embedding binary exposes the counting allocator.
+#[derive(Clone, Copy)]
+pub struct RunConfig {
+    /// Reads the process-wide allocation counter, if the binary
+    /// installed `reflex_sim::alloc_count::CountingAlloc` as its global
+    /// allocator. `None` marks the alloc family vacuous.
+    pub alloc_counter: Option<fn() -> u64>,
+}
+
+impl Default for RunConfig {
+    /// No allocation counter: the alloc-budget family reports vacuous.
+    fn default() -> Self {
+        RunConfig {
+            alloc_counter: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for RunConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunConfig")
+            .field("alloc_counter", &self.alloc_counter.is_some())
+            .finish()
+    }
+}
+
+/// Everything the swarm learned from one case.
+#[derive(Debug)]
+pub struct CaseOutcome {
+    /// The case that ran.
+    pub case: SwarmCase,
+    /// Broken invariants (empty = pass).
+    pub violations: Vec<Violation>,
+    /// Status of all five families on this case.
+    pub families: Vec<(OracleFamily, FamilyStatus)>,
+    /// Non-fatal observations (dropped tenants, clamps).
+    pub notes: Vec<String>,
+    /// Completed IOs observed by the oracle run.
+    pub completed_ios: u64,
+}
+
+impl CaseOutcome {
+    /// True when any oracle family fired.
+    pub fn failed(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+/// Runs `case` under every applicable oracle family.
+pub fn run_case(case: &SwarmCase, cfg: &RunConfig) -> CaseOutcome {
+    match case.topology {
+        Topology::Core { .. } => run_core_case(case, cfg),
+        Topology::Replicated { .. } => run_repl_case(case),
+    }
+}
+
+// ------------------------------------------------------------------
+// Core topology
+
+struct CoreArtifacts {
+    fingerprint: String,
+    completed: u64,
+    notes: Vec<String>,
+}
+
+fn core_fingerprint(r: &TestbedReport) -> String {
+    // Same exclusion as the sharded_identity tests: engine_events and
+    // telemetry are execution artifacts, not simulated results.
+    format!(
+        "window={:?} workloads={:?} threads={:?} tokens={} device={:?} renegs={:?}",
+        r.window,
+        r.workloads,
+        r.threads,
+        r.token_usage_per_sec.to_bits(),
+        r.device,
+        r.renegotiations
+    )
+}
+
+fn core_spec(i: usize, t: &TenantSpec) -> WorkloadSpec {
+    let class = match t.lc {
+        Some((iops, pct, p95_us)) => {
+            TenantClass::LatencyCritical(SloSpec::new(iops, pct, SimDuration::from_micros(p95_us)))
+        }
+        None => TenantClass::BestEffort,
+    };
+    let name = format!("t{i}");
+    let tenant = TenantId(i as u32 + 1);
+    let mut spec = if t.open_loop {
+        WorkloadSpec::open_loop(&name, tenant, class, t.rate_iops as f64)
+    } else {
+        WorkloadSpec::closed_loop(&name, tenant, class, t.depth.max(1))
+    };
+    spec.read_pct = t.read_pct;
+    spec.conns = t.conns.max(1);
+    spec.client_threads = t.client_threads.max(1);
+    spec.client_machine = t.client_machine;
+    spec.io_size = t.io_size;
+    if t.zipf_permille > 0 {
+        spec.addr_pattern = AddrPattern::Zipfian {
+            theta_permille: t.zipf_permille as u16,
+        };
+    }
+    if t.retry {
+        spec = spec.with_retry(RetryPolicy::standard());
+    }
+    spec
+}
+
+/// Builds, populates and runs a core testbed through warmup + measure.
+/// Returns `None` only if every tenant was rejected (a generator bug —
+/// reported as an IO-conservation violation upstream).
+fn run_core(
+    case: &SwarmCase,
+    shards: usize,
+    split: bool,
+    telemetry: bool,
+) -> (Testbed, CoreArtifacts) {
+    let Topology::Core {
+        server_threads,
+        clients,
+        ..
+    } = case.topology
+    else {
+        unreachable!("run_core on non-core case")
+    };
+    let mut tb = Testbed::builder()
+        .seed(case.seed)
+        .server(ServerConfig {
+            threads: server_threads as u32,
+            max_threads: server_threads as u32,
+            ..ServerConfig::default()
+        })
+        .client_machines(vec![reflex_net::StackProfile::ix_tcp(); clients])
+        .build();
+    let mut notes = Vec::new();
+    if !case.faults.is_empty() {
+        let _stats = install(&case.faults, &mut tb);
+    }
+    if split {
+        tb.enable_split_dataplane()
+            .expect("generator only splits hook-free scenarios");
+    }
+    let mut tb = tb.with_shards(shards);
+    if let Some(clamp) = tb.shard_clamp() {
+        notes.push(format!("shard clamp: {clamp}"));
+    }
+    if telemetry {
+        // After with_shards: the shared handle installs on every shard.
+        tb.enable_telemetry();
+    }
+    for (i, t) in case.tenants.iter().enumerate() {
+        if let Err(e) = tb.add_workload(core_spec(i, t)) {
+            notes.push(format!("tenant t{i} rejected: {e}"));
+        }
+    }
+    tb.run(SimDuration::from_millis(case.warmup_ms));
+    tb.begin_measurement();
+    tb.run(SimDuration::from_millis(case.measure_ms));
+    let report = tb.report();
+    let completed = report
+        .threads
+        .iter()
+        .filter_map(|t| t.stats.as_ref())
+        .map(|s| s.completed)
+        .sum();
+    let artifacts = CoreArtifacts {
+        fingerprint: core_fingerprint(&report),
+        completed,
+        notes,
+    };
+    (tb, artifacts)
+}
+
+fn run_core_case(case: &SwarmCase, cfg: &RunConfig) -> CaseOutcome {
+    let Topology::Core { shards, split, .. } = case.topology else {
+        unreachable!()
+    };
+    let mut violations = Vec::new();
+    let mut families = Vec::new();
+
+    // Oracle run: one shard, so stop-and-drain reaches every generator.
+    let (mut tb, oracle_run) = run_core(case, 1, split, true);
+    let mut notes = oracle_run.notes.clone();
+
+    // Identity partner: the case's parallel configuration (or, for fault
+    // campaigns — which pin execution to one shard by design — an exact
+    // re-run, i.e. a determinism check).
+    let (partner_shards, kind) = if case.faulty() {
+        (1, "determinism")
+    } else if shards > 1 {
+        (shards, "mono-vs-sharded")
+    } else {
+        (2, "mono-vs-sharded")
+    };
+    let (_, partner) = run_core(case, partner_shards, split, true);
+    check_identity(
+        kind,
+        &oracle_run.fingerprint,
+        &partner.fingerprint,
+        &mut violations,
+    );
+    families.push((OracleFamily::ShardIdentity, FamilyStatus::Checked));
+
+    // Stop, drain, and hold the exit books to exact balance.
+    tb.world_mut().stop_all_workloads();
+    tb.run(DRAIN);
+    match tb.telemetry_snapshot() {
+        Some(snapshot) => {
+            check_io_conservation(&snapshot, &mut violations);
+            families.push((OracleFamily::IoConservation, FamilyStatus::Checked));
+        }
+        None => families.push((
+            OracleFamily::IoConservation,
+            FamilyStatus::Vacuous("telemetry unavailable"),
+        )),
+    }
+
+    // Lease conservation: the ledger identity when split, the global
+    // token budget otherwise.
+    if split {
+        let (gives, accounted) = tb.lease_accounting().expect("split run installs a ledger");
+        check_lease_ledger(gives, accounted, &mut violations);
+        families.push((OracleFamily::LeaseConservation, FamilyStatus::Checked));
+    } else {
+        let report = tb.report();
+        let strictest = case
+            .tenants
+            .iter()
+            .filter_map(|t| t.lc)
+            .map(|(_, _, p95)| p95)
+            .min();
+        match strictest {
+            Some(p95_us) => {
+                let budget = tb
+                    .world()
+                    .server()
+                    .capacity()
+                    .tokens_per_sec_at(SimDuration::from_micros(p95_us));
+                if report.token_usage_per_sec > budget * 1.05 {
+                    violations.push(Violation {
+                        family: OracleFamily::LeaseConservation,
+                        detail: format!(
+                            "token spend {:.0}/s exceeds the device budget {budget:.0}/s \
+                             at the strictest admitted SLO ({p95_us}us)",
+                            report.token_usage_per_sec
+                        ),
+                    });
+                }
+                families.push((OracleFamily::LeaseConservation, FamilyStatus::Checked));
+            }
+            None => families.push((
+                OracleFamily::LeaseConservation,
+                FamilyStatus::Vacuous("no latency-critical tenant, no token reservation"),
+            )),
+        }
+    }
+
+    families.push((
+        OracleFamily::QuorumEpoch,
+        FamilyStatus::Vacuous("single-server topology has no membership"),
+    ));
+
+    // Alloc pass: healthy scenarios, telemetry off, unified mono
+    // dataplane, longer windows so per-IO amortization is meaningful.
+    match (cfg.alloc_counter, case.faulty()) {
+        (Some(counter), false) => {
+            let _gate = alloc_gate();
+            let alloc_case = SwarmCase {
+                warmup_ms: 150,
+                measure_ms: 250,
+                ..case.clone()
+            };
+            let (allocs, ios) = {
+                let Topology::Core {
+                    server_threads,
+                    clients,
+                    ..
+                } = alloc_case.topology
+                else {
+                    unreachable!()
+                };
+                let mut tb = Testbed::builder()
+                    .seed(alloc_case.seed)
+                    .server(ServerConfig {
+                        threads: server_threads as u32,
+                        max_threads: server_threads as u32,
+                        ..ServerConfig::default()
+                    })
+                    .client_machines(vec![reflex_net::StackProfile::ix_tcp(); clients])
+                    .build();
+                for (i, t) in alloc_case.tenants.iter().enumerate() {
+                    let _ = tb.add_workload(core_spec(i, t));
+                }
+                tb.run(SimDuration::from_millis(alloc_case.warmup_ms));
+                let completed = |tb: &Testbed| -> u64 {
+                    tb.report()
+                        .threads
+                        .iter()
+                        .filter_map(|t| t.stats.as_ref())
+                        .map(|s| s.completed)
+                        .sum()
+                };
+                let ios_before = completed(&tb);
+                let before = counter();
+                tb.run(SimDuration::from_millis(alloc_case.measure_ms));
+                let after = counter();
+                (after - before, completed(&tb) - ios_before)
+            };
+            check_alloc(allocs, ios, ALLOC_BUDGET_PER_IO, &mut violations);
+            families.push((OracleFamily::AllocBudget, FamilyStatus::Checked));
+        }
+        (None, _) => families.push((
+            OracleFamily::AllocBudget,
+            FamilyStatus::Vacuous("no counting allocator installed"),
+        )),
+        (_, true) => families.push((
+            OracleFamily::AllocBudget,
+            FamilyStatus::Vacuous("fault hooks may legitimately allocate"),
+        )),
+    }
+
+    notes.extend(partner.notes);
+    CaseOutcome {
+        case: case.clone(),
+        violations,
+        families,
+        notes,
+        completed_ios: oracle_run.completed,
+    }
+}
+
+// ------------------------------------------------------------------
+// Replicated topology
+
+fn repl_fingerprint(r: &ReplReport) -> String {
+    format!(
+        "window={:?} workloads={:?} recoveries={:?}",
+        r.window, r.workloads, r.recoveries
+    )
+}
+
+struct ReplArtifacts {
+    fingerprint: String,
+    epochs: Vec<Vec<u32>>,
+    completed: u64,
+}
+
+fn run_repl(case: &SwarmCase, shards: usize, sample: bool) -> (ReplTestbed, ReplArtifacts) {
+    let Topology::Replicated {
+        sites, replication, ..
+    } = case.topology
+    else {
+        unreachable!("run_repl on non-replicated case")
+    };
+    let mut tb = ReplTestbed::builder()
+        .sites(sites)
+        .replication(replication)
+        .seed(case.seed)
+        .build()
+        .with_shards(shards);
+    tb.enable_telemetry();
+    for (i, t) in case.tenants.iter().enumerate() {
+        let (iops, pct, p95_us) = t.lc.expect("replicated tenants carry an SLO");
+        let spec = ReplWorkloadSpec::open_loop(
+            format!("t{i}"),
+            TenantId(i as u32 + 1),
+            SloSpec::new(iops, pct, SimDuration::from_micros(p95_us)),
+            t.rate_iops as f64,
+        )
+        .with_read_policy(if t.quorum_read {
+            ReadPolicy::Quorum
+        } else {
+            ReadPolicy::Primary
+        })
+        .with_namespace(i as u64 * (8 << 20), 8 << 20)
+        .with_retry(RetryPolicy::standard());
+        tb.add_workload(spec).expect("replicated workload admitted");
+    }
+    if !case.faults.is_empty() {
+        let _stats = tb.install(&case.faults);
+    }
+    tb.run(SimDuration::from_millis(case.warmup_ms));
+    tb.begin_measurement();
+    // Slice the measured window so epoch monotonicity is observed at
+    // several instants, not just at the end.
+    let mut epochs = Vec::new();
+    let slices: u64 = if sample { 4 } else { 1 };
+    for _ in 0..slices {
+        tb.run(SimDuration::from_millis(case.measure_ms) / slices);
+        if sample {
+            let w = tb.world();
+            epochs.push((0..case.tenants.len()).map(|i| w.epoch(i)).collect());
+        }
+    }
+    let report = tb.report();
+    let completed = report
+        .workloads
+        .iter()
+        .map(|w| (w.iops * case.measure_ms as f64 / 1_000.0) as u64)
+        .sum();
+    let artifacts = ReplArtifacts {
+        fingerprint: repl_fingerprint(&report),
+        epochs,
+        completed,
+    };
+    (tb, artifacts)
+}
+
+fn run_repl_case(case: &SwarmCase) -> CaseOutcome {
+    let Topology::Replicated {
+        replication,
+        shards,
+        ..
+    } = case.topology
+    else {
+        unreachable!()
+    };
+    let mut violations = Vec::new();
+    let mut families = Vec::new();
+
+    let (mut tb, oracle_run) = run_repl(case, 1, true);
+    let report = tb.report();
+
+    // Identity partner at the case's shard count (or a determinism
+    // re-run when the case is already mono).
+    let (partner_shards, kind) = if case.faulty() {
+        (1, "determinism")
+    } else if shards > 1 {
+        (shards, "mono-vs-sharded")
+    } else {
+        (2, "mono-vs-sharded")
+    };
+    let (_, partner) = run_repl(case, partner_shards, false);
+    check_identity(
+        kind,
+        &oracle_run.fingerprint,
+        &partner.fingerprint,
+        &mut violations,
+    );
+    families.push((OracleFamily::ShardIdentity, FamilyStatus::Checked));
+
+    // Quorum/epoch family: sampled monotonicity + final membership.
+    check_epochs(
+        &oracle_run.epochs,
+        report.recoveries.len(),
+        case.faulty(),
+        &mut violations,
+    );
+    for w_idx in 0..case.tenants.len() {
+        check_membership(
+            &tb.member_sites(w_idx),
+            tb.world().primary_slot(w_idx),
+            replication,
+            case.faulty(),
+            &mut violations,
+        );
+    }
+    families.push((OracleFamily::QuorumEpoch, FamilyStatus::Checked));
+
+    // Conservation after stop-and-drain, exactly like the core path.
+    tb.world_mut().stop_all_workloads();
+    tb.run(DRAIN);
+    match tb.telemetry_snapshot() {
+        Some(snapshot) => {
+            check_io_conservation(&snapshot, &mut violations);
+            families.push((OracleFamily::IoConservation, FamilyStatus::Checked));
+        }
+        None => families.push((
+            OracleFamily::IoConservation,
+            FamilyStatus::Vacuous("telemetry unavailable"),
+        )),
+    }
+
+    families.push((
+        OracleFamily::LeaseConservation,
+        FamilyStatus::Vacuous("replicated testbed runs the unified token bucket"),
+    ));
+    families.push((
+        OracleFamily::AllocBudget,
+        FamilyStatus::Vacuous("replicated fan-out is gated by the bench alloc budget"),
+    ));
+
+    CaseOutcome {
+        case: case.clone(),
+        violations,
+        families,
+        notes: Vec::new(),
+        completed_ios: oracle_run.completed,
+    }
+}
+
+/// Convenience: derives the case from `seed` and runs it.
+pub fn run_seed(seed: u64, cfg: &RunConfig) -> CaseOutcome {
+    run_case(&SwarmCase::from_seed(seed), cfg)
+}
+
+// Process-wide guard so parallel test threads never interleave two
+// runs' alloc measurements against the shared global counter.
+static ALLOC_GATE: Mutex<()> = Mutex::new(());
+
+/// Serializes alloc-measuring runs across threads. Returns a guard.
+pub fn alloc_gate() -> std::sync::MutexGuard<'static, ()> {
+    ALLOC_GATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -1,0 +1,13 @@
+//! Token accounting under arbitrary grant/renegotiate sequences: the
+//! replicated lease ledger and the QoS scheduler share this target —
+//! both interpret the buffer as an op stream and assert conservation.
+
+// With the vendored shim these are plain binaries; restore `#![no_main]`
+// here when pointing the dependency at the real libfuzzer-sys.
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    reflex_swarm::harness::check_lease_ops(data);
+    reflex_swarm::harness::check_sched_ops(data);
+});

@@ -1,0 +1,10 @@
+//! PoolKey/cookie packing bijection and slab aliasing/resurrection.
+
+// With the vendored shim these are plain binaries; restore `#![no_main]`
+// here when pointing the dependency at the real libfuzzer-sys.
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    reflex_swarm::harness::check_pool_cookie(data);
+});

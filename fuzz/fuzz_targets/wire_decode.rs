@@ -1,0 +1,10 @@
+//! Wire header decode/encode round-trip on arbitrary bytes.
+
+// With the vendored shim these are plain binaries; restore `#![no_main]`
+// here when pointing the dependency at the real libfuzzer-sys.
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    reflex_swarm::harness::check_wire_roundtrip(data);
+});

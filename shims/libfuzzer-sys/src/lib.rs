@@ -1,0 +1,77 @@
+//! Offline stand-in for the `libfuzzer-sys` crate.
+//!
+//! The real crate links the target against LLVM's libFuzzer runtime and
+//! needs a nightly toolchain (`cargo fuzz run …`). This environment has
+//! neither, so [`fuzz_target!`] expands to an ordinary binary:
+//!
+//! - `target <file>…` replays each file through the fuzz body (the
+//!   corpus-replay mode CI uses for the committed regression corpus);
+//! - `target` with no arguments runs `FUZZ_RUNS` (default 4096)
+//!   random byte buffers derived from `FUZZ_SEED` (default 0) through
+//!   the body — deterministic, so a failing `(seed, runs)` pair is a
+//!   complete repro.
+//!
+//! Either way a panic in the body aborts the process with a nonzero
+//! exit, which is all the harness contract the workspace relies on. The
+//! same bodies are mirrored as proptests in `crates/swarm`, so `cargo
+//! test` exercises them without this shim's driver. If a real nightly +
+//! cargo-fuzz toolchain is available, delete this shim from
+//! `[workspace.dependencies]` and the `fuzz/` member builds unchanged
+//! against the real crate.
+
+/// Deterministic byte generator for the no-argument mode: splitmix64
+/// over the run index, sliced into 0..=511-byte buffers.
+#[doc(hidden)]
+pub fn random_buffer(seed: u64, run: u64) -> Vec<u8> {
+    let mut state = seed ^ run.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let len = (next() % 512) as usize;
+    let mut buf = Vec::with_capacity(len);
+    while buf.len() < len {
+        buf.extend_from_slice(&next().to_le_bytes());
+    }
+    buf.truncate(len);
+    buf
+}
+
+#[doc(hidden)]
+pub fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The subset of `libfuzzer_sys::fuzz_target!` the workspace uses:
+/// `fuzz_target!(|data: &[u8]| { … });`.
+#[macro_export]
+macro_rules! fuzz_target {
+    (|$data:ident: &[u8]| $body:block) => {
+        fn fuzz_one($data: &[u8]) $body
+
+        fn main() {
+            let files: Vec<String> = std::env::args().skip(1).collect();
+            if files.is_empty() {
+                let seed = $crate::env_u64("FUZZ_SEED", 0);
+                let runs = $crate::env_u64("FUZZ_RUNS", 4096);
+                for run in 0..runs {
+                    fuzz_one(&$crate::random_buffer(seed, run));
+                }
+                eprintln!("ok: {runs} random inputs (FUZZ_SEED={seed})");
+            } else {
+                for f in &files {
+                    let data = std::fs::read(f)
+                        .unwrap_or_else(|e| panic!("cannot read corpus file {f}: {e}"));
+                    fuzz_one(&data);
+                }
+                eprintln!("ok: replayed {} corpus file(s)", files.len());
+            }
+        }
+    };
+}
